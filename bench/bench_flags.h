@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace wow::bench {
+
+/// Minimal --key=value flag reader for the experiment binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  [[nodiscard]] long get_int(const char* name, long fallback) const {
+    std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::strtol(argv_[i] + prefix.size(), nullptr, 10);
+      }
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] double get_double(const char* name, double fallback) const {
+    std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::strtod(argv_[i] + prefix.size(), nullptr);
+      }
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] bool has(const char* name) const {
+    std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc_; ++i) {
+      if (flag == argv_[i]) return true;
+    }
+    return false;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace wow::bench

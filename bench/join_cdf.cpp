@@ -1,0 +1,62 @@
+// §V-B / abstract claim reproduction: over repeated join trials, "90% of
+// the nodes self-configured P2P routes within 10 seconds, and more than
+// 99% established direct connections to other nodes within 200 seconds."
+//
+// Measures, per trial: time from IPOP start until fully routable, and
+// time until a direct shortcut to the traffic peer exists.
+//
+// Flags: --trials=N (default 30; paper used 300), --seed=N.
+
+#include <cstdio>
+
+#include "bench_flags.h"
+#include "common/stats.h"
+#include "join_lab.h"
+
+int main(int argc, char** argv) {
+  using namespace wow;
+  using namespace wow::bench;
+  Flags flags(argc, argv);
+  int trials = static_cast<int>(flags.get_int("trials", 30));
+
+  TestbedConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 13));
+
+  std::printf("== Join-latency CDF (abstract / §V-B claims) ==\n");
+  std::printf("trials: %d (spread across UFL-NWU / UFL-UFL / NWU-NWU)\n\n",
+              trials);
+
+  JoinLab lab(config);
+  std::vector<double> routable_s;
+  std::vector<double> shortcut_s;
+  int no_shortcut = 0;
+
+  Scenario scenarios[3] = {Scenario::kUflNwu, Scenario::kUflUfl,
+                           Scenario::kNwuNwu};
+  int per_scenario = (trials + 2) / 3;
+  for (Scenario scenario : scenarios) {
+    JoinProfile profile = lab.run(scenario, per_scenario, 300);
+    for (const TrialResult& t : profile.trials) {
+      if (t.routable_after_s) routable_s.push_back(*t.routable_after_s);
+      if (t.shortcut_after_s) {
+        shortcut_s.push_back(*t.shortcut_after_s);
+      } else {
+        ++no_shortcut;
+      }
+    }
+  }
+
+  std::printf("time to fully routable (s): p50=%.1f p90=%.1f p99=%.1f "
+              "max=%.1f  (n=%zu)\n",
+              percentile(routable_s, 50), percentile(routable_s, 90),
+              percentile(routable_s, 99),
+              percentile(routable_s, 100), routable_s.size());
+  std::printf("time to direct connection (s): p50=%.1f p90=%.1f p99=%.1f "
+              "max=%.1f  (n=%zu, %d trials never formed one)\n",
+              percentile(shortcut_s, 50), percentile(shortcut_s, 90),
+              percentile(shortcut_s, 99),
+              percentile(shortcut_s, 100), shortcut_s.size(), no_shortcut);
+  std::printf("\npaper: 90%% routable within 10 s; >99%% direct connection "
+              "within 200 s (300 trials)\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the library's hot primitives:
+// ring arithmetic, packet (de)serialization, the event queue, the NAT
+// translation fast path, and end-to-end simulated-packet cost.  These
+// bound how fast the testbed simulations run, not anything the paper
+// measures.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "common/ring_id.h"
+#include "common/rng.h"
+#include "net/nat.h"
+#include "net/network.h"
+#include "p2p/connection_table.h"
+#include "p2p/packet.h"
+#include "sim/simulator.h"
+
+namespace wow {
+namespace {
+
+void BM_RingIdDistance(benchmark::State& state) {
+  Rng rng(1);
+  RingId a = rng.ring_id();
+  RingId b = rng.ring_id();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.ring_distance(b));
+  }
+}
+BENCHMARK(BM_RingIdDistance);
+
+void BM_RingIdHex(benchmark::State& state) {
+  Rng rng(2);
+  RingId a = rng.ring_id();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RingId::from_hex(a.to_hex()));
+  }
+}
+BENCHMARK(BM_RingIdHex);
+
+void BM_RoutedPacketRoundTrip(benchmark::State& state) {
+  Rng rng(3);
+  p2p::RoutedPacket p;
+  p.src = rng.ring_id();
+  p.dst = rng.ring_id();
+  p.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    Bytes wire = p.serialize();
+    benchmark::DoNotOptimize(p2p::RoutedPacket::parse(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RoutedPacketRoundTrip)->Arg(64)->Arg(1400);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.schedule(i % 97, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_ConnectionTableClosestTo(benchmark::State& state) {
+  Rng rng(5);
+  p2p::ConnectionTable table(rng.ring_id());
+  for (int i = 0; i < state.range(0); ++i) {
+    p2p::Connection c;
+    c.addr = rng.ring_id();
+    c.type = p2p::ConnectionType::kStructuredFar;
+    table.add(std::move(c));
+  }
+  RingId target = rng.ring_id();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.closest_to(target));
+  }
+}
+BENCHMARK(BM_ConnectionTableClosestTo)->Arg(8)->Arg(64);
+
+void BM_NatTranslateOutbound(benchmark::State& state) {
+  net::NatBox nat("bench", net::Ipv4Addr(1, 2, 3, 4), {});
+  net::Endpoint inside{net::Ipv4Addr(10, 0, 0, 1), 1000};
+  net::Endpoint remote{net::Ipv4Addr(8, 8, 8, 8), 53};
+  SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nat.translate_outbound(inside, remote, now++));
+  }
+}
+BENCHMARK(BM_NatTranslateOutbound);
+
+void BM_SimulatedDatagramEndToEnd(benchmark::State& state) {
+  sim::Simulator sim(7);
+  net::Network network(sim);
+  auto site = network.add_site("s");
+  auto& a = network.add_host(net::Ipv4Addr(128, 0, 0, 1),
+                             net::Network::kInternet, site, {});
+  auto& b = network.add_host(net::Ipv4Addr(128, 0, 0, 2),
+                             net::Network::kInternet, site, {});
+  std::uint64_t received = 0;
+  b.bind(9, [&received](const net::Endpoint&, std::uint16_t, const Bytes&) {
+    ++received;
+  });
+  Bytes payload(256, 1);
+  for (auto _ : state) {
+    network.send(a, 8, net::Endpoint{b.ip(), 9}, payload);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatedDatagramEndToEnd);
+
+}  // namespace
+}  // namespace wow
+
+BENCHMARK_MAIN();

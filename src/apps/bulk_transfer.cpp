@@ -1,0 +1,54 @@
+#include "apps/bulk_transfer.h"
+
+namespace wow::apps {
+
+BulkSource::BulkSource(sim::Simulator&, vtcp::TcpStack& stack,
+                       std::uint16_t port, std::uint64_t bytes)
+    : bytes_(bytes) {
+  stack.listen(port, [this](std::shared_ptr<vtcp::TcpSocket> socket) {
+    serve(std::move(socket));
+  });
+}
+
+void BulkSource::serve(std::shared_ptr<vtcp::TcpSocket> socket) {
+  ++started_;
+  // Feed the socket in send-buffer-sized slices so arbitrarily large
+  // files never sit in memory; writable() pulls the next slice.
+  auto remaining = std::make_shared<std::uint64_t>(bytes_);
+  auto feed = [socket, remaining] {
+    while (*remaining > 0) {
+      std::size_t room = socket->send_buffer_room();
+      if (room == 0) return;
+      auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>({*remaining, room, 16384}));
+      socket->send(Bytes(n, 0xda));
+      *remaining -= n;
+    }
+    socket->close();
+  };
+  socket->set_established_handler(feed);
+  socket->set_writable_handler(feed);
+}
+
+BulkSink::BulkSink(sim::Simulator& simulator, vtcp::TcpStack& stack)
+    : sim_(simulator), stack_(stack) {}
+
+void BulkSink::fetch(net::Ipv4Addr src, std::uint16_t port, Done done) {
+  received_ = 0;
+  started_ = sim_.now();
+  socket_ = stack_.connect(src, port);
+  socket_->set_data_handler([this](const Bytes& data) {
+    received_ += data.size();
+    if (progress_) progress_(received_, sim_.now());
+  });
+  socket_->set_closed_handler(
+      [this, done = std::move(done)](bool) {
+        Result result;
+        result.bytes = received_;
+        result.started = started_;
+        result.finished = sim_.now();
+        if (done) done(result);
+      });
+}
+
+}  // namespace wow::apps

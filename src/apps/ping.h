@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ipop/icmp_service.h"
+#include "sim/simulator.h"
+
+namespace wow::apps {
+
+/// The `ping` application of the Figure 4/5 experiments: a train of
+/// ICMP echo requests at a fixed interval, with per-sequence-number
+/// bookkeeping of replies and round-trip latencies.
+class PingApp {
+ public:
+  struct Config {
+    net::Ipv4Addr target;
+    int count = 400;
+    SimDuration interval = 1 * kSecond;
+    std::uint16_t ident = 1;
+    std::uint16_t padding = 56;
+    /// Grace period after the last request before reporting.
+    SimDuration drain = 5 * kSecond;
+  };
+
+  struct Shot {
+    bool replied = false;
+    SimDuration rtt = 0;
+  };
+
+  using Done = std::function<void(const std::vector<Shot>&)>;
+
+  PingApp(sim::Simulator& simulator, ipop::IcmpService& icmp, Config config)
+      : sim_(simulator), icmp_(icmp), config_(config),
+        shots_(static_cast<std::size_t>(config.count)) {}
+
+  /// Fire the train; `done` receives one Shot per sequence number
+  /// (1-based sequence i lands in shots[i-1]).
+  void run(Done done) {
+    done_ = std::move(done);
+    icmp_.set_reply_handler([this](net::Ipv4Addr from, std::uint16_t ident,
+                                   std::uint16_t seq, SimDuration rtt) {
+      if (from != config_.target || ident != config_.ident) return;
+      if (seq == 0 || seq > shots_.size()) return;
+      shots_[seq - 1].replied = true;
+      shots_[seq - 1].rtt = rtt;
+    });
+    send_next(1);
+  }
+
+  [[nodiscard]] const std::vector<Shot>& shots() const { return shots_; }
+
+ private:
+  void send_next(int seq) {
+    if (seq > config_.count) {
+      sim_.schedule(config_.drain, [this] {
+        if (done_) done_(shots_);
+      });
+      return;
+    }
+    icmp_.ping(config_.target, config_.ident,
+               static_cast<std::uint16_t>(seq), config_.padding);
+    sim_.schedule(config_.interval, [this, seq] { send_next(seq + 1); });
+  }
+
+  sim::Simulator& sim_;
+  ipop::IcmpService& icmp_;
+  Config config_;
+  std::vector<Shot> shots_;
+  Done done_;
+};
+
+}  // namespace wow::apps

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ring_id.h"
+
+namespace wow {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Serializer writing big-endian (network order) fields into a growable
+/// buffer.  Every on-the-wire message in the overlay is produced through
+/// this writer so framing stays consistent across modules.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int s = 24; s >= 0; s -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> s));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int s = 56; s >= 0; s -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> s));
+    }
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void ring_id(const RingId& id) {
+    // Most significant limb first.
+    for (int i = RingId::kLimbs - 1; i >= 0; --i) u32(id.limbs()[i]);
+  }
+
+  void raw(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Length-prefixed (u16) byte string.
+  void blob(std::span<const std::uint8_t> bytes) {
+    u16(static_cast<std::uint16_t>(bytes.size()));
+    raw(bytes);
+  }
+
+  /// Length-prefixed (u16) UTF-8 string.
+  void str(std::string_view s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const Bytes& bytes() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Checked big-endian reader over a byte span.  All read methods return
+/// std::nullopt on underflow instead of throwing: malformed packets are
+/// expected input for a network node, not programmer error.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> u8() {
+    if (pos_ + 1 > data_.size()) return std::nullopt;
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::optional<std::uint16_t> u16() {
+    if (pos_ + 2 > data_.size()) return std::nullopt;
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> u32() {
+    if (pos_ + 4 > data_.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> u64() {
+    if (pos_ + 8 > data_.size()) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::int64_t> i64() {
+    auto v = u64();
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(*v);
+  }
+
+  [[nodiscard]] std::optional<RingId> ring_id() {
+    std::array<std::uint32_t, RingId::kLimbs> limbs{};
+    for (int i = RingId::kLimbs - 1; i >= 0; --i) {
+      auto limb = u32();
+      if (!limb) return std::nullopt;
+      limbs[static_cast<std::size_t>(i)] = *limb;
+    }
+    return RingId{limbs};
+  }
+
+  [[nodiscard]] std::optional<Bytes> blob() {
+    auto len = u16();
+    if (!len || pos_ + *len > data_.size()) return std::nullopt;
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+    pos_ += *len;
+    return out;
+  }
+
+  [[nodiscard]] std::optional<std::string> str() {
+    auto len = u16();
+    if (!len || pos_ + *len > data_.size()) return std::nullopt;
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+    pos_ += *len;
+    return out;
+  }
+
+  /// Remaining unread bytes.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const {
+    return data_.subspan(pos_);
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wow

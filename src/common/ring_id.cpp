@@ -1,0 +1,51 @@
+#include "common/ring_id.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wow {
+
+namespace {
+
+[[nodiscard]] int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<RingId> RingId::from_hex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 40) return std::nullopt;
+  std::array<std::uint32_t, kLimbs> limbs{};
+  // Walk from the least significant digit.
+  int nibble = 0;
+  for (auto it = hex.rbegin(); it != hex.rend(); ++it, ++nibble) {
+    int v = hex_value(*it);
+    if (v < 0) return std::nullopt;
+    limbs[nibble / 8] |= static_cast<std::uint32_t>(v) << (4 * (nibble % 8));
+  }
+  return RingId{limbs};
+}
+
+std::string RingId::to_hex() const {
+  char buf[41];
+  for (int i = 0; i < kLimbs; ++i) {
+    // limb (kLimbs-1-i) prints first.
+    std::snprintf(buf + 8 * i, 9, "%08x", limbs_[kLimbs - 1 - i]);
+  }
+  return std::string(buf, 40);
+}
+
+std::string RingId::brief() const { return to_hex().substr(0, 8); }
+
+double RingId::to_double() const {
+  double v = 0.0;
+  for (int i = kLimbs - 1; i >= 0; --i) {
+    v = v * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return v;
+}
+
+}  // namespace wow

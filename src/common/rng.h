@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/ring_id.h"
+#include "common/time.h"
+
+namespace wow {
+
+/// Deterministic random source for a simulation run.  One Rng instance is
+/// owned by the Simulator; components draw from it so a run is a pure
+/// function of the seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  [[nodiscard]] double normal(double mean, double stdev) {
+    return std::normal_distribution<double>(mean, stdev)(engine_);
+  }
+
+  /// Normal truncated below at `lo` (re-draw by clamping, adequate for
+  /// latency jitter where the tail mass below lo is tiny).
+  [[nodiscard]] double normal_min(double mean, double stdev, double lo) {
+    double v = normal(mean, stdev);
+    return v < lo ? lo : v;
+  }
+
+  /// Uniformly random 160-bit ring id.
+  [[nodiscard]] RingId ring_id() {
+    std::array<std::uint32_t, RingId::kLimbs> limbs{};
+    for (auto& limb : limbs) {
+      limb = static_cast<std::uint32_t>(engine_());
+    }
+    return RingId{limbs};
+  }
+
+  /// Random duration jitter in [0, max).
+  [[nodiscard]] SimDuration jitter(SimDuration max) {
+    if (max <= 0) return 0;
+    return uniform(0, max - 1);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wow

@@ -1,0 +1,59 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace wow {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+void Histogram::add(double x) {
+  double span = hi_ - lo_;
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::frequency(std::size_t bin) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[bin]) /
+                           static_cast<double>(total_);
+}
+
+std::string Histogram::render(int bar_width) const {
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char line[128];
+    double freq = frequency(b);
+    std::snprintf(line, sizeof line, "%8.1f..%-8.1f %6zu  %5.1f%%  ",
+                  bin_lo(b), bin_hi(b), counts_[b], freq * 100.0);
+    out += line;
+    int bar = static_cast<int>(freq * bar_width + 0.5);
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace wow

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace wow {
+
+/// Simulated time. All simulation timestamps are microseconds since the
+/// start of the run; wall-clock time is never consulted so runs are
+/// deterministic under a fixed RNG seed.
+using SimTime = std::int64_t;
+
+/// A duration in simulated microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+
+/// Convenience literals: `5 * kSecond`, `250 * kMillisecond`, ...
+
+[[nodiscard]] constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+[[nodiscard]] constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+[[nodiscard]] constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+[[nodiscard]] constexpr SimDuration from_millis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+}  // namespace wow

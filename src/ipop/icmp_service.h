@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ipop/ipop_node.h"
+
+namespace wow::ipop {
+
+/// Minimal ICMP layer over an IpopNode: answers echo requests (the guest
+/// kernel's job) and lets applications send echo requests and observe
+/// replies — all the `ping` application of the Figure 4/5 experiments
+/// needs.
+class IcmpService {
+ public:
+  /// (peer vip, ident, seq, rtt) for each echo reply received.
+  using ReplyHandler = std::function<void(net::Ipv4Addr, std::uint16_t,
+                                          std::uint16_t, SimDuration)>;
+
+  IcmpService(sim::Simulator& simulator, IpopNode& node)
+      : sim_(simulator), node_(node) {
+    node_.set_protocol_handler(IpProto::kIcmp, [this](const IpPacket& p) {
+      on_packet(p);
+    });
+  }
+
+  /// Send one echo request; `padding` models `ping -s` payload size.
+  void ping(net::Ipv4Addr dst, std::uint16_t ident, std::uint16_t seq,
+            std::uint16_t padding = 56);
+
+  void set_reply_handler(ReplyHandler handler) {
+    reply_handler_ = std::move(handler);
+  }
+
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t requests_answered = 0;
+    std::uint64_t replies_received = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void on_packet(const IpPacket& packet);
+
+  sim::Simulator& sim_;
+  IpopNode& node_;
+  ReplyHandler reply_handler_;
+  Stats stats_;
+};
+
+}  // namespace wow::ipop

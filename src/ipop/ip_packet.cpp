@@ -1,0 +1,78 @@
+#include "ipop/ip_packet.h"
+
+namespace wow::ipop {
+
+Bytes IpPacket::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u8(ttl);
+  w.u16(id);
+  w.u32(src.value());
+  w.u32(dst.value());
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+std::optional<IpPacket> IpPacket::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  auto proto = r.u8();
+  auto ttl = r.u8();
+  auto id = r.u16();
+  auto src = r.u32();
+  auto dst = r.u32();
+  auto len = r.u16();
+  if (!proto || !ttl || !id || !src || !dst || !len) return std::nullopt;
+  if (*proto != static_cast<std::uint8_t>(IpProto::kIcmp) &&
+      *proto != static_cast<std::uint8_t>(IpProto::kTcp) &&
+      *proto != static_cast<std::uint8_t>(IpProto::kUdp)) {
+    return std::nullopt;
+  }
+  if (r.remaining() < *len) return std::nullopt;
+  IpPacket p;
+  p.proto = static_cast<IpProto>(*proto);
+  p.ttl = *ttl;
+  p.id = *id;
+  p.src = net::Ipv4Addr{*src};
+  p.dst = net::Ipv4Addr{*dst};
+  auto rest = r.rest();
+  p.payload.assign(rest.begin(), rest.begin() + *len);
+  return p;
+}
+
+Bytes IcmpEcho::serialize() const {
+  ByteWriter w;
+  w.u8(type);
+  w.u8(0);  // code
+  w.u16(ident);
+  w.u16(seq);
+  w.i64(timestamp);
+  w.u16(padding);
+  // Padding bytes themselves are represented, not materialized: the
+  // wire size matters for the network model, the contents never do.
+  for (std::uint16_t i = 0; i < padding; ++i) w.u8(0);
+  return std::move(w).take();
+}
+
+std::optional<IcmpEcho> IcmpEcho::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  auto type = r.u8();
+  auto code = r.u8();
+  auto ident = r.u16();
+  auto seq = r.u16();
+  auto timestamp = r.i64();
+  auto padding = r.u16();
+  if (!type || !code || !ident || !seq || !timestamp || !padding) {
+    return std::nullopt;
+  }
+  if (*type != kEchoRequest && *type != kEchoReply) return std::nullopt;
+  IcmpEcho e;
+  e.type = *type;
+  e.ident = *ident;
+  e.seq = *seq;
+  e.timestamp = *timestamp;
+  e.padding = *padding;
+  return e;
+}
+
+}  // namespace wow::ipop

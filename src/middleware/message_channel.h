@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+#include "vtcp/tcp.h"
+
+namespace wow::mw {
+
+/// Length-prefixed message framing over a TCP socket — the RPC transport
+/// every middleware component (PBS, NFS, PVM) shares.  Messages up to
+/// 16 MiB (u32 length prefix).
+class MessageChannel : public std::enable_shared_from_this<MessageChannel> {
+ public:
+  using MessageHandler = std::function<void(const Bytes&)>;
+  using ClosedHandler = std::function<void(bool error)>;
+
+  static std::shared_ptr<MessageChannel> wrap(
+      std::shared_ptr<vtcp::TcpSocket> socket) {
+    auto channel =
+        std::shared_ptr<MessageChannel>(new MessageChannel(std::move(socket)));
+    channel->attach();
+    return channel;
+  }
+
+  void send(const Bytes& message) {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(message.size()));
+    w.raw(message);
+    socket_->send(std::move(w).take());
+  }
+
+  void set_message_handler(MessageHandler handler) {
+    handler_ = std::move(handler);
+  }
+  void set_closed_handler(ClosedHandler handler) {
+    closed_ = std::move(handler);
+  }
+
+  void close() { socket_->close(); }
+  [[nodiscard]] vtcp::TcpSocket& socket() { return *socket_; }
+
+ private:
+  explicit MessageChannel(std::shared_ptr<vtcp::TcpSocket> socket)
+      : socket_(std::move(socket)) {}
+
+  void attach() {
+    auto weak = weak_from_this();
+    socket_->set_data_handler([weak](const Bytes& data) {
+      if (auto self = weak.lock()) self->on_data(data);
+    });
+    socket_->set_closed_handler([weak](bool error) {
+      if (auto self = weak.lock()) {
+        if (self->closed_) self->closed_(error);
+      }
+    });
+  }
+
+  void on_data(const Bytes& data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    while (true) {
+      if (buf_.size() < 4) return;
+      std::uint32_t len = (std::uint32_t{buf_[0]} << 24) |
+                          (std::uint32_t{buf_[1]} << 16) |
+                          (std::uint32_t{buf_[2]} << 8) | buf_[3];
+      if (buf_.size() < 4 + len) return;
+      Bytes message(buf_.begin() + 4,
+                    buf_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+      if (handler_) handler_(message);
+    }
+  }
+
+  std::shared_ptr<vtcp::TcpSocket> socket_;
+  Bytes buf_;
+  MessageHandler handler_;
+  ClosedHandler closed_;
+};
+
+}  // namespace wow::mw

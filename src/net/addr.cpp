@@ -1,0 +1,42 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+namespace wow::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  std::uint32_t parts[4] = {0, 0, 0, 0};
+  int part = 0;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      parts[part] = parts[part] * 10 + static_cast<std::uint32_t>(c - '0');
+      if (parts[part] > 255) return std::nullopt;
+      digit_seen = true;
+    } else if (c == '.') {
+      if (!digit_seen || part == 3) return std::nullopt;
+      ++part;
+      digit_seen = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (part != 3 || !digit_seen) return std::nullopt;
+  return Ipv4Addr(static_cast<std::uint8_t>(parts[0]),
+                  static_cast<std::uint8_t>(parts[1]),
+                  static_cast<std::uint8_t>(parts[2]),
+                  static_cast<std::uint8_t>(parts[3]));
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace wow::net

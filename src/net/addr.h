@@ -1,0 +1,59 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wow::net {
+
+/// IPv4 address as a host-order 32-bit value.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse dotted-quad "a.b.c.d".
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_zero() const { return value_ == 0; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Whether the address falls in RFC1918 private space.
+  [[nodiscard]] constexpr bool is_private() const {
+    std::uint32_t v = value_;
+    return (v >> 24) == 10 ||                       // 10/8
+           (v >> 20) == 0xac1 ||                    // 172.16/12
+           (v >> 16) == 0xc0a8;                     // 192.168/16
+  }
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A UDP endpoint: address + port.
+struct Endpoint {
+  Ipv4Addr ip;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  constexpr auto operator<=>(const Endpoint&) const = default;
+};
+
+struct EndpointHash {
+  [[nodiscard]] std::size_t operator()(const Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(e.ip.value()) << 16) | e.port);
+  }
+};
+
+}  // namespace wow::net

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/time.h"
+#include "net/addr.h"
+
+namespace wow::net {
+
+class Network;
+
+using HostId = int;
+using DomainId = int;
+using SiteId = int;
+
+/// Delivered datagram callback: source endpoint *as seen by the
+/// receiver* (i.e. post-NAT), destination port, payload.
+using UdpHandler =
+    std::function<void(const Endpoint& src, std::uint16_t dst_port,
+                       const Bytes& payload)>;
+
+/// A physical machine attached to the simulated network.
+///
+/// Each host models the three performance effects that matter for the
+/// paper's experiments:
+///  - uplink/downlink serialization (bytes / rate) with FIFO queueing,
+///  - a per-datagram processing station with its own service queue — this
+///    is how loaded PlanetLab IPOP routers throttle multi-hop paths to
+///    the ~85 KB/s the paper measured (Table II),
+///  - an extra random processing delay + drop probability modelling CPU
+///    contention on shared hosts.
+class Host {
+ public:
+  struct Config {
+    std::string name;
+    /// Link rates in bytes/second.
+    double uplink_bps = 12.5e6;    // 100 Mbit/s
+    double downlink_bps = 12.5e6;  // 100 Mbit/s
+    /// Deterministic per-datagram service time of the user-level router
+    /// process (busy-server queue).
+    SimDuration proc_service = 50 * kMicrosecond;
+    /// Mean of an additional exponential processing delay (0 = none);
+    /// models scheduling noise on loaded shared hosts.
+    SimDuration proc_extra_mean = 0;
+    /// Probability an arriving datagram is dropped by the overloaded
+    /// host before the application sees it.
+    double overload_drop = 0.0;
+    /// Tail-drop threshold of the processing station: datagrams arriving
+    /// while the backlog exceeds this are dropped (finite socket
+    /// buffers).  Without it a saturated router inflates RTT without
+    /// bound instead of signalling loss to TCP.
+    SimDuration proc_queue_limit = 500 * kMillisecond;
+    /// Relative CPU speed for compute workloads (1.0 = the testbed's
+    /// common 2.4 GHz Xeon; Table I heterogeneity).
+    double cpu_speed = 1.0;
+  };
+
+  Host(HostId id, Ipv4Addr ip, DomainId domain, SiteId site, Config config)
+      : id_(id), ip_(ip), domain_(domain), site_(site),
+        config_(std::move(config)) {}
+
+  [[nodiscard]] HostId id() const { return id_; }
+  [[nodiscard]] Ipv4Addr ip() const { return ip_; }
+  [[nodiscard]] DomainId domain() const { return domain_; }
+  [[nodiscard]] SiteId site() const { return site_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] Config& mutable_config() { return config_; }
+
+  /// Register a handler for datagrams arriving on `port`.  Overwrites any
+  /// existing binding (matching the restart-IPOP migration flow).
+  void bind(std::uint16_t port, UdpHandler handler) {
+    handlers_[port] = std::move(handler);
+  }
+  void unbind(std::uint16_t port) { handlers_.erase(port); }
+  [[nodiscard]] bool bound(std::uint16_t port) const {
+    return handlers_.count(port) != 0;
+  }
+  [[nodiscard]] const UdpHandler* handler(std::uint16_t port) const {
+    auto it = handlers_.find(port);
+    return it == handlers_.end() ? nullptr : &it->second;
+  }
+
+  // --- queueing state, driven by Network ---------------------------------
+
+  /// Time the last bit of a `bytes`-sized datagram leaves the uplink if
+  /// the send is issued at `now`; advances the uplink queue.
+  [[nodiscard]] SimTime uplink_departure(SimTime now, std::size_t bytes) {
+    SimTime start = now > uplink_free_ ? now : uplink_free_;
+    uplink_free_ = start + serialization(bytes, config_.uplink_bps);
+    return uplink_free_;
+  }
+
+  /// Time a datagram arriving at `arrival` is fully received.
+  [[nodiscard]] SimTime downlink_done(SimTime arrival, std::size_t bytes) {
+    SimTime start = arrival > downlink_free_ ? arrival : downlink_free_;
+    downlink_free_ = start + serialization(bytes, config_.downlink_bps);
+    return downlink_free_;
+  }
+
+  /// Time the router process finishes handling a datagram that became
+  /// ready at `ready`.
+  [[nodiscard]] SimTime processing_done(SimTime ready, SimDuration extra) {
+    SimTime start = ready > proc_free_ ? ready : proc_free_;
+    proc_free_ = start + config_.proc_service + extra;
+    return proc_free_;
+  }
+
+  /// Unprocessed work queued at the processing station as of `now`.
+  [[nodiscard]] SimDuration proc_backlog(SimTime now) const {
+    return proc_free_ > now ? proc_free_ - now : 0;
+  }
+
+ private:
+  [[nodiscard]] static SimDuration serialization(std::size_t bytes,
+                                                 double bps) {
+    if (bps <= 0) return 0;
+    return static_cast<SimDuration>(static_cast<double>(bytes) /
+                                    bps * static_cast<double>(kSecond));
+  }
+
+  HostId id_;
+  Ipv4Addr ip_;
+  DomainId domain_;
+  SiteId site_;
+  Config config_;
+  std::unordered_map<std::uint16_t, UdpHandler> handlers_;
+  SimTime uplink_free_ = 0;
+  SimTime downlink_free_ = 0;
+  SimTime proc_free_ = 0;
+};
+
+}  // namespace wow::net

@@ -1,0 +1,214 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wow::net {
+
+Network::Network(sim::Simulator& simulator) : sim_(simulator) {
+  Domain internet;
+  internet.name = "internet";
+  internet.parent = kInternet;
+  domains_.push_back(std::move(internet));
+}
+
+SiteId Network::add_site(const std::string& name) {
+  site_names_.push_back(name);
+  return static_cast<SiteId>(site_names_.size() - 1);
+}
+
+void Network::set_site_link(SiteId a, SiteId b, LinkModel model) {
+  if (a > b) std::swap(a, b);
+  site_links_[{a, b}] = model;
+}
+
+const LinkModel& Network::site_link(SiteId a, SiteId b) const {
+  if (a == b) return same_site_;
+  if (a > b) std::swap(a, b);
+  auto it = site_links_.find({a, b});
+  return it == site_links_.end() ? default_wan_ : it->second;
+}
+
+SimDuration Network::sample_latency(const LinkModel& m) {
+  if (m.jitter_stdev <= 0) return m.latency;
+  double v = sim_.rng().normal_min(static_cast<double>(m.latency),
+                                   static_cast<double>(m.jitter_stdev),
+                                   static_cast<double>(m.latency) / 4.0);
+  return static_cast<SimDuration>(v);
+}
+
+DomainId Network::add_nat_domain(const std::string& name, DomainId parent,
+                                 SiteId site, Ipv4Addr wan_ip,
+                                 NatBox::Config nat_config) {
+  Domain d;
+  d.name = name;
+  d.parent = parent;
+  d.site = site;
+  d.nat = std::make_unique<NatBox>(name, wan_ip, nat_config);
+  domains_.push_back(std::move(d));
+  auto id = static_cast<DomainId>(domains_.size() - 1);
+  domains_[static_cast<std::size_t>(parent)].child_nats_by_wan_ip[wan_ip.value()] = id;
+  return id;
+}
+
+Host& Network::add_host(Ipv4Addr ip, DomainId domain, SiteId site,
+                        Host::Config config) {
+  auto id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(std::make_unique<Host>(id, ip, domain, site, config));
+  domains_[static_cast<std::size_t>(domain)].hosts_by_ip[ip.value()] = id;
+  return *hosts_.back();
+}
+
+Host* Network::host_by_ip(Ipv4Addr ip) {
+  for (auto& d : domains_) {
+    auto it = d.hosts_by_ip.find(ip.value());
+    if (it != d.hosts_by_ip.end()) return hosts_[static_cast<std::size_t>(it->second)].get();
+  }
+  return nullptr;
+}
+
+NatBox* Network::nat_of_domain(DomainId domain) {
+  return domains_[static_cast<std::size_t>(domain)].nat.get();
+}
+
+SiteId Network::site_of_domain(DomainId domain) const {
+  return domains_[static_cast<std::size_t>(domain)].site;
+}
+
+void Network::move_host(Host& h, DomainId new_domain, Ipv4Addr new_ip) {
+  auto& old_domain = domains_[static_cast<std::size_t>(h.domain())];
+  old_domain.hosts_by_ip.erase(h.ip().value());
+  auto& target = domains_[static_cast<std::size_t>(new_domain)];
+  target.hosts_by_ip[new_ip.value()] = h.id();
+  // Reconstruct the host in place with the new placement.  Port bindings
+  // are intentionally dropped: migration suspends the VM, so the IPOP
+  // process must restart and re-bind on the new network (paper §V-C).
+  h = Host(h.id(), new_ip, new_domain, target.site, h.config());
+}
+
+void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
+                   Bytes payload) {
+  ++stats_.sent;
+  SimTime now = sim_.now();
+  std::size_t wire_bytes = payload.size() + 28;  // IP + UDP headers
+
+  // Uplink serialization at the physical sender.
+  SimTime t = from.uplink_departure(now, wire_bytes);
+
+  DomainId cur_domain = from.domain();
+  Endpoint cur_src{from.ip(), src_port};
+  Endpoint cur_dst = dst;
+  std::set<const NatBox*> ascended;
+  SiteId src_site = from.site();
+
+  for (int step = 0; step < kMaxRouteSteps; ++step) {
+    Domain& dom = domains_[static_cast<std::size_t>(cur_domain)];
+
+    // 1) Destination host directly in the current domain?
+    if (auto it = dom.hosts_by_ip.find(cur_dst.ip.value());
+        it != dom.hosts_by_ip.end()) {
+      Host& target = *hosts_[static_cast<std::size_t>(it->second)];
+      const LinkModel& link = cur_domain == kInternet
+                                  ? site_link(src_site, target.site())
+                                  : lan_;
+      if (sim_.rng().bernoulli(link.loss)) {
+        ++stats_.dropped_loss;
+        if (drop_hook_) drop_hook_(DropReason::kLoss, cur_src, cur_dst);
+        return;
+      }
+      t += sample_latency(link);
+      deliver(target, cur_src, cur_dst.port, std::move(payload), t);
+      return;
+    }
+
+    // 2) A NAT box whose WAN interface is in the current domain?
+    if (auto it = dom.child_nats_by_wan_ip.find(cur_dst.ip.value());
+        it != dom.child_nats_by_wan_ip.end()) {
+      Domain& inner = domains_[static_cast<std::size_t>(it->second)];
+      NatBox& nat = *inner.nat;
+      if (ascended.count(&nat) != 0 && !nat.config().hairpin) {
+        ++stats_.dropped_hairpin;
+        if (drop_hook_) drop_hook_(DropReason::kHairpin, cur_src, cur_dst);
+        return;
+      }
+      const LinkModel& link = cur_domain == kInternet
+                                  ? site_link(src_site, inner.site)
+                                  : lan_;
+      if (sim_.rng().bernoulli(link.loss)) {
+        ++stats_.dropped_loss;
+        if (drop_hook_) drop_hook_(DropReason::kLoss, cur_src, cur_dst);
+        return;
+      }
+      t += sample_latency(link);
+      std::optional<Endpoint> inside =
+          nat.translate_inbound(cur_dst, cur_src, now);
+      if (!inside) {
+        ++stats_.dropped_nat_filtered;
+        if (drop_hook_) drop_hook_(DropReason::kNatFiltered, cur_src, cur_dst);
+        return;
+      }
+      t += nat_hop_;
+      cur_dst = *inside;
+      cur_domain = it->second;
+      continue;
+    }
+
+    // 3) Ascend through our own NAT toward the Internet.
+    if (cur_domain != kInternet) {
+      NatBox& nat = *dom.nat;
+      cur_src = nat.translate_outbound(cur_src, cur_dst, now);
+      t += nat_hop_;
+      ascended.insert(&nat);
+      cur_domain = dom.parent;
+      continue;
+    }
+
+    // 4) In the Internet root and nothing matches: the destination is a
+    // private address in some other domain — unroutable.
+    ++stats_.dropped_unroutable;
+    if (drop_hook_) drop_hook_(DropReason::kUnroutable, cur_src, cur_dst);
+    return;
+  }
+  ++stats_.dropped_ttl;
+  if (drop_hook_) drop_hook_(DropReason::kTtl, cur_src, cur_dst);
+}
+
+void Network::deliver(Host& to, const Endpoint& seen_src,
+                      std::uint16_t dst_port, Bytes payload, SimTime arrival) {
+  std::size_t wire_bytes = payload.size() + 28;
+  SimTime done = to.downlink_done(arrival, wire_bytes);
+  if (to.proc_backlog(arrival) > to.config().proc_queue_limit) {
+    ++stats_.dropped_overload;
+    if (drop_hook_) {
+      drop_hook_(DropReason::kOverload, seen_src, Endpoint{to.ip(), dst_port});
+    }
+    return;
+  }
+  if (sim_.rng().bernoulli(to.config().overload_drop)) {
+    ++stats_.dropped_overload;
+    if (drop_hook_) drop_hook_(DropReason::kOverload, seen_src, Endpoint{to.ip(), dst_port});
+    return;
+  }
+  SimDuration extra =
+      to.config().proc_extra_mean > 0
+          ? static_cast<SimDuration>(sim_.rng().exponential(
+                static_cast<double>(to.config().proc_extra_mean)))
+          : 0;
+  done = to.processing_done(done, extra);
+
+  HostId to_id = to.id();
+  sim_.schedule_at(done, [this, to_id, seen_src, dst_port,
+                          payload = std::move(payload)]() {
+    Host& target = *hosts_[static_cast<std::size_t>(to_id)];
+    const UdpHandler* handler = target.handler(dst_port);
+    if (handler == nullptr) {
+      ++stats_.dropped_no_listener;
+      if (drop_hook_) drop_hook_(DropReason::kNoListener, seen_src, Endpoint{target.ip(), dst_port});
+      return;
+    }
+    ++stats_.delivered;
+    (*handler)(seen_src, dst_port, payload);
+  });
+}
+
+}  // namespace wow::net

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/time.h"
+#include "net/addr.h"
+#include "net/host.h"
+#include "net/nat.h"
+#include "sim/simulator.h"
+
+namespace wow::net {
+
+/// Latency/loss model for a path segment.
+struct LinkModel {
+  SimDuration latency = 0;          // one-way propagation mean
+  SimDuration jitter_stdev = 0;     // gaussian jitter, truncated at 0
+  double loss = 0.0;                // drop probability per traversal
+};
+
+/// The simulated wide-area network: a tree of address domains rooted at
+/// the public Internet, with NAT/firewall boxes on the edges.
+///
+/// Sites model geography: every public host and every NAT's WAN interface
+/// sits at a site, and the site-pair latency matrix gives the Internet
+/// transit delay.  Hosts inside a private domain are physically at the
+/// domain's site.
+///
+/// Routing walks the domain tree: ascend through NATs (outbound
+/// translation), cross the Internet, descend through NATs (inbound
+/// translation + filtering).  A packet that ascends and then descends
+/// through the same NAT is a hairpin and is only forwarded if that NAT
+/// supports hairpin translation — the mechanism behind the paper's slow
+/// UFL-UFL linking (Fig. 4).
+class Network {
+ public:
+  static constexpr DomainId kInternet = 0;
+  static constexpr int kMaxRouteSteps = 16;
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_loss = 0;
+    std::uint64_t dropped_unroutable = 0;
+    std::uint64_t dropped_nat_filtered = 0;
+    std::uint64_t dropped_hairpin = 0;
+    std::uint64_t dropped_no_listener = 0;
+    std::uint64_t dropped_overload = 0;
+    std::uint64_t dropped_ttl = 0;
+  };
+
+  explicit Network(sim::Simulator& simulator);
+
+  // --- topology construction --------------------------------------------
+
+  /// Add a site (a geographic location).  Returns its id.
+  SiteId add_site(const std::string& name);
+
+  /// One-way latency/loss between two sites (symmetric).
+  void set_site_link(SiteId a, SiteId b, LinkModel model);
+  /// Fallback model for site pairs without an explicit entry.
+  void set_default_wan(LinkModel model) { default_wan_ = model; }
+  /// Model for hops inside one private domain (LAN).
+  void set_lan(LinkModel model) { lan_ = model; }
+  /// Latency added per NAT box traversal.
+  void set_nat_hop(SimDuration d) { nat_hop_ = d; }
+
+  /// Create a private domain behind a new NAT box.  The NAT's WAN
+  /// interface gets address `wan_ip` inside `parent` (usually the
+  /// Internet) at `site`.  Returns the new domain's id.
+  DomainId add_nat_domain(const std::string& name, DomainId parent,
+                          SiteId site, Ipv4Addr wan_ip,
+                          NatBox::Config nat_config);
+
+  /// Create a host.  For public hosts pass domain = kInternet.
+  Host& add_host(Ipv4Addr ip, DomainId domain, SiteId site,
+                 Host::Config config);
+
+  // --- data plane ---------------------------------------------------------
+
+  /// Send a UDP datagram.  Fire-and-forget: translation, transit, loss
+  /// and queueing happen inside; delivery (if any) is an event calling
+  /// the destination port's handler.
+  void send(Host& from, std::uint16_t src_port, const Endpoint& dst,
+            Bytes payload);
+
+  // --- lookup / admin -----------------------------------------------------
+
+  /// Reasons a datagram can die inside the fabric (mirrors Stats).
+  enum class DropReason {
+    kLoss,
+    kUnroutable,
+    kNatFiltered,
+    kHairpin,
+    kNoListener,
+    kOverload,
+    kTtl,
+  };
+  using DropHook = std::function<void(DropReason, const Endpoint& src,
+                                      const Endpoint& dst)>;
+  /// Observe every drop (diagnostics; not part of the data plane).
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  [[nodiscard]] Host* host_by_ip(Ipv4Addr ip);
+  [[nodiscard]] Host& host(HostId id) { return *hosts_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] NatBox* nat_of_domain(DomainId domain);
+  [[nodiscard]] SiteId site_of_domain(DomainId domain) const;
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Move a host to another domain/site, releasing its old address and
+  /// assigning `new_ip` (VM migration re-homes the physical interface).
+  void move_host(Host& h, DomainId new_domain, Ipv4Addr new_ip);
+
+  /// Hosts count (ids are dense 0..n-1).
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+ private:
+  struct Domain {
+    std::string name;
+    DomainId parent = kInternet;
+    SiteId site = 0;
+    std::unique_ptr<NatBox> nat;  // null only for the Internet root
+    std::map<std::uint32_t, HostId> hosts_by_ip;
+    std::map<std::uint32_t, DomainId> child_nats_by_wan_ip;
+  };
+
+  [[nodiscard]] const LinkModel& site_link(SiteId a, SiteId b) const;
+  [[nodiscard]] SimDuration sample_latency(const LinkModel& m);
+  void deliver(Host& to, const Endpoint& seen_src, std::uint16_t dst_port,
+               Bytes payload, SimTime arrival);
+
+  sim::Simulator& sim_;
+  std::vector<Domain> domains_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::string> site_names_;
+  std::map<std::pair<SiteId, SiteId>, LinkModel> site_links_;
+  LinkModel default_wan_{30 * kMillisecond, 2 * kMillisecond, 0.001};
+  LinkModel lan_{200 * kMicrosecond, 30 * kMicrosecond, 0.0};
+  LinkModel same_site_{1 * kMillisecond, 100 * kMicrosecond, 0.0};
+  SimDuration nat_hop_ = 100 * kMicrosecond;
+  Stats stats_;
+  DropHook drop_hook_;
+
+ public:
+  /// Model used when both path ends are at the same site but in
+  /// different domains (campus crossing).
+  void set_same_site(LinkModel model) { same_site_ = model; }
+};
+
+}  // namespace wow::net

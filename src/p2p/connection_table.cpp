@@ -1,0 +1,134 @@
+#include "p2p/connection_table.h"
+
+namespace wow::p2p {
+
+bool ConnectionTable::add(Connection connection) {
+  RingId key = self_.clockwise_distance(connection.addr);
+  auto it = by_distance_.find(key);
+  if (it != by_distance_.end()) {
+    Connection& existing = it->second;
+    existing.last_heard = connection.last_heard;
+    existing.remote = connection.remote;
+    if (!connection.uris.empty()) existing.uris = connection.uris;
+    if (retention_priority(connection.type) >
+        retention_priority(existing.type)) {
+      existing.type = connection.type;
+    }
+    return false;
+  }
+  by_distance_.emplace(key, std::move(connection));
+  return true;
+}
+
+bool ConnectionTable::remove(const Address& addr) {
+  return by_distance_.erase(self_.clockwise_distance(addr)) > 0;
+}
+
+Connection* ConnectionTable::find(const Address& addr) {
+  auto it = by_distance_.find(self_.clockwise_distance(addr));
+  return it == by_distance_.end() ? nullptr : &it->second;
+}
+
+const Connection* ConnectionTable::find(const Address& addr) const {
+  auto it = by_distance_.find(self_.clockwise_distance(addr));
+  return it == by_distance_.end() ? nullptr : &it->second;
+}
+
+std::size_t ConnectionTable::count(ConnectionType type) const {
+  std::size_t n = 0;
+  for (const auto& [key, c] : by_distance_) {
+    if (c.type == type) ++n;
+  }
+  return n;
+}
+
+const Connection* ConnectionTable::closest_to(const Address& dst,
+                                              const Address* exclude) const {
+  RingId best = self_.ring_distance(dst);
+  const Connection* winner = nullptr;
+  for (const auto& [key, c] : by_distance_) {
+    if (exclude != nullptr && c.addr == *exclude) continue;
+    RingId d = c.addr.ring_distance(dst);
+    if (d < best) {
+      best = d;
+      winner = &c;
+    }
+  }
+  return winner;
+}
+
+const Connection* ConnectionTable::successor_of(const Address& pos,
+                                                const Address* exclude) const {
+  const Connection* best = nullptr;
+  RingId best_d = RingId::max();
+  for (const auto& [key, c] : by_distance_) {
+    if (c.addr == pos) continue;
+    if (exclude != nullptr && c.addr == *exclude) continue;
+    RingId d = pos.clockwise_distance(c.addr);
+    if (best == nullptr || d < best_d) {
+      best = &c;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+const Connection* ConnectionTable::predecessor_of(
+    const Address& pos, const Address* exclude) const {
+  const Connection* best = nullptr;
+  RingId best_d = RingId::max();
+  for (const auto& [key, c] : by_distance_) {
+    if (c.addr == pos) continue;
+    if (exclude != nullptr && c.addr == *exclude) continue;
+    RingId d = c.addr.clockwise_distance(pos);
+    if (best == nullptr || d < best_d) {
+      best = &c;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+const Connection* ConnectionTable::right_neighbor() const {
+  if (by_distance_.empty()) return nullptr;
+  return &by_distance_.begin()->second;
+}
+
+const Connection* ConnectionTable::left_neighbor() const {
+  if (by_distance_.empty()) return nullptr;
+  return &by_distance_.rbegin()->second;
+}
+
+std::vector<const Connection*> ConnectionTable::right_neighbors(
+    std::size_t n) const {
+  std::vector<const Connection*> out;
+  for (auto it = by_distance_.begin(); it != by_distance_.end() &&
+                                       out.size() < n; ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::vector<const Connection*> ConnectionTable::left_neighbors(
+    std::size_t n) const {
+  std::vector<const Connection*> out;
+  for (auto it = by_distance_.rbegin(); it != by_distance_.rend() &&
+                                        out.size() < n; ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+void ConnectionTable::for_each(
+    const std::function<void(const Connection&)>& fn) const {
+  for (const auto& [key, c] : by_distance_) fn(c);
+}
+
+std::vector<Address> ConnectionTable::addresses() const {
+  std::vector<Address> out;
+  out.reserve(by_distance_.size());
+  for (const auto& [key, c] : by_distance_) out.push_back(c.addr);
+  return out;
+}
+
+}  // namespace wow::p2p

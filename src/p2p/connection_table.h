@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "net/addr.h"
+#include "p2p/packet.h"
+
+namespace wow::p2p {
+
+/// An established overlay connection: peer address, the physical endpoint
+/// the linking protocol found to work, and bookkeeping for keepalives.
+struct Connection {
+  Address addr;
+  ConnectionType type = ConnectionType::kLeaf;
+  net::Endpoint remote;                 // chosen working endpoint
+  std::vector<transport::Uri> uris;     // everything the peer advertised
+  SimTime established = 0;
+  SimTime last_heard = 0;
+};
+
+/// The node's view of its overlay links, ordered on the ring.
+///
+/// All ring geometry questions the protocols ask — who is my successor /
+/// predecessor, which connection is greedily closest to a destination,
+/// how many structured-far links do I have — are answered here, so the
+/// overlords and the router stay free of ring arithmetic.
+class ConnectionTable {
+ public:
+  explicit ConnectionTable(Address self) : self_(self) {}
+
+  [[nodiscard]] const Address& self() const { return self_; }
+
+  /// Insert or refresh.  An existing connection to the same peer keeps
+  /// its entry; the type is upgraded if the new role has higher retention
+  /// priority (near > far > shortcut > leaf).  Returns true if the peer
+  /// was new.
+  bool add(Connection connection);
+
+  bool remove(const Address& addr);
+  void clear() { by_distance_.clear(); }
+
+  [[nodiscard]] Connection* find(const Address& addr);
+  [[nodiscard]] const Connection* find(const Address& addr) const;
+  [[nodiscard]] bool contains(const Address& addr) const {
+    return find(addr) != nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return by_distance_.size(); }
+  [[nodiscard]] bool empty() const { return by_distance_.empty(); }
+  [[nodiscard]] std::size_t count(ConnectionType type) const;
+
+  /// Greedy routing decision: the connection strictly closer to `dst`
+  /// than we are, minimizing ring distance; nullptr when the local node
+  /// is itself closest (packet is delivered here).  `exclude` (if
+  /// non-null) names a peer that must not be chosen — routing never
+  /// hands a packet back to its own source.
+  [[nodiscard]] const Connection* closest_to(
+      const Address& dst, const Address* exclude = nullptr) const;
+
+  /// Connected peer with minimal clockwise distance from ring position
+  /// `pos` (excluding a peer at `pos` itself and the optional
+  /// `exclude`): the first node "after" that position.  Used to hand a
+  /// nearest-delivery packet across a ring gap.
+  [[nodiscard]] const Connection* successor_of(
+      const Address& pos, const Address* exclude = nullptr) const;
+  /// Counter-clockwise counterpart of successor_of.
+  [[nodiscard]] const Connection* predecessor_of(
+      const Address& pos, const Address* exclude = nullptr) const;
+
+  /// Successor: connected peer with minimal clockwise distance from us.
+  [[nodiscard]] const Connection* right_neighbor() const;
+  /// Predecessor: connected peer with minimal counter-clockwise distance.
+  [[nodiscard]] const Connection* left_neighbor() const;
+  /// `n` nearest connected peers clockwise of self, nearest first.
+  [[nodiscard]] std::vector<const Connection*> right_neighbors(
+      std::size_t n) const;
+  [[nodiscard]] std::vector<const Connection*> left_neighbors(
+      std::size_t n) const;
+
+  void for_each(const std::function<void(const Connection&)>& fn) const;
+  [[nodiscard]] std::vector<Address> addresses() const;
+
+ private:
+  [[nodiscard]] static int retention_priority(ConnectionType t) {
+    switch (t) {
+      case ConnectionType::kStructuredNear: return 3;
+      case ConnectionType::kStructuredFar: return 2;
+      case ConnectionType::kShortcut: return 1;
+      case ConnectionType::kLeaf: return 0;
+    }
+    return 0;
+  }
+
+  Address self_;
+  /// Keyed by clockwise distance from self_, which makes successor /
+  /// predecessor queries trivial and keeps iteration in ring order.
+  std::map<RingId, Connection> by_distance_;
+};
+
+}  // namespace wow::p2p

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "p2p/packet.h"
+#include "sim/simulator.h"
+#include "transport/transport.h"
+
+namespace wow::p2p {
+
+/// Timing knobs of the linking handshake (§IV-B, §IV-D).
+///
+/// Defaults reproduce the paper's "conservative" Brunet settings
+/// (footnote 2): a dead URI costs initial_rto * (2^(max_retries+1) - 1)
+/// ≈ 2.5 * 63 ≈ 157 s before the next URI is tried — which is exactly
+/// why UFL-UFL shortcut setup takes ~200 s in Figure 4.
+struct LinkConfig {
+  SimDuration initial_rto = 2500 * kMillisecond;
+  double backoff = 2.0;
+  int max_retries = 5;  // retransmissions per URI after the first send
+  /// After a race abort (mutual link-error), wait this long (doubling,
+  /// with jitter) before checking/retrying.
+  SimDuration restart_backoff = 2 * kSecond;
+  SimDuration restart_backoff_max = 60 * kSecond;
+  int max_restarts = 8;
+  /// Paper's implementation tries the NAT-assigned public URI before the
+  /// private URI (§V-B).  Flipping this is the ordering ablation.
+  bool public_uri_first = true;
+};
+
+/// Outcome handed to the attempt's completion callback.
+enum class LinkResult { kEstablished, kFailed };
+
+/// Drives active linking attempts: for each target, walk its URI list,
+/// retransmit link requests with exponential backoff, fall through to
+/// the next URI on timeout, and resolve simultaneous-initiation races
+/// via link-error messages (§IV-B "Linking protocol").
+///
+/// The engine owns only handshake state; established connections are
+/// reported upward through the callbacks and live in the Node's
+/// ConnectionTable.
+class LinkingEngine {
+ public:
+  struct Callbacks {
+    /// A handshake completed: peer address, its URI list, the endpoint
+    /// that worked, connection type, and whether we initiated.
+    std::function<void(const Address& peer,
+                       const std::vector<transport::Uri>& uris,
+                       const net::Endpoint& remote, ConnectionType type)>
+        on_established;
+    /// An active attempt exhausted every URI (after restarts).
+    std::function<void(const Address& peer, ConnectionType type)> on_failed;
+    /// A link reply told us our own public address as seen by the peer.
+    std::function<void(const transport::Uri& uri)> on_observed_uri;
+    /// Does a connection to this peer already exist?
+    std::function<bool(const Address& peer)> has_connection;
+  };
+
+  LinkingEngine(sim::Simulator& simulator, transport::Transport& transport,
+                Address self, LinkConfig config, Callbacks callbacks)
+      : sim_(simulator), transport_(transport), self_(self),
+        config_(config), callbacks_(std::move(callbacks)) {}
+
+  ~LinkingEngine() { abort_all(); }
+  LinkingEngine(const LinkingEngine&) = delete;
+  LinkingEngine& operator=(const LinkingEngine&) = delete;
+
+  /// Begin an active linking attempt.  `target` may be the zero address
+  /// when unknown (leaf bootstrap): the peer's address is learnt from
+  /// its link reply.  No-op if an attempt to the same known target is
+  /// already in flight.
+  void start(const Address& target, ConnectionType type,
+             std::vector<transport::Uri> uris);
+
+  /// Process an inbound link-level frame addressed to us.
+  void handle_frame(const LinkFrame& frame, const net::Endpoint& from);
+
+  /// True if an attempt to `target` is active (handshaking or waiting in
+  /// race backoff).
+  [[nodiscard]] bool attempting(const Address& target) const;
+
+  /// Cancel all in-flight attempts (node shutdown / migration).
+  void abort_all();
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t attempts_started = 0;
+    std::uint64_t established_active = 0;   // we initiated
+    std::uint64_t established_passive = 0;  // peer initiated
+    std::uint64_t uri_failovers = 0;        // gave up on a URI, tried next
+    std::uint64_t race_errors_sent = 0;
+    std::uint64_t race_aborts = 0;
+    std::uint64_t failures = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Attempt {
+    Address target;  // zero when unknown (leaf)
+    ConnectionType type;
+    std::uint32_t token;
+    std::vector<transport::Uri> uris;
+    std::size_t uri_index = 0;
+    int retries_left = 0;
+    SimDuration rto = 0;
+    int restarts = 0;
+    bool in_restart_wait = false;
+    sim::TimerHandle timer;
+  };
+
+  void send_request(Attempt& attempt);
+  void on_timeout(std::uint32_t token);
+  void schedule_restart(Attempt& attempt);
+  void finish(std::uint32_t token);
+  [[nodiscard]] Attempt* by_token(std::uint32_t token);
+  [[nodiscard]] Attempt* by_target(const Address& target);
+  /// Order a peer's URI list according to config_.public_uri_first.
+  [[nodiscard]] std::vector<transport::Uri> order_uris(
+      std::vector<transport::Uri> uris) const;
+
+  sim::Simulator& sim_;
+  transport::Transport& transport_;
+  Address self_;
+  LinkConfig config_;
+  Callbacks callbacks_;
+  std::uint32_t next_token_ = 1;
+  std::map<std::uint32_t, Attempt> attempts_;
+  Stats stats_;
+};
+
+}  // namespace wow::p2p

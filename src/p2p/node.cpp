@@ -1,0 +1,664 @@
+#include "p2p/node.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wow::p2p {
+
+namespace {
+
+/// 2^159: boundary between "clockwise side" and "counter-clockwise side"
+/// of the ring relative to a node.
+[[nodiscard]] RingId ring_half() {
+  std::array<std::uint32_t, RingId::kLimbs> limbs{};
+  limbs[RingId::kLimbs - 1] = 0x80000000u;
+  return RingId{limbs};
+}
+
+/// Ring offset that is `fraction` (in [0,1)) of the whole ring.
+[[nodiscard]] RingId fraction_of_ring(double fraction) {
+  fraction = std::clamp(fraction, 0.0, 0.999999999);
+  std::array<std::uint32_t, RingId::kLimbs> limbs{};
+  double v = fraction;
+  for (int i = RingId::kLimbs - 1; i >= 0; --i) {
+    v *= 4294967296.0;
+    double whole = std::floor(v);
+    limbs[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(whole);
+    v -= whole;
+  }
+  return RingId{limbs};
+}
+
+}  // namespace
+
+Node::Node(sim::Simulator& simulator, net::Network& network, net::Host& host,
+           NodeConfig config)
+    : sim_(simulator), network_(network), host_(host),
+      config_(std::move(config)), table_(config_.address) {
+  if (config_.address == Address{}) {
+    config_.address = sim_.rng().ring_id();
+    table_ = ConnectionTable(config_.address);
+  }
+  shortcuts_ = std::make_unique<ShortcutOverlord>(
+      config_.shortcut,
+      ShortcutOverlord::Hooks{
+          [this](const Address& a) { return table_.contains(a); },
+          [this](const Address& a) { return linking_ && linking_->attempting(a); },
+          [this] { return shortcut_connection_count(); },
+          [this](const Address& a) { initiate_ctm(a, ConnectionType::kShortcut); },
+      });
+}
+
+void Node::log(LogLevel level, const std::string& message) const {
+  sim_.logger().log(level, sim_.now(), config_.address.brief(), message);
+}
+
+Node::~Node() {
+  if (running_) stop();
+}
+
+void Node::start() {
+  if (running_) return;
+  if (!transport_) {
+    transport_ = std::make_unique<transport::Transport>(network_, host_,
+                                                        config_.port);
+  } else if (!transport_->open()) {
+    transport_->reopen();
+  }
+  transport_->set_receiver(
+      [this](const net::Endpoint& from, const Bytes& payload) {
+        on_datagram(from, payload);
+      });
+
+  linking_ = std::make_unique<LinkingEngine>(
+      sim_, *transport_, config_.address, config_.link,
+      LinkingEngine::Callbacks{
+          [this](const Address& peer, const std::vector<transport::Uri>& uris,
+                 const net::Endpoint& remote, ConnectionType type) {
+            on_link_established(peer, uris, remote, type);
+          },
+          [](const Address&, ConnectionType) { /* overlords retry */ },
+          [this](const transport::Uri& uri) {
+            if (transport_->learn_public_uri(uri)) refresh_connections();
+          },
+          [this](const Address& peer) { return table_.contains(peer); },
+      });
+
+  running_ = true;
+  routable_since_.reset();
+  last_stabilize_ = -(1LL << 60);
+
+  // Jittered overlord timers so a testbed of nodes doesn't tick in
+  // lockstep.
+  maintenance_timer_ = sim_.schedule(
+      sim_.rng().jitter(config_.maintenance_period), [this] { maintenance(); });
+  keepalive_timer_ = sim_.schedule(
+      config_.ping_interval / 2 + sim_.rng().jitter(config_.ping_interval / 2),
+      [this] { keepalive_sweep(); });
+}
+
+void Node::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(maintenance_timer_);
+  sim_.cancel(keepalive_timer_);
+  if (linking_) linking_->abort_all();
+  table_.clear();
+  pending_ctms_.clear();
+  ping_outstanding_.clear();
+  shortcuts_->reset();
+  transport_->close();
+}
+
+void Node::stop_gracefully() {
+  if (!running_) return;
+  table_.for_each([this](const Connection& c) {
+    LinkFrame close;
+    close.type = LinkType::kClose;
+    close.sender = config_.address;
+    close.con_type = c.type;
+    transport_->send_to(c.remote, close.serialize());
+  });
+  stop();
+}
+
+void Node::restart() {
+  if (running_) stop();
+  start();
+}
+
+// --- frame plumbing --------------------------------------------------------
+
+void Node::on_datagram(const net::Endpoint& from, const Bytes& payload) {
+  if (!running_) return;
+  auto kind = frame_kind(payload);
+  if (!kind) return;
+
+  // Any traffic from a connected peer's endpoint counts as liveness.
+  table_.for_each([&](const Connection& c) {
+    if (c.remote == from) {
+      // for_each hands out const refs; go through find() to mutate.
+      Connection* live = table_.find(c.addr);
+      live->last_heard = sim_.now();
+      ping_outstanding_.erase(c.addr);
+    }
+  });
+
+  if (*kind == FrameKind::kRouted) {
+    auto packet = RoutedPacket::parse(payload);
+    if (packet) handle_routed(std::move(*packet), from);
+  } else {
+    auto frame = LinkFrame::parse(payload);
+    if (frame) handle_link(*frame, from);
+  }
+}
+
+void Node::handle_link(const LinkFrame& frame, const net::Endpoint& from) {
+  switch (frame.type) {
+    case LinkType::kPing: {
+      // Keepalives are connection-scoped.  A ping for a connection we
+      // no longer hold gets a Close, not a Pong — otherwise a peer
+      // whose NAT renumbered keeps believing its (one-way dead) link is
+      // alive forever instead of re-establishing it (§V-E).
+      if (table_.find(frame.sender) == nullptr) {
+        LinkFrame close;
+        close.type = LinkType::kClose;
+        close.sender = config_.address;
+        close.con_type = frame.con_type;
+        transport_->send_to(from, close.serialize());
+        return;
+      }
+      LinkFrame pong;
+      pong.type = LinkType::kPong;
+      pong.sender = config_.address;
+      pong.con_type = frame.con_type;
+      pong.token = frame.token;
+      transport_->send_to(from, pong.serialize());
+      return;
+    }
+    case LinkType::kPong:
+      return;  // liveness already recorded in on_datagram
+    case LinkType::kClose:
+      drop_connection(frame.sender, /*send_close=*/false);
+      return;
+    case LinkType::kRequest:
+    case LinkType::kReply:
+    case LinkType::kError:
+      linking_->handle_frame(frame, from);
+      return;
+  }
+}
+
+void Node::handle_routed(RoutedPacket packet, const net::Endpoint&) {
+  route(std::move(packet));
+}
+
+// --- routing ---------------------------------------------------------------
+
+void Node::route(RoutedPacket packet) {
+  if (packet.bounced) {
+    // A copy handed across a ring gap is consumed where it lands;
+    // re-routing it would only bounce it back.
+    deliver_local(packet);
+    return;
+  }
+  if (packet.via == config_.address) packet.via = Address{};
+  const bool has_via = packet.via != Address{};
+  const Address& target = has_via ? packet.via : packet.dst;
+
+  if (!has_via && packet.dst == config_.address) {
+    deliver_local(packet);
+    return;
+  }
+
+  const Connection* next = table_.closest_to(target, &packet.src);
+  if (next != nullptr) {
+    forward_to(*next, std::move(packet));
+    return;
+  }
+
+  // We are the closest node to the target among our connections.
+  if (has_via) {
+    // Could not reach the forwarding agent; give up.
+    ++stats_.dropped_no_route;
+    return;
+  }
+  if (packet.mode == DeliveryMode::kNearest) {
+    maybe_bounce(packet);
+    deliver_local(packet);
+    return;
+  }
+  // Exact-delivery packet stranded at the nearest node: the destination
+  // is not (or no longer) in the ring.  IPOP semantics: drop.
+  ++stats_.dropped_no_route;
+}
+
+void Node::forward_to(const Connection& next, RoutedPacket packet) {
+  if (packet.ttl == 0) {
+    ++stats_.dropped_ttl;
+    return;
+  }
+  --packet.ttl;
+  ++packet.hops;
+  if (packet.src != config_.address) ++stats_.data_forwarded;
+  transport_->send_to(next.remote, packet.serialize());
+}
+
+void Node::maybe_bounce(const RoutedPacket& packet) {
+  if (packet.bounced) return;
+  // A nearest-delivery packet is consumed by BOTH ring neighbors of the
+  // destination position ("delivered to its nearest neighbors", §IV-A).
+  // We are one of them; hand one copy across to the node on the far
+  // side of the destination — greedy routing alone can never cross the
+  // destination's own position.
+  RingId cw = config_.address.clockwise_distance(packet.dst);
+  bool dst_is_clockwise_of_us = cw < ring_half();
+  const Connection* other =
+      dst_is_clockwise_of_us ? table_.successor_of(packet.dst, &packet.src)
+                             : table_.predecessor_of(packet.dst, &packet.src);
+  if (other != nullptr) {
+    RoutedPacket copy = packet;
+    copy.bounced = true;
+    forward_to(*other, std::move(copy));
+  }
+}
+
+void Node::deliver_local(const RoutedPacket& packet) {
+  switch (packet.type) {
+    case RoutedType::kData:
+      if (packet.dst != config_.address) {
+        ++stats_.dropped_no_route;
+        return;
+      }
+      ++stats_.data_delivered;
+      stats_.delivered_hops += packet.hops;
+      shortcuts_->on_traffic(packet.src, sim_.now());
+      if (data_handler_) data_handler_(packet.src, packet.payload);
+      return;
+    case RoutedType::kCtmRequest:
+      handle_ctm_request(packet);
+      return;
+    case RoutedType::kCtmReply:
+      if (packet.dst == config_.address) handle_ctm_reply(packet);
+      return;
+  }
+}
+
+// --- CTM protocol ------------------------------------------------------------
+
+void Node::initiate_ctm(const Address& target, ConnectionType type) {
+  if (!running_ || table_.empty()) return;
+  std::uint32_t token = next_ctm_token_++;
+  pending_ctms_[token] = PendingCtm{target, type, sim_.now()};
+
+  CtmRequest req;
+  req.con_type = type;
+  req.token = token;
+  req.uris = transport_->local_uris();
+
+  RoutedPacket packet;
+  packet.src = config_.address;
+  packet.dst = target;
+  packet.ttl = config_.ttl;
+  packet.mode = DeliveryMode::kNearest;
+  packet.type = RoutedType::kCtmRequest;
+  packet.payload = req.serialize();
+  ++stats_.ctm_sent;
+  route(std::move(packet));
+}
+
+void Node::send_join_ctm() {
+  // Announce ourselves to our own ring position via forwarding agents:
+  // the packet lands on both endpoints of our gap, which then link to us
+  // (§IV-C).  When already in the ring this is the stabilization probe.
+  //
+  // Agents are the two table neighbors PLUS one random connection.  The
+  // random vantage point is essential: concurrent mass joins can build
+  // interleaved parallel successor chains, and an announce routed only
+  // through one's own (same-chain) neighbors is always consumed inside
+  // that chain.  Greedy descent from an unrelated node crosses into the
+  // other chain and merges them — the role the paper's leaf target
+  // plays for a fresh joiner.
+  const Connection* right = table_.right_neighbor();
+  const Connection* left = table_.left_neighbor();
+  if (right == nullptr) return;
+
+  const Connection* random_agent = nullptr;
+  std::vector<Address> addrs = table_.addresses();
+  if (!addrs.empty()) {
+    const Address& pick = addrs[static_cast<std::size_t>(sim_.rng().uniform(
+        0, static_cast<std::int64_t>(addrs.size()) - 1))];
+    const Connection* c = table_.find(pick);
+    if (c != nullptr && c != right && c != left) random_agent = c;
+  }
+
+  const Connection* agents[3] = {right, left != right ? left : nullptr,
+                                 random_agent};
+  for (const Connection* agent : agents) {
+    if (agent == nullptr) continue;
+
+    std::uint32_t token = next_ctm_token_++;
+    pending_ctms_[token] =
+        PendingCtm{config_.address, ConnectionType::kStructuredNear,
+                   sim_.now()};
+    CtmRequest req;
+    req.con_type = ConnectionType::kStructuredNear;
+    req.token = token;
+    req.forwarder = agent->addr;
+    req.uris = transport_->local_uris();
+
+    RoutedPacket packet;
+    packet.src = config_.address;
+    packet.dst = config_.address;
+    packet.ttl = config_.ttl;
+    packet.mode = DeliveryMode::kNearest;
+    packet.type = RoutedType::kCtmRequest;
+    packet.payload = req.serialize();
+    ++stats_.ctm_sent;
+    forward_to(*agent, std::move(packet));
+  }
+}
+
+void Node::handle_ctm_request(const RoutedPacket& packet) {
+  if (packet.src == config_.address) return;  // our own announcement
+  ++stats_.ctm_received;
+  auto req = CtmRequest::parse(packet.payload);
+  if (!req) return;
+
+  // Already connected (e.g. a leaf link): record the stronger role the
+  // peer is asking for; no new handshake is needed.
+  if (Connection* existing = table_.find(packet.src)) {
+    Connection upgraded = *existing;
+    upgraded.type = req->con_type;
+    table_.add(std::move(upgraded));
+    update_routable();
+  }
+
+  CtmReply reply;
+  reply.con_type = req->con_type;
+  reply.token = req->token;
+  reply.uris = transport_->local_uris();
+  // Hint the requester with our best-known bracket of ITS ring
+  // position.  The requester links to the hints, so its next
+  // announcement starts from a strictly tighter vantage point — the
+  // ring converges even from a mass simultaneous join, Chord-style.
+  const Connection* succ = table_.successor_of(packet.src);
+  const Connection* pred = table_.predecessor_of(packet.src);
+  if (succ != nullptr) {
+    reply.neighbors.push_back(NeighborHint{succ->addr, succ->uris});
+  }
+  if (pred != nullptr && pred != succ) {
+    reply.neighbors.push_back(NeighborHint{pred->addr, pred->uris});
+  }
+
+  RoutedPacket out;
+  out.src = config_.address;
+  out.dst = packet.src;
+  out.via = req->forwarder;
+  out.ttl = config_.ttl;
+  out.mode = DeliveryMode::kExact;
+  out.type = RoutedType::kCtmReply;
+  out.payload = reply.serialize();
+  route(std::move(out));
+
+  // The CTM target initiates linking right away (§IV-B step 2b): its
+  // outbound packets punch the NAT hole for the initiator's attempt.
+  linking_->start(packet.src, req->con_type, req->uris);
+}
+
+void Node::handle_ctm_reply(const RoutedPacket& packet) {
+  auto reply = CtmReply::parse(packet.payload);
+  if (!reply) return;
+  auto pending = pending_ctms_.find(reply->token);
+  if (pending == pending_ctms_.end()) return;
+  ConnectionType type = pending->second.type;
+  pending_ctms_.erase(pending);
+
+  if (Connection* existing = table_.find(packet.src)) {
+    Connection upgraded = *existing;
+    upgraded.type = type;
+    table_.add(std::move(upgraded));
+    update_routable();
+  }
+  linking_->start(packet.src, type, reply->uris);
+
+  // A join reply carries the responder's neighbor hints: link to the
+  // far side of our gap too.
+  if (type == ConnectionType::kStructuredNear) {
+    for (const NeighborHint& hint : reply->neighbors) {
+      if (hint.addr == config_.address) continue;
+      linking_->start(hint.addr, ConnectionType::kStructuredNear, hint.uris);
+    }
+  }
+}
+
+// --- data plane -------------------------------------------------------------
+
+void Node::send_data(const Address& dst, Bytes payload) {
+  ++stats_.data_sent;
+  if (!running_ || dst == config_.address) return;
+  shortcuts_->on_traffic(dst, sim_.now());
+  if (table_.empty()) {
+    ++stats_.dropped_no_connection;
+    return;
+  }
+  RoutedPacket packet;
+  packet.src = config_.address;
+  packet.dst = dst;
+  packet.ttl = config_.ttl;
+  packet.mode = DeliveryMode::kExact;
+  packet.type = RoutedType::kData;
+  packet.payload = std::move(payload);
+  route(std::move(packet));
+}
+
+// --- connection lifecycle -----------------------------------------------------
+
+void Node::on_link_established(const Address& peer,
+                               const std::vector<transport::Uri>& uris,
+                               const net::Endpoint& remote,
+                               ConnectionType type) {
+  Connection c;
+  c.addr = peer;
+  c.type = type;
+  c.remote = remote;
+  c.uris = uris;
+  c.established = sim_.now();
+  c.last_heard = sim_.now();
+  bool added = table_.add(std::move(c));
+  if (added) {
+    ++stats_.connections_added;
+    if (sim_.logger().enabled(LogLevel::kDebug)) {
+      log(LogLevel::kDebug, std::string("+conn ") + to_string(type) + " " +
+                                peer.brief() + " via " + remote.to_string());
+    }
+    if (type == ConnectionType::kStructuredNear ||
+        type == ConnectionType::kLeaf) {
+      fast_stabilize_until_ = sim_.now() + kMinute;
+    }
+    if (connection_handler_) connection_handler_(*table_.find(peer));
+  }
+  update_routable();
+}
+
+void Node::refresh_connections() {
+  // Our advertised URI set changed (we just learnt a NAT-assigned public
+  // endpoint).  Peers that linked with us earlier recorded the stale
+  // list and propagate it through CTM neighbor hints — re-offer the
+  // handshake so they store the complete set.  The peers answer
+  // idempotently (token 0 replies match no attempt and are ignored).
+  table_.for_each([this](const Connection& c) {
+    LinkFrame req;
+    req.type = LinkType::kRequest;
+    req.sender = config_.address;
+    req.con_type = c.type;
+    req.token = 0;
+    req.uris = transport_->local_uris();
+    transport_->send_to(c.remote, req.serialize());
+  });
+}
+
+void Node::drop_connection(const Address& peer, bool send_close) {
+  Connection* c = table_.find(peer);
+  if (c == nullptr) return;
+  if (send_close) {
+    LinkFrame close;
+    close.type = LinkType::kClose;
+    close.sender = config_.address;
+    close.con_type = c->type;
+    transport_->send_to(c->remote, close.serialize());
+  }
+  ConnectionType type = c->type;
+  table_.remove(peer);
+  ping_outstanding_.erase(peer);
+  if (type == ConnectionType::kStructuredNear) {
+    fast_stabilize_until_ = sim_.now() + kMinute;
+  }
+  ++stats_.connections_lost;
+  if (sim_.logger().enabled(LogLevel::kDebug)) {
+    log(LogLevel::kDebug,
+        std::string("-conn ") + to_string(type) + " " + peer.brief());
+  }
+  if (disconnection_handler_) disconnection_handler_(peer, type);
+}
+
+bool Node::routable() const {
+  if (!running_) return false;
+  bool right_covered = false;
+  bool left_covered = false;
+  RingId half = ring_half();
+  table_.for_each([&](const Connection& c) {
+    if (c.type != ConnectionType::kStructuredNear) return;
+    RingId cw = config_.address.clockwise_distance(c.addr);
+    if (cw < half) {
+      right_covered = true;
+    } else {
+      left_covered = true;
+    }
+  });
+  return right_covered && left_covered;
+}
+
+void Node::update_routable() {
+  if (!routable_since_ && routable()) {
+    routable_since_ = sim_.now();
+    log(LogLevel::kInfo, "fully routable");
+  }
+}
+
+// --- overlords ---------------------------------------------------------------
+
+void Node::maintenance() {
+  if (!running_) return;
+  maintain_leaf();
+  maintain_near();
+  maintain_far();
+  shortcuts_->sweep(sim_.now());
+
+  // Expire CTMs whose replies never came (lost over a loaded path).
+  for (auto it = pending_ctms_.begin(); it != pending_ctms_.end();) {
+    if (sim_.now() - it->second.sent > 2 * kMinute) {
+      it = pending_ctms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  SimDuration period = config_.maintenance_period;
+  maintenance_timer_ = sim_.schedule(
+      period / 2 + sim_.rng().jitter(period), [this] { maintenance(); });
+}
+
+void Node::maintain_leaf() {
+  if (!table_.empty() || config_.bootstrap.empty()) return;
+  if (linking_->attempting(Address{})) return;  // leaf attempt in flight
+  const auto& pool = config_.bootstrap;
+  const transport::Uri& uri =
+      pool[static_cast<std::size_t>(sim_.rng().uniform(
+          0, static_cast<std::int64_t>(pool.size()) - 1))];
+  if (uri.endpoint == transport_->private_uri().endpoint) return;
+  linking_->start(Address{}, ConnectionType::kLeaf, {uri});
+}
+
+void Node::maintain_near() {
+  if (table_.empty()) return;
+  SimTime now = sim_.now();
+  // Announce aggressively while joining OR while the neighborhood is
+  // still in flux (a fresh near link means the hint-ratchet has not yet
+  // converged on the true ring position); relax to the slow cadence
+  // once things are quiet.
+  bool unsettled = !routable() || now < fast_stabilize_until_;
+  SimDuration interval =
+      unsettled ? 5 * kSecond : config_.stabilize_period;
+  if (now - last_stabilize_ >= interval) {
+    last_stabilize_ = now;
+    send_join_ctm();
+  }
+}
+
+void Node::maintain_far() {
+  if (!routable()) return;
+  if (static_cast<int>(table_.count(ConnectionType::kStructuredFar)) >=
+      config_.far_target) {
+    return;
+  }
+  initiate_ctm(pick_far_target(), ConnectionType::kStructuredFar);
+}
+
+double Node::estimate_network_size() const {
+  const Connection* right = table_.right_neighbor();
+  const Connection* left = table_.left_neighbor();
+  if (right == nullptr) return 1.0;
+  double gap_sum = 0.0;
+  int gaps = 0;
+  gap_sum += config_.address.clockwise_distance(right->addr).to_double();
+  ++gaps;
+  if (left != nullptr && left != right) {
+    gap_sum += left->addr.clockwise_distance(config_.address).to_double();
+    ++gaps;
+  }
+  double mean_gap = gap_sum / gaps;
+  double ring = RingId::max().to_double();
+  return std::max(1.0, ring / std::max(mean_gap, 1.0));
+}
+
+Address Node::pick_far_target() {
+  // Symphony-style harmonic sampling [37]: pick a clockwise offset that
+  // is an n^(u-1) fraction of the ring, so far links concentrate near
+  // but still reach across the whole ring.
+  double n = estimate_network_size();
+  double u = sim_.rng().uniform01();
+  double fraction = std::pow(std::max(n, 2.0), u - 1.0);
+  return config_.address + fraction_of_ring(fraction);
+}
+
+std::size_t Node::shortcut_connection_count() const {
+  return table_.count(ConnectionType::kShortcut);
+}
+
+void Node::keepalive_sweep() {
+  if (!running_) return;
+  SimTime now = sim_.now();
+  std::vector<Address> dead;
+  table_.for_each([&](const Connection& c) {
+    if (now - c.last_heard < config_.ping_interval) return;
+    int& outstanding = ping_outstanding_[c.addr];
+    if (outstanding >= config_.ping_retries) {
+      dead.push_back(c.addr);
+      return;
+    }
+    ++outstanding;
+    LinkFrame ping;
+    ping.type = LinkType::kPing;
+    ping.sender = config_.address;
+    ping.con_type = c.type;
+    transport_->send_to(c.remote, ping.serialize());
+    ++stats_.pings_sent;
+  });
+  for (const Address& a : dead) drop_connection(a, /*send_close=*/false);
+
+  keepalive_timer_ = sim_.schedule(config_.ping_interval / 2,
+                                   [this] { keepalive_sweep(); });
+}
+
+}  // namespace wow::p2p

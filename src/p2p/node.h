@@ -1,0 +1,235 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/time.h"
+#include "net/network.h"
+#include "p2p/connection_table.h"
+#include "p2p/linking.h"
+#include "p2p/packet.h"
+#include "p2p/shortcut_overlord.h"
+#include "sim/simulator.h"
+#include "transport/transport.h"
+
+namespace wow::p2p {
+
+/// Configuration of a Brunet P2P node.
+struct NodeConfig {
+  /// Ring address; the zero address means "draw a random one at start".
+  Address address;
+  std::uint16_t port = 17000;
+  /// URIs of nodes already in the network (§IV-C).  Empty for the very
+  /// first node.
+  std::vector<transport::Uri> bootstrap;
+
+  /// Structured-near connections maintained per ring side.
+  int near_per_side = 2;
+  /// Structured-far connections to maintain (the `k` of §IV-A).
+  int far_target = 4;
+  std::uint8_t ttl = 48;
+
+  LinkConfig link;
+  ShortcutOverlord::Config shortcut;
+
+  /// Keepalive (§IV-B): idle connections are pinged; after
+  /// `ping_retries` unanswered pings the connection state is discarded.
+  SimDuration ping_interval = 15 * kSecond;
+  int ping_retries = 3;
+
+  /// Period of the maintenance tick driving the leaf/near/far overlords
+  /// (jittered per node to avoid lockstep).
+  SimDuration maintenance_period = 2 * kSecond;
+  /// Ring stabilization period: how often a node re-announces itself
+  /// with a self-addressed CTM once it is in the ring.
+  SimDuration stabilize_period = 30 * kSecond;
+};
+
+/// A Brunet overlay node: structured ring member, greedy router, and
+/// host of the leaf/near/far/shortcut connection overlords.
+///
+/// Life cycle: construct (bound to a simulated Host) -> start() ->
+/// exchanges data via send_data()/set_data_handler().  stop() models
+/// killing the user-level IPOP process (abrupt; peers discover the death
+/// through keepalive timeouts); restart() rejoins the overlay with the
+/// same ring address — together they implement the VM-migration flow of
+/// §V-C.
+class Node {
+ public:
+  struct Stats {
+    std::uint64_t data_sent = 0;
+    std::uint64_t data_delivered = 0;
+    std::uint64_t data_forwarded = 0;
+    std::uint64_t dropped_no_connection = 0;  // sender had no links at all
+    std::uint64_t dropped_no_route = 0;       // exact packet died mid-ring
+    std::uint64_t dropped_ttl = 0;
+    std::uint64_t ctm_sent = 0;
+    std::uint64_t ctm_received = 0;
+    std::uint64_t connections_added = 0;
+    std::uint64_t connections_lost = 0;
+    std::uint64_t pings_sent = 0;
+    /// Sum of hop counts over delivered data packets (avg = /delivered).
+    std::uint64_t delivered_hops = 0;
+  };
+
+  using DataHandler =
+      std::function<void(const Address& src, const Bytes& payload)>;
+  using ConnectionHandler = std::function<void(const Connection&)>;
+  using DisconnectionHandler =
+      std::function<void(const Address&, ConnectionType)>;
+
+  Node(sim::Simulator& simulator, net::Network& network, net::Host& host,
+       NodeConfig config);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Join the overlay: bind the transport, start overlord timers, link
+  /// to a bootstrap node if configured.
+  void start();
+
+  /// Abrupt shutdown (kill -9 of the IPOP process): all local state
+  /// vanishes; no Close messages are sent.
+  void stop();
+
+  /// Graceful shutdown: Close frames are sent so peers drop state
+  /// immediately.
+  void stop_gracefully();
+
+  /// Rejoin after stop() — same ring address, fresh physical identity
+  /// (the host may have been re-homed by VM migration).
+  void restart();
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  // --- data plane --------------------------------------------------------
+
+  /// Tunnel an opaque payload to the node owning `dst`.  Single overlay
+  /// hop if a direct connection exists, greedy multi-hop otherwise.
+  void send_data(const Address& dst, Bytes payload);
+
+  void set_data_handler(DataHandler handler) {
+    data_handler_ = std::move(handler);
+  }
+
+  // --- observability ------------------------------------------------------
+
+  [[nodiscard]] const Address& address() const { return config_.address; }
+  [[nodiscard]] const ConnectionTable& connections() const { return table_; }
+  [[nodiscard]] const NodeConfig& node_config() const { return config_; }
+  [[nodiscard]] NodeConfig& mutable_config() { return config_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const LinkingEngine::Stats& link_stats() const {
+    return linking_->stats();
+  }
+  [[nodiscard]] ShortcutOverlord& shortcut_overlord() { return *shortcuts_; }
+  [[nodiscard]] transport::Transport& transport() { return *transport_; }
+  [[nodiscard]] net::Host& host() { return host_; }
+
+  /// True once the node holds structured-near connections on both ring
+  /// sides (or is one of fewer than three nodes).  "Fully routable" in
+  /// the paper's join-latency experiment.
+  [[nodiscard]] bool routable() const;
+
+  /// Simulated time the node first became routable after the most
+  /// recent start()/restart(); nullopt if not yet.
+  [[nodiscard]] std::optional<SimTime> routable_since() const {
+    return routable_since_;
+  }
+
+  /// True if a single-hop connection (of any type) to `dst` exists.
+  [[nodiscard]] bool has_direct(const Address& dst) const {
+    return table_.contains(dst);
+  }
+
+  void set_connection_handler(ConnectionHandler handler) {
+    connection_handler_ = std::move(handler);
+  }
+  void set_disconnection_handler(DisconnectionHandler handler) {
+    disconnection_handler_ = std::move(handler);
+  }
+
+  /// Ask for a shortcut/far/near connection to a (known) address now.
+  /// Exposed for overlord use and tests.
+  void initiate_ctm(const Address& target, ConnectionType type);
+
+ private:
+  struct PendingCtm {
+    Address target;
+    ConnectionType type;
+    SimTime sent;
+  };
+
+  // frame plumbing
+  void on_datagram(const net::Endpoint& from, const Bytes& payload);
+  void handle_routed(RoutedPacket packet, const net::Endpoint& from);
+  void handle_link(const LinkFrame& frame, const net::Endpoint& from);
+
+  // routing
+  void route(RoutedPacket packet);
+  void deliver_local(const RoutedPacket& packet);
+  void maybe_bounce(const RoutedPacket& packet);
+  void forward_to(const Connection& next, RoutedPacket packet);
+
+  // CTM protocol
+  void handle_ctm_request(const RoutedPacket& packet);
+  void handle_ctm_reply(const RoutedPacket& packet);
+  void send_join_ctm();
+
+  // diagnostics
+  void log(LogLevel level, const std::string& message) const;
+
+  // connection lifecycle
+  void on_link_established(const Address& peer,
+                           const std::vector<transport::Uri>& uris,
+                           const net::Endpoint& remote, ConnectionType type);
+  void refresh_connections();
+  void drop_connection(const Address& peer, bool send_close);
+  void update_routable();
+
+  // overlord ticks
+  void maintenance();
+  void keepalive_sweep();
+  void maintain_leaf();
+  void maintain_near();
+  void maintain_far();
+  [[nodiscard]] double estimate_network_size() const;
+  [[nodiscard]] Address pick_far_target();
+  [[nodiscard]] std::size_t shortcut_connection_count() const;
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  net::Host& host_;
+  NodeConfig config_;
+  std::unique_ptr<transport::Transport> transport_;
+  ConnectionTable table_;
+  std::unique_ptr<LinkingEngine> linking_;
+  std::unique_ptr<ShortcutOverlord> shortcuts_;
+
+  DataHandler data_handler_;
+  ConnectionHandler connection_handler_;
+  DisconnectionHandler disconnection_handler_;
+
+  std::map<std::uint32_t, PendingCtm> pending_ctms_;
+  std::uint32_t next_ctm_token_ = 1;
+  /// Unanswered keepalive pings per peer.
+  std::map<RingId, int> ping_outstanding_;
+
+  sim::TimerHandle maintenance_timer_;
+  sim::TimerHandle keepalive_timer_;
+  SimTime last_stabilize_ = -(1LL << 60);
+  /// While now < this, the ring neighborhood changed recently and
+  /// stabilization announces run at the fast cadence.
+  SimTime fast_stabilize_until_ = 0;
+  std::optional<SimTime> routable_since_;
+  bool running_ = false;
+  Stats stats_;
+};
+
+}  // namespace wow::p2p

@@ -1,0 +1,198 @@
+#include "p2p/packet.h"
+
+namespace wow::p2p {
+
+const char* to_string(ConnectionType type) {
+  switch (type) {
+    case ConnectionType::kLeaf: return "leaf";
+    case ConnectionType::kStructuredNear: return "near";
+    case ConnectionType::kStructuredFar: return "far";
+    case ConnectionType::kShortcut: return "shortcut";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] bool valid_connection_type(std::uint8_t v) {
+  return v >= 1 && v <= 4;
+}
+
+}  // namespace
+
+Bytes RoutedPacket::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(FrameKind::kRouted));
+  w.u8(ttl);
+  w.u8(hops);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u8(bounced ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.ring_id(src);
+  w.ring_id(dst);
+  w.ring_id(via);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+std::optional<RoutedPacket> RoutedPacket::parse(
+    std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  auto kind = r.u8();
+  if (!kind || *kind != static_cast<std::uint8_t>(FrameKind::kRouted)) {
+    return std::nullopt;
+  }
+  RoutedPacket p;
+  auto ttl = r.u8();
+  auto hops = r.u8();
+  auto mode = r.u8();
+  auto bounced = r.u8();
+  auto type = r.u8();
+  auto src = r.ring_id();
+  auto dst = r.ring_id();
+  auto via = r.ring_id();
+  if (!ttl || !hops || !mode || !bounced || !type || !src || !dst || !via) {
+    return std::nullopt;
+  }
+  if (*mode != static_cast<std::uint8_t>(DeliveryMode::kExact) &&
+      *mode != static_cast<std::uint8_t>(DeliveryMode::kNearest)) {
+    return std::nullopt;
+  }
+  if (*type < 1 || *type > 3) return std::nullopt;
+  p.ttl = *ttl;
+  p.hops = *hops;
+  p.mode = static_cast<DeliveryMode>(*mode);
+  p.bounced = *bounced != 0;
+  p.type = static_cast<RoutedType>(*type);
+  p.src = *src;
+  p.dst = *dst;
+  p.via = *via;
+  auto rest = r.rest();
+  p.payload.assign(rest.begin(), rest.end());
+  return p;
+}
+
+Bytes CtmRequest::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(con_type));
+  w.u32(token);
+  w.ring_id(forwarder);
+  transport::write_uri_list(w, uris);
+  return std::move(w).take();
+}
+
+std::optional<CtmRequest> CtmRequest::parse(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  auto con_type = r.u8();
+  auto token = r.u32();
+  auto forwarder = r.ring_id();
+  if (!con_type || !token || !forwarder ||
+      !valid_connection_type(*con_type)) {
+    return std::nullopt;
+  }
+  auto uris = transport::read_uri_list(r);
+  if (!uris) return std::nullopt;
+  CtmRequest req;
+  req.con_type = static_cast<ConnectionType>(*con_type);
+  req.token = *token;
+  req.forwarder = *forwarder;
+  req.uris = std::move(*uris);
+  return req;
+}
+
+Bytes CtmReply::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(con_type));
+  w.u32(token);
+  transport::write_uri_list(w, uris);
+  w.u8(static_cast<std::uint8_t>(neighbors.size()));
+  for (const NeighborHint& n : neighbors) {
+    w.ring_id(n.addr);
+    transport::write_uri_list(w, n.uris);
+  }
+  return std::move(w).take();
+}
+
+std::optional<CtmReply> CtmReply::parse(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  auto con_type = r.u8();
+  auto token = r.u32();
+  if (!con_type || !token || !valid_connection_type(*con_type)) {
+    return std::nullopt;
+  }
+  auto uris = transport::read_uri_list(r);
+  if (!uris) return std::nullopt;
+  CtmReply rep;
+  rep.con_type = static_cast<ConnectionType>(*con_type);
+  rep.token = *token;
+  rep.uris = std::move(*uris);
+  auto count = r.u8();
+  if (!count) return std::nullopt;
+  for (int i = 0; i < *count; ++i) {
+    auto addr = r.ring_id();
+    if (!addr) return std::nullopt;
+    auto hint_uris = transport::read_uri_list(r);
+    if (!hint_uris) return std::nullopt;
+    rep.neighbors.push_back(NeighborHint{*addr, std::move(*hint_uris)});
+  }
+  return rep;
+}
+
+Bytes LinkFrame::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(FrameKind::kLink));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(static_cast<std::uint8_t>(con_type));
+  w.u32(token);
+  w.ring_id(sender);
+  w.u32(observed.ip.value());
+  w.u16(observed.port);
+  transport::write_uri_list(w, uris);
+  return std::move(w).take();
+}
+
+std::optional<LinkFrame> LinkFrame::parse(
+    std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  auto kind = r.u8();
+  if (!kind || *kind != static_cast<std::uint8_t>(FrameKind::kLink)) {
+    return std::nullopt;
+  }
+  auto type = r.u8();
+  auto con_type = r.u8();
+  auto token = r.u32();
+  auto sender = r.ring_id();
+  auto obs_ip = r.u32();
+  auto obs_port = r.u16();
+  if (!type || !con_type || !token || !sender || !obs_ip || !obs_port) {
+    return std::nullopt;
+  }
+  if (*type < 1 || *type > 6 || !valid_connection_type(*con_type)) {
+    return std::nullopt;
+  }
+  auto uris = transport::read_uri_list(r);
+  if (!uris) return std::nullopt;
+  LinkFrame f;
+  f.type = static_cast<LinkType>(*type);
+  f.con_type = static_cast<ConnectionType>(*con_type);
+  f.token = *token;
+  f.sender = *sender;
+  f.observed = net::Endpoint{net::Ipv4Addr{*obs_ip}, *obs_port};
+  f.uris = std::move(*uris);
+  return f;
+}
+
+std::optional<FrameKind> frame_kind(std::span<const std::uint8_t> frame) {
+  if (frame.empty()) return std::nullopt;
+  std::uint8_t k = frame[0];
+  if (k == static_cast<std::uint8_t>(FrameKind::kRouted)) {
+    return FrameKind::kRouted;
+  }
+  if (k == static_cast<std::uint8_t>(FrameKind::kLink)) {
+    return FrameKind::kLink;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wow::p2p

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ring_id.h"
+#include "transport/uri.h"
+
+namespace wow::p2p {
+
+/// P2P addresses are 160-bit ids on the Brunet ring.
+using Address = RingId;
+
+/// Types of overlay connections (paper §IV, Figure 2).
+enum class ConnectionType : std::uint8_t {
+  kLeaf = 1,            // bootstrap link to a public node
+  kStructuredNear = 2,  // ring neighbor
+  kStructuredFar = 3,   // long-range link (routing accelerator)
+  kShortcut = 4,        // on-demand direct link created by traffic
+};
+
+[[nodiscard]] const char* to_string(ConnectionType type);
+
+/// Outer frame discriminator.
+enum class FrameKind : std::uint8_t {
+  kRouted = 1,  // forwarded hop-by-hop over the structured ring
+  kLink = 2,    // direct link-level message between two endpoints
+};
+
+/// Payload types carried inside a routed packet.
+enum class RoutedType : std::uint8_t {
+  kData = 1,        // tunnelled virtual-network traffic (IPOP)
+  kCtmRequest = 2,  // Connect-To-Me request (§IV-B)
+  kCtmReply = 3,    // Connect-To-Me reply
+};
+
+/// Delivery semantics of a routed packet.
+enum class DeliveryMode : std::uint8_t {
+  kExact = 1,    // only the addressed node consumes it
+  kNearest = 2,  // closest node(s) consume it; a join CTM addressed to
+                 // the joiner lands on both sides of its ring gap
+};
+
+/// A packet routed greedily over structured connections.
+struct RoutedPacket {
+  Address src;
+  Address dst;
+  /// Optional forwarding agent (§IV-C): when non-zero the packet is
+  /// first routed to `via`, which then forwards it toward dst over its
+  /// direct connection — how CTM replies reach a node that is not yet in
+  /// the ring.
+  Address via;
+  std::uint8_t ttl = 32;
+  std::uint8_t hops = 0;
+  DeliveryMode mode = DeliveryMode::kExact;
+  /// Set once the packet has been handed across a ring gap so the two
+  /// gap endpoints don't bounce it back and forth.
+  bool bounced = false;
+  RoutedType type = RoutedType::kData;
+  Bytes payload;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<RoutedPacket> parse(
+      std::span<const std::uint8_t> frame);
+};
+
+/// Connect-To-Me request body: the initiator's URI list and the desired
+/// connection type.  (The initiator's address is the routed src.)
+struct CtmRequest {
+  ConnectionType con_type = ConnectionType::kShortcut;
+  std::vector<transport::Uri> uris;
+  /// Token echoed in the reply so the initiator can match request/reply.
+  std::uint32_t token = 0;
+  /// Forwarding agent for the reply (zero = route directly): a joining
+  /// node not yet in the ring asks that replies travel via its leaf
+  /// target (§IV-C).
+  Address forwarder;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<CtmRequest> parse(
+      std::span<const std::uint8_t> body);
+};
+
+/// Neighbor hint carried in a CTM reply: the responder tells the
+/// initiator about one of its own ring neighbors (address + URIs) so a
+/// joining node can reach both sides of its gap.
+struct NeighborHint {
+  Address addr;
+  std::vector<transport::Uri> uris;
+};
+
+/// Connect-To-Me reply body.
+struct CtmReply {
+  ConnectionType con_type = ConnectionType::kShortcut;
+  std::vector<transport::Uri> uris;  // responder's URIs
+  std::uint32_t token = 0;
+  std::vector<NeighborHint> neighbors;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<CtmReply> parse(
+      std::span<const std::uint8_t> body);
+};
+
+/// Link-level message subtypes (never routed; sent straight to a URI).
+enum class LinkType : std::uint8_t {
+  kRequest = 1,  // linking handshake request
+  kReply = 2,    // handshake accept; echoes the observed source endpoint
+  kError = 3,    // race-break: "abandon your attempt, mine is active"
+  kPing = 4,     // keepalive probe
+  kPong = 5,     // keepalive answer
+  kClose = 6,    // graceful teardown
+};
+
+/// A link-level frame.
+struct LinkFrame {
+  LinkType type = LinkType::kRequest;
+  Address sender;
+  ConnectionType con_type = ConnectionType::kLeaf;
+  /// Attempt identifier: lets duplicated/reordered handshake messages be
+  /// matched to the right linking attempt.
+  std::uint32_t token = 0;
+  /// In kReply: the endpoint the replier saw the request come from — the
+  /// requester learns its NAT-assigned public address from this.
+  net::Endpoint observed;
+  /// In kRequest/kReply: sender's URI list (for the peer's records).
+  std::vector<transport::Uri> uris;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<LinkFrame> parse(
+      std::span<const std::uint8_t> frame);
+};
+
+/// Peek the outer frame kind without a full parse.
+[[nodiscard]] std::optional<FrameKind> frame_kind(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace wow::p2p

@@ -1,0 +1,67 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace wow::sim {
+
+TimerHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  std::uint64_t id = next_id_++;
+  queue_.push(QueuedEvent{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return TimerHandle{id};
+}
+
+bool Simulator::cancel(TimerHandle handle) {
+  if (!handle.valid()) return false;
+  // The queue entry stays behind as a tombstone; step() skips ids with no
+  // callback.  This keeps cancel O(1) at the cost of queue slack, which
+  // is bounded by the number of cancellations between pops.
+  return callbacks_.erase(handle.id) > 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    QueuedEvent ev = queue_.top();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled tombstone
+      continue;
+    }
+    queue_.pop();
+    now_ = ev.when;
+    // Move the callback out before invoking: the callback may schedule or
+    // cancel other events (rehashing callbacks_), or even cancel itself.
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    QueuedEvent ev = queue_.top();
+    if (callbacks_.find(ev.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (ev.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace wow::sim

@@ -1,0 +1,58 @@
+#include "transport/transport.h"
+
+#include <algorithm>
+
+namespace wow::transport {
+
+Transport::Transport(net::Network& network, net::Host& host,
+                     std::uint16_t port)
+    : network_(network), host_(&host), port_(port) {
+  bind();
+}
+
+void Transport::bind() {
+  host_->bind(port_, [this](const net::Endpoint& src, std::uint16_t,
+                            const Bytes& payload) {
+    if (receiver_) receiver_(src, payload);
+  });
+  open_ = true;
+}
+
+void Transport::send_to(const net::Endpoint& dst, Bytes payload) {
+  if (!open_) return;
+  network_.send(*host_, port_, dst, std::move(payload));
+}
+
+std::vector<Uri> Transport::local_uris() const {
+  std::vector<Uri> uris;
+  uris.push_back(private_uri());
+  uris.insert(uris.end(), public_uris_.begin(), public_uris_.end());
+  return uris;
+}
+
+bool Transport::learn_public_uri(const Uri& uri) {
+  if (uri.endpoint == private_uri().endpoint) return false;
+  auto it = std::find(public_uris_.begin(), public_uris_.end(), uri);
+  if (it != public_uris_.end()) {
+    // Re-observed: move to the front so peers try the freshest mapping
+    // first (stale ones linger after a NAT renumbering).
+    std::rotate(public_uris_.begin(), it, it + 1);
+    return false;
+  }
+  public_uris_.insert(public_uris_.begin(), uri);
+  if (public_uris_.size() > 3) public_uris_.pop_back();
+  return true;
+}
+
+void Transport::close() {
+  if (!open_) return;
+  host_->unbind(port_);
+  open_ = false;
+}
+
+void Transport::reopen() {
+  forget_public_uris();
+  bind();
+}
+
+}  // namespace wow::transport

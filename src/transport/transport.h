@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/host.h"
+#include "net/network.h"
+#include "transport/uri.h"
+
+namespace wow::transport {
+
+/// One node's datagram machinery: a single UDP port on the node's host,
+/// over which every overlay edge is multiplexed.  Multiplexing all peers
+/// over one socket is what makes UDP hole punching work — the NAT mapping
+/// created by any outbound packet serves every peer that learns it.
+///
+/// Tracks the set of local URIs to advertise: the private endpoint plus
+/// every NAT-assigned public endpoint learnt from peers (link replies
+/// echo the observed source address, §IV-C).
+class Transport {
+ public:
+  using Receiver =
+      std::function<void(const net::Endpoint& src, const Bytes& payload)>;
+
+  Transport(net::Network& network, net::Host& host, std::uint16_t port);
+  ~Transport() { close(); }
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  void send_to(const net::Endpoint& dst, Bytes payload);
+  void send_to(const Uri& uri, Bytes payload) {
+    send_to(uri.endpoint, std::move(payload));
+  }
+
+  /// The node's private URI (its interface address + bound port).
+  [[nodiscard]] Uri private_uri() const {
+    return Uri{TransportKind::kUdp, net::Endpoint{host_->ip(), port_}};
+  }
+
+  /// All URIs to advertise in CTM / link messages; private URI first,
+  /// then learnt public URIs in discovery order.  The paper's linking
+  /// implementation attempts the NAT-assigned public URI first (§V-B) —
+  /// ordering for the *linking attempt* is chosen by the caller.
+  [[nodiscard]] std::vector<Uri> local_uris() const;
+
+  /// Record a NAT-assigned public endpoint a peer observed for us.
+  /// Returns true if it was new.
+  bool learn_public_uri(const Uri& uri);
+
+  /// Forget learnt public URIs (after migration the old NAT mappings are
+  /// meaningless).
+  void forget_public_uris() { public_uris_.clear(); }
+
+  /// Unbind from the host (killing the IPOP process).
+  void close();
+
+  /// Re-bind after migration: the host may have a new address; learnt
+  /// URIs are discarded.
+  void reopen();
+
+  [[nodiscard]] net::Host& host() { return *host_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool open() const { return open_; }
+
+ private:
+  void bind();
+
+  net::Network& network_;
+  net::Host* host_;
+  std::uint16_t port_;
+  Receiver receiver_;
+  std::vector<Uri> public_uris_;
+  bool open_ = false;
+};
+
+}  // namespace wow::transport

@@ -1,0 +1,86 @@
+#include "transport/uri.h"
+
+namespace wow::transport {
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kUdp: return "brunet.udp";
+    case TransportKind::kTcp: return "brunet.tcp";
+  }
+  return "?";
+}
+
+std::string Uri::to_string() const {
+  return std::string(wow::transport::to_string(kind)) + "://" +
+         endpoint.to_string();
+}
+
+std::optional<Uri> Uri::parse(std::string_view text) {
+  constexpr std::string_view kSep = "://";
+  auto sep = text.find(kSep);
+  if (sep == std::string_view::npos) return std::nullopt;
+  std::string_view scheme = text.substr(0, sep);
+  std::string_view rest = text.substr(sep + kSep.size());
+
+  TransportKind kind;
+  if (scheme == "brunet.udp") {
+    kind = TransportKind::kUdp;
+  } else if (scheme == "brunet.tcp") {
+    kind = TransportKind::kTcp;
+  } else {
+    return std::nullopt;
+  }
+
+  auto colon = rest.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  auto ip = net::Ipv4Addr::parse(rest.substr(0, colon));
+  if (!ip) return std::nullopt;
+  std::string_view port_text = rest.substr(colon + 1);
+  if (port_text.empty() || port_text.size() > 5) return std::nullopt;
+  std::uint32_t port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (port > 65535) return std::nullopt;
+  return Uri{kind, net::Endpoint{*ip, static_cast<std::uint16_t>(port)}};
+}
+
+void write_uri(ByteWriter& w, const Uri& uri) {
+  w.u8(static_cast<std::uint8_t>(uri.kind));
+  w.u32(uri.endpoint.ip.value());
+  w.u16(uri.endpoint.port);
+}
+
+std::optional<Uri> read_uri(ByteReader& r) {
+  auto kind = r.u8();
+  auto ip = r.u32();
+  auto port = r.u16();
+  if (!kind || !ip || !port) return std::nullopt;
+  if (*kind != static_cast<std::uint8_t>(TransportKind::kUdp) &&
+      *kind != static_cast<std::uint8_t>(TransportKind::kTcp)) {
+    return std::nullopt;
+  }
+  return Uri{static_cast<TransportKind>(*kind),
+             net::Endpoint{net::Ipv4Addr{*ip}, *port}};
+}
+
+void write_uri_list(ByteWriter& w, const std::vector<Uri>& uris) {
+  w.u8(static_cast<std::uint8_t>(uris.size()));
+  for (const Uri& u : uris) write_uri(w, u);
+}
+
+std::optional<std::vector<Uri>> read_uri_list(ByteReader& r) {
+  auto count = r.u8();
+  if (!count) return std::nullopt;
+  std::vector<Uri> out;
+  out.reserve(*count);
+  for (int i = 0; i < *count; ++i) {
+    auto uri = read_uri(r);
+    if (!uri) return std::nullopt;
+    out.push_back(*uri);
+  }
+  return out;
+}
+
+}  // namespace wow::transport

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/addr.h"
+
+namespace wow::transport {
+
+/// Transport protocol selector inside a URI.  The paper's experiments use
+/// UDP tunnelling; TCP is part of the URI design space (§IV-A).
+enum class TransportKind : std::uint8_t { kUdp = 1, kTcp = 2 };
+
+[[nodiscard]] const char* to_string(TransportKind kind);
+
+/// A Brunet Uniform Resource Indicator naming one way to reach a node,
+/// e.g. `brunet.udp://192.0.1.1:1024` (§IV-A).  A NATed node owns several
+/// URIs at once: its private endpoint plus every NAT-assigned public
+/// endpoint it has learnt; the linking protocol tries them in order.
+struct Uri {
+  TransportKind kind = TransportKind::kUdp;
+  net::Endpoint endpoint;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<Uri> parse(std::string_view text);
+
+  constexpr auto operator<=>(const Uri&) const = default;
+};
+
+void write_uri(ByteWriter& w, const Uri& uri);
+[[nodiscard]] std::optional<Uri> read_uri(ByteReader& r);
+
+void write_uri_list(ByteWriter& w, const std::vector<Uri>& uris);
+[[nodiscard]] std::optional<std::vector<Uri>> read_uri_list(ByteReader& r);
+
+}  // namespace wow::transport

@@ -1,0 +1,43 @@
+#include "vtcp/segment.h"
+
+namespace wow::vtcp {
+
+Bytes Segment::serialize() const {
+  ByteWriter w;
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(flags);
+  w.u32(window);
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+std::optional<Segment> Segment::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  auto src_port = r.u16();
+  auto dst_port = r.u16();
+  auto seq = r.u32();
+  auto ack = r.u32();
+  auto flags = r.u8();
+  auto window = r.u32();
+  auto len = r.u16();
+  if (!src_port || !dst_port || !seq || !ack || !flags || !window || !len) {
+    return std::nullopt;
+  }
+  if (r.remaining() < *len) return std::nullopt;
+  Segment s;
+  s.src_port = *src_port;
+  s.dst_port = *dst_port;
+  s.seq = *seq;
+  s.ack = *ack;
+  s.flags = *flags;
+  s.window = *window;
+  auto rest = r.rest();
+  s.payload.assign(rest.begin(), rest.begin() + *len);
+  return s;
+}
+
+}  // namespace wow::vtcp

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace wow::vtcp {
+
+/// TCP segment flags (subset).
+enum TcpFlags : std::uint8_t {
+  kSyn = 1,
+  kAck = 2,
+  kFin = 4,
+  kRst = 8,
+};
+
+/// A TCP segment carried as the payload of a virtual-network IP packet.
+/// Sequence numbers are 32-bit on the wire, as in real TCP; the stack
+/// keeps 64-bit internal counters and the experiments stay far below
+/// wrap-around.
+struct Segment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t window = 0;
+  Bytes payload;
+
+  [[nodiscard]] bool has(TcpFlags f) const { return (flags & f) != 0; }
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Segment> parse(
+      std::span<const std::uint8_t> data);
+};
+
+}  // namespace wow::vtcp

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/ring_id.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace wow {
+namespace {
+
+TEST(RingId, HexRoundTrip) {
+  auto id = RingId::from_hex("0123456789abcdef0123456789abcdef01234567");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->to_hex(), "0123456789abcdef0123456789abcdef01234567");
+}
+
+TEST(RingId, ShortHexZeroExtends) {
+  auto id = RingId::from_hex("ff");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, RingId{0xff});
+}
+
+TEST(RingId, RejectsBadHex) {
+  EXPECT_FALSE(RingId::from_hex("").has_value());
+  EXPECT_FALSE(RingId::from_hex("xyz").has_value());
+  EXPECT_FALSE(
+      RingId::from_hex("0123456789abcdef0123456789abcdef012345678").has_value());
+}
+
+TEST(RingId, AdditionWrapsModulo2To160) {
+  EXPECT_EQ(RingId::max() + RingId{1}, RingId{});
+  EXPECT_EQ(RingId{5} + RingId{7}, RingId{12});
+}
+
+TEST(RingId, SubtractionWraps) {
+  EXPECT_EQ(RingId{} - RingId{1}, RingId::max());
+  EXPECT_EQ(RingId{12} - RingId{5}, RingId{7});
+}
+
+TEST(RingId, CarriesPropagateAcrossLimbs) {
+  RingId low_max{0xffffffffffffffffull};
+  RingId one{1};
+  RingId sum = low_max + one;
+  // 2^64: limb 2 should be 1, lower limbs 0.
+  EXPECT_EQ(sum.limbs()[0], 0u);
+  EXPECT_EQ(sum.limbs()[1], 0u);
+  EXPECT_EQ(sum.limbs()[2], 1u);
+}
+
+TEST(RingId, ClockwiseDistance) {
+  RingId a{10};
+  RingId b{4};
+  EXPECT_EQ(a.clockwise_distance(b), RingId::max() - RingId{5});
+  EXPECT_EQ(b.clockwise_distance(a), RingId{6});
+}
+
+TEST(RingId, RingDistanceIsSymmetricMin) {
+  RingId a{10};
+  RingId b{4};
+  EXPECT_EQ(a.ring_distance(b), RingId{6});
+  EXPECT_EQ(b.ring_distance(a), RingId{6});
+}
+
+TEST(RingId, InArc) {
+  RingId a{10}, b{20};
+  EXPECT_TRUE(RingId{15}.in_arc(a, b));
+  EXPECT_TRUE(RingId{20}.in_arc(a, b));   // half-open: includes b
+  EXPECT_FALSE(RingId{10}.in_arc(a, b));  // excludes a
+  EXPECT_FALSE(RingId{25}.in_arc(a, b));
+  // Wrapping arc.
+  EXPECT_TRUE(RingId{5}.in_arc(b, a));
+  EXPECT_TRUE((RingId::max()).in_arc(b, a));
+  EXPECT_FALSE(RingId{15}.in_arc(b, a));
+}
+
+TEST(RingId, InArcDegenerateWholeRing) {
+  RingId a{10};
+  EXPECT_TRUE(RingId{999}.in_arc(a, a));
+}
+
+TEST(RingId, Shr1HalvesValue) {
+  EXPECT_EQ(RingId{8}.shr1(), RingId{4});
+  // Cross-limb shift: 2^32 >> 1 = 2^31.
+  RingId x{std::uint64_t{1} << 32};
+  EXPECT_EQ(x.shr1(), RingId{std::uint64_t{1} << 31});
+}
+
+TEST(RingId, OrderingMostSignificantFirst) {
+  auto big = RingId::from_hex("8000000000000000000000000000000000000000");
+  ASSERT_TRUE(big.has_value());
+  EXPECT_LT(RingId{0xffffffffffffffffull}, *big);
+}
+
+class RingIdPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingIdPropertyTest, AddSubInverse) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    RingId a = rng.ring_id();
+    RingId b = rng.ring_id();
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST_P(RingIdPropertyTest, DistanceTriangleOnRing) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    RingId a = rng.ring_id();
+    RingId b = rng.ring_id();
+    // cw(a->b) + cw(b->a) == 0 (full ring) unless a == b.
+    if (a == b) continue;
+    EXPECT_EQ(a.clockwise_distance(b) + b.clockwise_distance(a), RingId{});
+  }
+}
+
+TEST_P(RingIdPropertyTest, HexRoundTripRandom) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    RingId a = rng.ring_id();
+    auto parsed = RingId::from_hex(a.to_hex());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingIdPropertyTest,
+                         ::testing::Values(1, 42, 1234, 99999));
+
+TEST(Bytes, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xcdef);
+  w.u32(0x12345678);
+  w.u64(0xdeadbeefcafebabeull);
+  w.i64(-42);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xcdef);
+  EXPECT_EQ(r.u32(), 0x12345678u);
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafebabeull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, BigEndianOnWire) {
+  ByteWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+}
+
+TEST(Bytes, RingIdRoundTrip) {
+  Rng rng(3);
+  RingId id = rng.ring_id();
+  ByteWriter w;
+  w.ring_id(id);
+  EXPECT_EQ(w.size(), 20u);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ring_id(), id);
+}
+
+TEST(Bytes, StringAndBlobRoundTrip) {
+  ByteWriter w;
+  w.str("hello");
+  Bytes blob{1, 2, 3};
+  w.blob(blob);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.blob(), blob);
+}
+
+TEST(Bytes, UnderflowReturnsNullopt) {
+  Bytes data{0x01};
+  ByteReader r(data);
+  EXPECT_FALSE(r.u32().has_value());
+  // And a partially-consumed reader also fails cleanly.
+  ByteReader r2(data);
+  EXPECT_TRUE(r2.u8().has_value());
+  EXPECT_FALSE(r2.u8().has_value());
+}
+
+TEST(Bytes, TruncatedStringFails) {
+  ByteWriter w;
+  w.u16(100);  // claims 100 bytes follow; none do
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.str().has_value());
+}
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stdev(), 2.138, 1e-3);  // sample stdev
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, HistogramBinsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(-5.0);  // clamps to bin 0
+  h.add(99.0);  // clamps to bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000000), b.uniform(0, 1000000));
+  }
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace wow

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ipop/icmp_service.h"
+#include "test_util.h"
+#include "wow/testbed.h"
+
+namespace wow {
+namespace {
+
+/// A fingerprint of an overlay's end state: connection sets, stats
+/// counters, and network totals.  Two runs with the same seed must
+/// produce identical fingerprints — the repository's core guarantee
+/// that experiments are reproducible.
+std::string fingerprint(testing::PublicOverlay& net) {
+  std::ostringstream out;
+  for (auto& n : net.nodes) {
+    out << n->address().to_hex() << ':';
+    n->connections().for_each([&](const p2p::Connection& c) {
+      out << c.addr.brief() << '/' << p2p::to_string(c.type) << '@'
+          << c.remote.to_string() << ',';
+    });
+    const auto& s = n->stats();
+    out << '|' << s.data_sent << '/' << s.data_delivered << '/'
+        << s.data_forwarded << '/' << s.connections_added << ';';
+  }
+  const auto& ns = net.network.stats();
+  out << "net:" << ns.sent << '/' << ns.delivered << '/'
+      << ns.dropped_loss << '/' << ns.dropped_nat_filtered;
+  return out.str();
+}
+
+std::string run_overlay(std::uint64_t seed) {
+  testing::PublicOverlay net(10, seed);
+  net.start_all();
+  net.sim.run_until(3 * kMinute);
+  // Drive some traffic so data-plane paths execute too.
+  for (auto& a : net.nodes) {
+    for (auto& b : net.nodes) {
+      if (a != b) a->send_data(b->address(), Bytes{7});
+    }
+  }
+  net.sim.run_for(kMinute);
+  return fingerprint(net);
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalRuns) {
+  EXPECT_EQ(run_overlay(12345), run_overlay(12345));
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  EXPECT_NE(run_overlay(12345), run_overlay(54321));
+}
+
+TEST(Determinism, TestbedCountersReproduce) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    TestbedConfig cfg;
+    cfg.seed = seed;
+    cfg.planetlab_routers = 24;
+    cfg.planetlab_hosts = 8;
+    Testbed bed(sim, cfg);
+    bed.start_all(3 * kMinute);
+    sim.run_for(3 * kMinute);
+    std::ostringstream out;
+    out << bed.routable_compute_nodes() << '|'
+        << bed.network().stats().sent << '|'
+        << bed.network().stats().delivered << '|'
+        << sim.executed_events();
+    return out.str();
+  };
+  EXPECT_EQ(run(777), run(777));
+}
+
+}  // namespace
+}  // namespace wow

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "p2p/packet.h"
+#include "transport/uri.h"
+
+namespace wow::p2p {
+namespace {
+
+using transport::TransportKind;
+using transport::Uri;
+
+Uri uri_of(std::uint8_t n, std::uint16_t port) {
+  return Uri{TransportKind::kUdp,
+             net::Endpoint{net::Ipv4Addr(10, 0, 0, n), port}};
+}
+
+TEST(UriText, RoundTrip) {
+  Uri u = uri_of(5, 1024);
+  EXPECT_EQ(u.to_string(), "brunet.udp://10.0.0.5:1024");
+  auto parsed = Uri::parse(u.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, u);
+}
+
+TEST(UriText, ParsesTcpScheme) {
+  auto parsed = Uri::parse("brunet.tcp://192.0.1.1:1024");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, TransportKind::kTcp);
+  EXPECT_EQ(parsed->endpoint.port, 1024);
+}
+
+TEST(UriText, RejectsMalformed) {
+  EXPECT_FALSE(Uri::parse("http://10.0.0.1:80").has_value());
+  EXPECT_FALSE(Uri::parse("brunet.udp://10.0.0.1").has_value());
+  EXPECT_FALSE(Uri::parse("brunet.udp://10.0.0:80").has_value());
+  EXPECT_FALSE(Uri::parse("brunet.udp://10.0.0.1:99999").has_value());
+  EXPECT_FALSE(Uri::parse("brunet.udp://10.0.0.1:").has_value());
+  EXPECT_FALSE(Uri::parse("").has_value());
+}
+
+TEST(UriWire, ListRoundTrip) {
+  std::vector<Uri> uris{uri_of(1, 100), uri_of(2, 200), uri_of(3, 300)};
+  ByteWriter w;
+  transport::write_uri_list(w, uris);
+  ByteReader r(w.bytes());
+  auto parsed = transport::read_uri_list(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, uris);
+}
+
+TEST(RoutedPacketWire, RoundTrip) {
+  Rng rng(17);
+  RoutedPacket p;
+  p.src = rng.ring_id();
+  p.dst = rng.ring_id();
+  p.via = rng.ring_id();
+  p.ttl = 12;
+  p.hops = 3;
+  p.mode = DeliveryMode::kNearest;
+  p.bounced = true;
+  p.type = RoutedType::kCtmRequest;
+  p.payload = Bytes{9, 8, 7, 6};
+
+  auto frame = p.serialize();
+  EXPECT_EQ(frame_kind(frame), FrameKind::kRouted);
+  auto q = RoutedPacket::parse(frame);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->src, p.src);
+  EXPECT_EQ(q->dst, p.dst);
+  EXPECT_EQ(q->via, p.via);
+  EXPECT_EQ(q->ttl, p.ttl);
+  EXPECT_EQ(q->hops, p.hops);
+  EXPECT_EQ(q->mode, p.mode);
+  EXPECT_EQ(q->bounced, p.bounced);
+  EXPECT_EQ(q->type, p.type);
+  EXPECT_EQ(q->payload, p.payload);
+}
+
+TEST(RoutedPacketWire, RejectsTruncated) {
+  RoutedPacket p;
+  auto frame = p.serialize();
+  for (std::size_t cut = 1; cut < frame.size(); cut += 7) {
+    auto truncated =
+        std::span<const std::uint8_t>(frame.data(), frame.size() - cut);
+    // Truncating into the payload region still parses (payload is the
+    // tail); truncating into the header must fail.
+    if (frame.size() - cut < 66) {
+      EXPECT_FALSE(RoutedPacket::parse(truncated).has_value());
+    }
+  }
+}
+
+TEST(RoutedPacketWire, RejectsWrongKind) {
+  LinkFrame f;
+  f.sender = RingId{1};
+  EXPECT_FALSE(RoutedPacket::parse(f.serialize()).has_value());
+}
+
+TEST(CtmWire, RequestRoundTrip) {
+  Rng rng(23);
+  CtmRequest req;
+  req.con_type = ConnectionType::kStructuredNear;
+  req.token = 777;
+  req.forwarder = rng.ring_id();
+  req.uris = {uri_of(1, 10), uri_of(2, 20)};
+  auto parsed = CtmRequest::parse(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->con_type, req.con_type);
+  EXPECT_EQ(parsed->token, req.token);
+  EXPECT_EQ(parsed->forwarder, req.forwarder);
+  EXPECT_EQ(parsed->uris, req.uris);
+}
+
+TEST(CtmWire, ReplyRoundTripWithHints) {
+  Rng rng(29);
+  CtmReply rep;
+  rep.con_type = ConnectionType::kShortcut;
+  rep.token = 31337;
+  rep.uris = {uri_of(3, 30)};
+  rep.neighbors.push_back(NeighborHint{rng.ring_id(), {uri_of(4, 40)}});
+  rep.neighbors.push_back(
+      NeighborHint{rng.ring_id(), {uri_of(5, 50), uri_of(6, 60)}});
+  auto parsed = CtmReply::parse(rep.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->token, rep.token);
+  ASSERT_EQ(parsed->neighbors.size(), 2u);
+  EXPECT_EQ(parsed->neighbors[0].addr, rep.neighbors[0].addr);
+  EXPECT_EQ(parsed->neighbors[1].uris, rep.neighbors[1].uris);
+}
+
+TEST(LinkFrameWire, RoundTrip) {
+  Rng rng(31);
+  LinkFrame f;
+  f.type = LinkType::kReply;
+  f.sender = rng.ring_id();
+  f.con_type = ConnectionType::kStructuredFar;
+  f.token = 99;
+  f.observed = net::Endpoint{net::Ipv4Addr(150, 1, 2, 3), 20001};
+  f.uris = {uri_of(7, 70)};
+
+  auto frame = f.serialize();
+  EXPECT_EQ(frame_kind(frame), FrameKind::kLink);
+  auto g = LinkFrame::parse(frame);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->type, f.type);
+  EXPECT_EQ(g->sender, f.sender);
+  EXPECT_EQ(g->con_type, f.con_type);
+  EXPECT_EQ(g->token, f.token);
+  EXPECT_EQ(g->observed, f.observed);
+  EXPECT_EQ(g->uris, f.uris);
+}
+
+TEST(LinkFrameWire, RejectsGarbage) {
+  Bytes junk{0x77, 0x01, 0x02};
+  EXPECT_FALSE(LinkFrame::parse(junk).has_value());
+  EXPECT_FALSE(frame_kind(junk).has_value());
+  EXPECT_FALSE(frame_kind({}).has_value());
+}
+
+class AllLinkTypes : public ::testing::TestWithParam<LinkType> {};
+
+TEST_P(AllLinkTypes, SurvivesRoundTrip) {
+  LinkFrame f;
+  f.type = GetParam();
+  f.sender = RingId{42};
+  auto g = LinkFrame::parse(f.serialize());
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->type, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Wire, AllLinkTypes,
+                         ::testing::Values(LinkType::kRequest,
+                                           LinkType::kReply, LinkType::kError,
+                                           LinkType::kPing, LinkType::kPong,
+                                           LinkType::kClose));
+
+}  // namespace
+}  // namespace wow::p2p

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace wow {
+namespace {
+
+using testing::PublicOverlay;
+
+TEST(Ring, TwoNodesLink) {
+  PublicOverlay net(2);
+  net.start_all();
+  net.sim.run_until(30 * kSecond);
+  EXPECT_TRUE(net.nodes[1]->connections().contains(net.nodes[0]->address()));
+  EXPECT_TRUE(net.nodes[0]->connections().contains(net.nodes[1]->address()));
+}
+
+TEST(Ring, TenNodesBecomeRoutable) {
+  PublicOverlay net(10);
+  net.start_all();
+  net.sim.run_until(2 * kMinute);
+  EXPECT_EQ(net.routable_count(), 10);
+}
+
+TEST(Ring, NearConnectionsMatchTrueRingOrder) {
+  PublicOverlay net(16, /*seed=*/21);
+  net.start_all();
+  net.sim.run_until(3 * kMinute);
+
+  // Compute ground-truth ring order.
+  std::vector<p2p::Address> addrs;
+  for (auto& n : net.nodes) addrs.push_back(n->address());
+  std::sort(addrs.begin(), addrs.end());
+
+  int correct = 0;
+  for (auto& n : net.nodes) {
+    auto it = std::find(addrs.begin(), addrs.end(), n->address());
+    auto idx = static_cast<std::size_t>(it - addrs.begin());
+    const p2p::Address& successor = addrs[(idx + 1) % addrs.size()];
+    const p2p::Address& predecessor =
+        addrs[(idx + addrs.size() - 1) % addrs.size()];
+    if (n->connections().contains(successor) &&
+        n->connections().contains(predecessor)) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, 16);
+}
+
+TEST(Ring, DataRoutesBetweenArbitraryPairs) {
+  PublicOverlay net(12, /*seed=*/5);
+  net.start_all();
+  net.sim.run_until(2 * kMinute);
+  ASSERT_EQ(net.routable_count(), 12);
+
+  int received = 0;
+  for (auto& n : net.nodes) {
+    n->set_data_handler([&received](const p2p::Address&, const Bytes&) {
+      ++received;
+    });
+  }
+  // Every node sends to every other node.
+  for (auto& a : net.nodes) {
+    for (auto& b : net.nodes) {
+      if (a == b) continue;
+      a->send_data(b->address(), Bytes{1, 2, 3});
+    }
+  }
+  net.sim.run_for(30 * kSecond);
+  EXPECT_EQ(received, 12 * 11);
+}
+
+TEST(Ring, FarConnectionsAreAcquired) {
+  p2p::NodeConfig base;
+  base.far_target = 3;
+  PublicOverlay net(24, /*seed=*/9, base);
+  net.start_all();
+  net.sim.run_until(5 * kMinute);
+
+  int with_far = 0;
+  for (auto& n : net.nodes) {
+    if (n->connections().count(p2p::ConnectionType::kStructuredFar) +
+            n->connections().count(p2p::ConnectionType::kLeaf) >=
+        1) {
+      ++with_far;
+    }
+  }
+  // Far links need a populated ring; most nodes should have some.
+  EXPECT_GE(with_far, 20);
+}
+
+TEST(Ring, ShortcutFormsUnderSustainedTraffic) {
+  p2p::NodeConfig base;
+  base.shortcut.threshold = 5.0;
+  base.shortcut.service_rate = 0.5;
+  PublicOverlay net(16, /*seed=*/3, base);
+  net.start_all();
+  net.sim.run_until(2 * kMinute);
+  ASSERT_EQ(net.routable_count(), 16);
+
+  // Pick two nodes far apart on the ring with no existing connection.
+  p2p::Node* a = nullptr;
+  p2p::Node* b = nullptr;
+  for (auto& x : net.nodes) {
+    for (auto& y : net.nodes) {
+      if (x == y) continue;
+      if (!x->connections().contains(y->address()) &&
+          !y->connections().contains(x->address())) {
+        a = x.get();
+        b = y.get();
+        break;
+      }
+    }
+    if (a != nullptr) break;
+  }
+  ASSERT_NE(a, nullptr) << "all pairs already connected";
+
+  // Sustained bidirectional traffic at 2 packets/s.
+  for (int i = 0; i < 120; ++i) {
+    net.sim.schedule(i * 500 * kMillisecond, [a, b] {
+      a->send_data(b->address(), Bytes{0xaa});
+    });
+  }
+  net.sim.run_for(90 * kSecond);
+  EXPECT_TRUE(a->has_direct(b->address()));
+}
+
+TEST(Ring, ShortcutsDisabledNeverForm) {
+  p2p::NodeConfig base;
+  base.shortcut.enabled = false;
+  base.shortcut.threshold = 5.0;
+  PublicOverlay net(16, /*seed=*/3, base);
+  net.start_all();
+  net.sim.run_until(2 * kMinute);
+
+  p2p::Node* a = net.nodes[1].get();
+  p2p::Node* b = nullptr;
+  for (auto& y : net.nodes) {
+    if (y.get() != a && !a->connections().contains(y->address())) {
+      b = y.get();
+      break;
+    }
+  }
+  ASSERT_NE(b, nullptr);
+  for (int i = 0; i < 120; ++i) {
+    net.sim.schedule(i * 500 * kMillisecond, [a, b] {
+      a->send_data(b->address(), Bytes{0xaa});
+    });
+  }
+  net.sim.run_for(90 * kSecond);
+  EXPECT_FALSE(a->has_direct(b->address()));
+  EXPECT_EQ(a->shortcut_overlord().shortcuts_requested(), 0u);
+}
+
+TEST(Ring, LateJoinerIntegrates) {
+  PublicOverlay net(10, /*seed=*/13);
+  // Start all but the last node.
+  for (std::size_t i = 0; i + 1 < net.nodes.size(); ++i) {
+    net.nodes[i]->start();
+  }
+  net.sim.run_until(2 * kMinute);
+
+  net.nodes.back()->start();
+  net.sim.run_for(kMinute);
+  EXPECT_TRUE(net.nodes.back()->routable());
+}
+
+TEST(Ring, AbruptDeathIsDetectedByKeepalives) {
+  PublicOverlay net(8, /*seed=*/15);
+  net.start_all();
+  net.sim.run_until(2 * kMinute);
+  ASSERT_EQ(net.routable_count(), 8);
+
+  p2p::Address dead = net.nodes[3]->address();
+  net.nodes[3]->stop();
+
+  // Keepalive timeouts (ping_interval 15 s * retries) clean up state.
+  net.sim.run_for(3 * kMinute);
+  for (std::size_t i = 0; i < net.nodes.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_FALSE(net.nodes[i]->connections().contains(dead))
+        << "node " << i << " still holds state for the dead node";
+  }
+}
+
+TEST(Ring, GracefulStopRemovesStateImmediately) {
+  PublicOverlay net(8, /*seed=*/19);
+  net.start_all();
+  net.sim.run_until(2 * kMinute);
+
+  p2p::Address leaving = net.nodes[4]->address();
+  net.nodes[4]->stop_gracefully();
+  net.sim.run_for(5 * kSecond);
+  for (std::size_t i = 0; i < net.nodes.size(); ++i) {
+    if (i == 4) continue;
+    EXPECT_FALSE(net.nodes[i]->connections().contains(leaving));
+  }
+}
+
+TEST(Ring, RestartRejoinsWithSameAddress) {
+  PublicOverlay net(8, /*seed=*/23);
+  net.start_all();
+  net.sim.run_until(2 * kMinute);
+
+  p2p::Address addr = net.nodes[5]->address();
+  net.nodes[5]->stop();
+  net.sim.run_for(kMinute);
+  net.nodes[5]->restart();
+  net.sim.run_for(2 * kMinute);
+
+  EXPECT_EQ(net.nodes[5]->address(), addr);
+  EXPECT_TRUE(net.nodes[5]->routable());
+}
+
+TEST(Ring, RoutableTimeIsRecorded) {
+  PublicOverlay net(6, /*seed=*/29);
+  net.start_all();
+  net.sim.run_until(kMinute);
+  for (std::size_t i = 1; i < net.nodes.size(); ++i) {
+    ASSERT_TRUE(net.nodes[i]->routable_since().has_value());
+    EXPECT_GT(*net.nodes[i]->routable_since(), 0);
+  }
+}
+
+TEST(Ring, MultiHopDeliveryCountsHops) {
+  p2p::NodeConfig base;
+  base.far_target = 0;  // force pure ring routing: O(n) hops
+  base.shortcut.enabled = false;
+  PublicOverlay net(16, /*seed=*/31, base);
+  net.start_all();
+  net.sim.run_until(3 * kMinute);
+  ASSERT_EQ(net.routable_count(), 16);
+
+  // Send from node 1 to the node that is ring-wise farthest from it.
+  p2p::Node* src = net.nodes[1].get();
+  p2p::Node* far = nullptr;
+  RingId best{};
+  for (auto& n : net.nodes) {
+    if (n.get() == src) continue;
+    RingId d = src->address().ring_distance(n->address());
+    if (d > best) {
+      best = d;
+      far = n.get();
+    }
+  }
+  ASSERT_NE(far, nullptr);
+  int got = 0;
+  far->set_data_handler([&](const p2p::Address&, const Bytes&) { ++got; });
+  src->send_data(far->address(), Bytes{1});
+  net.sim.run_for(10 * kSecond);
+  ASSERT_EQ(got, 1);
+  EXPECT_GE(far->stats().delivered_hops, 2u);
+}
+
+}  // namespace
+}  // namespace wow

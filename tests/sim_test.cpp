@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace wow::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30 * kMillisecond, [&] { order.push_back(3); });
+  sim.schedule(10 * kMillisecond, [&] { order.push_back(1); });
+  sim.schedule(20 * kMillisecond, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30 * kMillisecond);
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(kSecond, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto h = sim.schedule(kSecond, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));  // double-cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelNullHandleIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(TimerHandle{}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1 * kSecond, [&] { ++count; });
+  sim.schedule(2 * kSecond, [&] { ++count; });
+  sim.schedule(3 * kSecond, [&] { ++count; });
+  sim.run_until(2 * kSecond);
+  EXPECT_EQ(count, 2);  // events at exactly the deadline run
+  EXPECT_EQ(sim.now(), 2 * kSecond);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastEmptyQueue) {
+  Simulator sim;
+  sim.run_until(5 * kSecond);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(kSecond, recurse);
+  };
+  sim.schedule(kSecond, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+}
+
+TEST(Simulator, EventCanCancelAnotherPendingEvent) {
+  Simulator sim;
+  bool victim_fired = false;
+  auto victim = sim.schedule(2 * kSecond, [&] { victim_fired = true; });
+  sim.schedule(1 * kSecond, [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.run_until(kSecond);
+  bool fired = false;
+  sim.schedule(-5 * kSecond, [&] { fired = true; });
+  sim.step();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), kSecond);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule(0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(i * kSecond, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  auto h = sim.schedule(kSecond, [] {});
+  sim.schedule(2 * kSecond, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace wow::sim

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipop/ipop_node.h"
+#include "net/network.h"
+#include "p2p/node.h"
+#include "sim/simulator.h"
+#include "transport/uri.h"
+
+namespace wow::testing {
+
+/// A small all-public overlay for protocol tests: `n` hosts at one site,
+/// each running one P2P node; every node bootstraps off node 0.
+struct PublicOverlay {
+  explicit PublicOverlay(int n, std::uint64_t seed = 7,
+                         p2p::NodeConfig base = {})
+      : sim(seed), network(sim) {
+    site = network.add_site("site0");
+    for (int i = 0; i < n; ++i) {
+      auto ip = net::Ipv4Addr(128, 1, static_cast<std::uint8_t>(i / 250),
+                              static_cast<std::uint8_t>(1 + i % 250));
+      net::Host::Config hc;
+      hc.name = "host" + std::to_string(i);
+      auto& host = network.add_host(ip, net::Network::kInternet, site, hc);
+      p2p::NodeConfig cfg = base;
+      cfg.port = 17000;
+      if (i > 0) {
+        cfg.bootstrap = {transport::Uri{
+            transport::TransportKind::kUdp,
+            net::Endpoint{nodes[0]->host().ip(), 17000}}};
+      }
+      nodes.push_back(
+          std::make_unique<p2p::Node>(sim, network, host, cfg));
+    }
+  }
+
+  void start_all() {
+    for (auto& n : nodes) n->start();
+  }
+
+  /// Count nodes that report full routability.
+  [[nodiscard]] int routable_count() const {
+    int c = 0;
+    for (const auto& n : nodes) {
+      if (n->routable()) ++c;
+    }
+    return c;
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  net::SiteId site = 0;
+  std::vector<std::unique_ptr<p2p::Node>> nodes;
+};
+
+/// A small virtual cluster for IPOP/TCP tests: one public router node
+/// plus `n` IPOP compute nodes (all public hosts at one site).  Virtual
+/// IPs are 172.16.1.(i+2), matching the paper's addressing.
+struct IpopOverlay {
+  explicit IpopOverlay(int n, std::uint64_t seed = 7,
+                       p2p::NodeConfig base = {})
+      : sim(seed), network(sim) {
+    site = network.add_site("site0");
+
+    net::Host::Config rc;
+    rc.name = "router";
+    auto& router_host = network.add_host(net::Ipv4Addr(128, 1, 0, 1),
+                                         net::Network::kInternet, site, rc);
+    p2p::NodeConfig router_cfg = base;
+    router_cfg.port = 17000;
+    router = std::make_unique<p2p::Node>(sim, network, router_host,
+                                         router_cfg);
+    auto bootstrap = transport::Uri{
+        transport::TransportKind::kUdp,
+        net::Endpoint{router_host.ip(), 17000}};
+
+    for (int i = 0; i < n; ++i) {
+      auto ip = net::Ipv4Addr(128, 2, static_cast<std::uint8_t>(i / 250),
+                              static_cast<std::uint8_t>(1 + i % 250));
+      net::Host::Config hc;
+      hc.name = "vmhost" + std::to_string(i);
+      auto& host = network.add_host(ip, net::Network::kInternet, site, hc);
+      ipop::IpopNode::Config cfg;
+      cfg.vip = net::Ipv4Addr(172, 16, 1, static_cast<std::uint8_t>(i + 2));
+      cfg.p2p = base;
+      cfg.p2p.port = 17000;
+      cfg.p2p.bootstrap = {bootstrap};
+      nodes.push_back(
+          std::make_unique<ipop::IpopNode>(sim, network, host, cfg));
+    }
+  }
+
+  void start_all() {
+    router->start();
+    for (auto& n : nodes) n->start();
+  }
+
+  [[nodiscard]] net::Ipv4Addr vip(int i) const { return nodes[static_cast<std::size_t>(i)]->vip(); }
+
+  sim::Simulator sim;
+  net::Network network;
+  net::SiteId site = 0;
+  std::unique_ptr<p2p::Node> router;
+  std::vector<std::unique_ptr<ipop::IpopNode>> nodes;
+};
+
+}  // namespace wow::testing
