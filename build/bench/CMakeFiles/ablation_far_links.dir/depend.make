@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_far_links.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shortcut_policy.dir/ablation_shortcut_policy.cpp.o"
+  "CMakeFiles/ablation_shortcut_policy.dir/ablation_shortcut_policy.cpp.o.d"
+  "ablation_shortcut_policy"
+  "ablation_shortcut_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shortcut_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uri_order.dir/ablation_uri_order.cpp.o"
+  "CMakeFiles/ablation_uri_order.dir/ablation_uri_order.cpp.o.d"
+  "ablation_uri_order"
+  "ablation_uri_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uri_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_join_profile.dir/fig4_join_profile.cpp.o"
+  "CMakeFiles/fig4_join_profile.dir/fig4_join_profile.cpp.o.d"
+  "fig4_join_profile"
+  "fig4_join_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_join_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

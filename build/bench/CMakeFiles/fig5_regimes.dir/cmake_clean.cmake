@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_regimes.dir/fig5_regimes.cpp.o"
+  "CMakeFiles/fig5_regimes.dir/fig5_regimes.cpp.o.d"
+  "fig5_regimes"
+  "fig5_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scp_migration.dir/fig6_scp_migration.cpp.o"
+  "CMakeFiles/fig6_scp_migration.dir/fig6_scp_migration.cpp.o.d"
+  "fig6_scp_migration"
+  "fig6_scp_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scp_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_meme.dir/fig8_meme.cpp.o"
+  "CMakeFiles/fig8_meme.dir/fig8_meme.cpp.o.d"
+  "fig8_meme"
+  "fig8_meme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_meme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

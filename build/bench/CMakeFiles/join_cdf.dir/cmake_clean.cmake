@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_cdf.dir/join_cdf.cpp.o"
+  "CMakeFiles/join_cdf.dir/join_cdf.cpp.o.d"
+  "join_cdf"
+  "join_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_rejoin.dir/migration_rejoin.cpp.o"
+  "CMakeFiles/migration_rejoin.dir/migration_rejoin.cpp.o.d"
+  "migration_rejoin"
+  "migration_rejoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_rejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

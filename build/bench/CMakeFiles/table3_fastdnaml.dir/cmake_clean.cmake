@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fastdnaml.dir/table3_fastdnaml.cpp.o"
+  "CMakeFiles/table3_fastdnaml.dir/table3_fastdnaml.cpp.o.d"
+  "table3_fastdnaml"
+  "table3_fastdnaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fastdnaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

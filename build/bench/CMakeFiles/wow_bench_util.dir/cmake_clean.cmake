@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_bench_util.dir/join_lab.cpp.o"
+  "CMakeFiles/wow_bench_util.dir/join_lab.cpp.o.d"
+  "libwow_bench_util.a"
+  "libwow_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_phylogenetics.dir/parallel_phylogenetics.cpp.o"
+  "CMakeFiles/parallel_phylogenetics.dir/parallel_phylogenetics.cpp.o.d"
+  "parallel_phylogenetics"
+  "parallel_phylogenetics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_phylogenetics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

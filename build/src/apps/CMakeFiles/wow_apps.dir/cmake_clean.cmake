@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_apps.dir/bulk_transfer.cpp.o"
+  "CMakeFiles/wow_apps.dir/bulk_transfer.cpp.o.d"
+  "libwow_apps.a"
+  "libwow_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwow_apps.a"
+)

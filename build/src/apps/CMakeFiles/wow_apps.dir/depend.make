@@ -1,0 +1,2 @@
+# Empty dependencies file for wow_apps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_common.dir/ring_id.cpp.o"
+  "CMakeFiles/wow_common.dir/ring_id.cpp.o.d"
+  "CMakeFiles/wow_common.dir/stats.cpp.o"
+  "CMakeFiles/wow_common.dir/stats.cpp.o.d"
+  "libwow_common.a"
+  "libwow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

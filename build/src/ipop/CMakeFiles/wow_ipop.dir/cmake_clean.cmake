@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_ipop.dir/icmp_service.cpp.o"
+  "CMakeFiles/wow_ipop.dir/icmp_service.cpp.o.d"
+  "CMakeFiles/wow_ipop.dir/ip_packet.cpp.o"
+  "CMakeFiles/wow_ipop.dir/ip_packet.cpp.o.d"
+  "CMakeFiles/wow_ipop.dir/ipop_node.cpp.o"
+  "CMakeFiles/wow_ipop.dir/ipop_node.cpp.o.d"
+  "libwow_ipop.a"
+  "libwow_ipop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_ipop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

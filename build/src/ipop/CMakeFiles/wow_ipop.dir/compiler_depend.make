@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wow_ipop.
+# This may be replaced when dependencies are built.

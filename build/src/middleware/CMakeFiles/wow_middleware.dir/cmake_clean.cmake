@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_middleware.dir/nfs.cpp.o"
+  "CMakeFiles/wow_middleware.dir/nfs.cpp.o.d"
+  "CMakeFiles/wow_middleware.dir/pbs.cpp.o"
+  "CMakeFiles/wow_middleware.dir/pbs.cpp.o.d"
+  "CMakeFiles/wow_middleware.dir/pvm.cpp.o"
+  "CMakeFiles/wow_middleware.dir/pvm.cpp.o.d"
+  "libwow_middleware.a"
+  "libwow_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_net.dir/addr.cpp.o"
+  "CMakeFiles/wow_net.dir/addr.cpp.o.d"
+  "CMakeFiles/wow_net.dir/nat.cpp.o"
+  "CMakeFiles/wow_net.dir/nat.cpp.o.d"
+  "CMakeFiles/wow_net.dir/network.cpp.o"
+  "CMakeFiles/wow_net.dir/network.cpp.o.d"
+  "libwow_net.a"
+  "libwow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

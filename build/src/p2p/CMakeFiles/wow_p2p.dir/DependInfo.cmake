@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/connection_table.cpp" "src/p2p/CMakeFiles/wow_p2p.dir/connection_table.cpp.o" "gcc" "src/p2p/CMakeFiles/wow_p2p.dir/connection_table.cpp.o.d"
+  "/root/repo/src/p2p/linking.cpp" "src/p2p/CMakeFiles/wow_p2p.dir/linking.cpp.o" "gcc" "src/p2p/CMakeFiles/wow_p2p.dir/linking.cpp.o.d"
+  "/root/repo/src/p2p/node.cpp" "src/p2p/CMakeFiles/wow_p2p.dir/node.cpp.o" "gcc" "src/p2p/CMakeFiles/wow_p2p.dir/node.cpp.o.d"
+  "/root/repo/src/p2p/packet.cpp" "src/p2p/CMakeFiles/wow_p2p.dir/packet.cpp.o" "gcc" "src/p2p/CMakeFiles/wow_p2p.dir/packet.cpp.o.d"
+  "/root/repo/src/p2p/shortcut_overlord.cpp" "src/p2p/CMakeFiles/wow_p2p.dir/shortcut_overlord.cpp.o" "gcc" "src/p2p/CMakeFiles/wow_p2p.dir/shortcut_overlord.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/wow_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

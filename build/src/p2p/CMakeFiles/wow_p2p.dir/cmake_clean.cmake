@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_p2p.dir/connection_table.cpp.o"
+  "CMakeFiles/wow_p2p.dir/connection_table.cpp.o.d"
+  "CMakeFiles/wow_p2p.dir/linking.cpp.o"
+  "CMakeFiles/wow_p2p.dir/linking.cpp.o.d"
+  "CMakeFiles/wow_p2p.dir/node.cpp.o"
+  "CMakeFiles/wow_p2p.dir/node.cpp.o.d"
+  "CMakeFiles/wow_p2p.dir/packet.cpp.o"
+  "CMakeFiles/wow_p2p.dir/packet.cpp.o.d"
+  "CMakeFiles/wow_p2p.dir/shortcut_overlord.cpp.o"
+  "CMakeFiles/wow_p2p.dir/shortcut_overlord.cpp.o.d"
+  "libwow_p2p.a"
+  "libwow_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

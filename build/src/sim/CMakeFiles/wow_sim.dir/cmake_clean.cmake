@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wow_sim.dir/simulator.cpp.o.d"
+  "libwow_sim.a"
+  "libwow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

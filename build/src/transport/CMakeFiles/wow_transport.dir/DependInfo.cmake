@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/transport.cpp" "src/transport/CMakeFiles/wow_transport.dir/transport.cpp.o" "gcc" "src/transport/CMakeFiles/wow_transport.dir/transport.cpp.o.d"
+  "/root/repo/src/transport/uri.cpp" "src/transport/CMakeFiles/wow_transport.dir/uri.cpp.o" "gcc" "src/transport/CMakeFiles/wow_transport.dir/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_transport.dir/transport.cpp.o"
+  "CMakeFiles/wow_transport.dir/transport.cpp.o.d"
+  "CMakeFiles/wow_transport.dir/uri.cpp.o"
+  "CMakeFiles/wow_transport.dir/uri.cpp.o.d"
+  "libwow_transport.a"
+  "libwow_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

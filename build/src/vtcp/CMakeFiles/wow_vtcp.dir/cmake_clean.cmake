@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_vtcp.dir/segment.cpp.o"
+  "CMakeFiles/wow_vtcp.dir/segment.cpp.o.d"
+  "CMakeFiles/wow_vtcp.dir/tcp.cpp.o"
+  "CMakeFiles/wow_vtcp.dir/tcp.cpp.o.d"
+  "libwow_vtcp.a"
+  "libwow_vtcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_vtcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

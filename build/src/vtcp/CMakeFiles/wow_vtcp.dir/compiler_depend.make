@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wow_vtcp.
+# This may be replaced when dependencies are built.

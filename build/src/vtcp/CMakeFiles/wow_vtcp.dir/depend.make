@@ -1,0 +1,2 @@
+# Empty dependencies file for wow_vtcp.
+# This may be replaced when dependencies are built.

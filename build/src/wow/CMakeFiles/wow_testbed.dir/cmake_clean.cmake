@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wow_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/wow_testbed.dir/testbed.cpp.o.d"
+  "libwow_testbed.a"
+  "libwow_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wow_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipop_test.dir/ipop_test.cpp.o"
+  "CMakeFiles/ipop_test.dir/ipop_test.cpp.o.d"
+  "ipop_test"
+  "ipop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/middleware_test.cpp" "tests/CMakeFiles/middleware_test.dir/middleware_test.cpp.o" "gcc" "tests/CMakeFiles/middleware_test.dir/middleware_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/middleware/CMakeFiles/wow_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/wow_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/vtcp/CMakeFiles/wow_vtcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipop/CMakeFiles/wow_ipop.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/wow_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wow_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_packet_test.dir/p2p_packet_test.cpp.o"
+  "CMakeFiles/p2p_packet_test.dir/p2p_packet_test.cpp.o.d"
+  "p2p_packet_test"
+  "p2p_packet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

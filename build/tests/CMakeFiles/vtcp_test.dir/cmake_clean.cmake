@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtcp_test.dir/vtcp_test.cpp.o"
+  "CMakeFiles/vtcp_test.dir/vtcp_test.cpp.o.d"
+  "vtcp_test"
+  "vtcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;wow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;wow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_test "/root/repo/build/tests/net_test")
+set_tests_properties(net_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;wow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(p2p_packet_test "/root/repo/build/tests/p2p_packet_test")
+set_tests_properties(p2p_packet_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;wow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(p2p_ring_test "/root/repo/build/tests/p2p_ring_test")
+set_tests_properties(p2p_ring_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;wow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ipop_test "/root/repo/build/tests/ipop_test")
+set_tests_properties(ipop_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;27;wow_test_full;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vtcp_test "/root/repo/build/tests/vtcp_test")
+set_tests_properties(vtcp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;28;wow_test_full;/root/repo/tests/CMakeLists.txt;0;")
+add_test(testbed_test "/root/repo/build/tests/testbed_test")
+set_tests_properties(testbed_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;40;wow_test_bed;/root/repo/tests/CMakeLists.txt;0;")
+add_test(middleware_test "/root/repo/build/tests/middleware_test")
+set_tests_properties(middleware_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;51;wow_test_mw;/root/repo/tests/CMakeLists.txt;0;")
+add_test(p2p_unit_test "/root/repo/build/tests/p2p_unit_test")
+set_tests_properties(p2p_unit_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;52;wow_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(resilience_test "/root/repo/build/tests/resilience_test")
+set_tests_properties(resilience_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;53;wow_test_full;/root/repo/tests/CMakeLists.txt;0;")
+add_test(determinism_test "/root/repo/build/tests/determinism_test")
+set_tests_properties(determinism_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;54;wow_test_bed;/root/repo/tests/CMakeLists.txt;0;")
