@@ -31,6 +31,17 @@ class Flags {
     return fallback;
   }
 
+  [[nodiscard]] std::string get_str(const char* name,
+                                    const std::string& fallback) const {
+    std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::string(argv_[i] + prefix.size());
+      }
+    }
+    return fallback;
+  }
+
   [[nodiscard]] bool has(const char* name) const {
     std::string flag = std::string("--") + name;
     for (int i = 1; i < argc_; ++i) {

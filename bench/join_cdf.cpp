@@ -5,7 +5,9 @@
 // Measures, per trial: time from IPOP start until fully routable, and
 // time until a direct shortcut to the traffic peer exists.
 //
-// Flags: --trials=N (default 30; paper used 300), --seed=N.
+// Flags: --trials=N (default 30; paper used 300), --seed=N,
+//        --trace=FILE (JSONL event trace, feed to tools/trace_report),
+//        --metrics=FILE (final metrics-registry JSON snapshot).
 
 #include <cstdio>
 
@@ -27,6 +29,11 @@ int main(int argc, char** argv) {
               trials);
 
   JoinLab lab(config);
+  std::string trace_path = flags.get_str("trace", "");
+  if (!trace_path.empty() && !lab.testbed().attach_trace(trace_path)) {
+    std::fprintf(stderr, "cannot open trace file %s\n", trace_path.c_str());
+    return 1;
+  }
   std::vector<double> routable_s;
   std::vector<double> shortcut_s;
   int no_shortcut = 0;
@@ -58,5 +65,13 @@ int main(int argc, char** argv) {
               percentile(shortcut_s, 100), shortcut_s.size(), no_shortcut);
   std::printf("\npaper: 90%% routable within 10 s; >99%% direct connection "
               "within 200 s (300 trials)\n");
+
+  std::string metrics_path = flags.get_str("metrics", "");
+  if (!metrics_path.empty() &&
+      !lab.testbed().write_metrics_report(metrics_path)) {
+    std::fprintf(stderr, "cannot write metrics file %s\n",
+                 metrics_path.c_str());
+    return 1;
+  }
   return 0;
 }

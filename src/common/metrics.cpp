@@ -1,0 +1,195 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace wow {
+
+namespace {
+
+[[nodiscard]] const char* kind_name(MetricsRegistry::Sample::Kind kind) {
+  switch (kind) {
+    case MetricsRegistry::Sample::Kind::kCounter: return "counter";
+    case MetricsRegistry::Sample::Kind::kGauge: return "gauge";
+    case MetricsRegistry::Sample::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+/// %.17g prints doubles round-trip exactly; integers come out unpadded.
+void append_number(std::string& out, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_add(
+    Sample::Kind kind, std::string_view name, const MetricLabels& labels) {
+  auto key = std::make_tuple(std::string(name), labels);
+  if (auto it = index_.find(key); it != index_.end()) {
+    return entries_[it->second];
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = std::string(name);
+  entry.labels = labels;
+  entries_.push_back(std::move(entry));
+  index_.emplace(std::move(key), entries_.size() - 1);
+  ++live_;
+  return entries_.back();
+}
+
+MetricCounter& MetricsRegistry::counter(std::string_view name,
+                                        const MetricLabels& labels) {
+  return find_or_add(Sample::Kind::kCounter, name, labels).counter;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const MetricLabels& labels, double lo,
+                                      double hi, std::size_t bins) {
+  Entry& entry = find_or_add(Sample::Kind::kHistogram, name, labels);
+  if (!entry.hist) entry.hist.emplace(lo, hi, bins);
+  return *entry.hist;
+}
+
+MetricId MetricsRegistry::add_gauge(std::string_view name,
+                                    const MetricLabels& labels,
+                                    std::function<double()> fn) {
+  // Gauges are always fresh registrations: a component re-registering
+  // the same name (e.g. a rebuilt node) replaces the old callback.
+  auto key = std::make_tuple(std::string(name), labels);
+  if (auto it = index_.find(key); it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    if (entry.dead) {
+      entry.dead = false;
+      ++live_;
+    }
+    entry.gauge = std::move(fn);
+    return it->second;
+  }
+  Entry& entry = find_or_add(Sample::Kind::kGauge, name, labels);
+  entry.gauge = std::move(fn);
+  return entries_.size() - 1;
+}
+
+void MetricsRegistry::remove(MetricId id) {
+  if (id >= entries_.size() || entries_[id].dead) return;
+  Entry& entry = entries_[id];
+  entry.dead = true;
+  entry.gauge = nullptr;
+  index_.erase(std::make_tuple(entry.name, entry.labels));
+  --live_;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(live_);
+  for (const Entry& entry : entries_) {
+    if (entry.dead) continue;
+    Sample s;
+    s.kind = entry.kind;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    switch (entry.kind) {
+      case Sample::Kind::kCounter:
+        s.value = static_cast<double>(entry.counter.value());
+        break;
+      case Sample::Kind::kGauge:
+        s.value = entry.gauge ? entry.gauge() : 0.0;
+        break;
+      case Sample::Kind::kHistogram:
+        s.value = entry.hist ? static_cast<double>(entry.hist->total()) : 0.0;
+        s.hist = entry.hist ? &*entry.hist : nullptr;
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Sample& s : snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, s.name);
+    out += ",\"node\":";
+    append_json_string(out, s.labels.node);
+    out += ",\"component\":";
+    append_json_string(out, s.labels.component);
+    out += ",\"type\":\"";
+    out += kind_name(s.kind);
+    out += "\",\"value\":";
+    append_number(out, s.value);
+    if (s.kind == Sample::Kind::kHistogram && s.hist != nullptr) {
+      out += ",\"lo\":";
+      append_number(out, s.hist->bin_lo(0));
+      out += ",\"hi\":";
+      append_number(out, s.hist->bin_hi(s.hist->bins() - 1));
+      out += ",\"buckets\":[";
+      for (std::size_t b = 0; b < s.hist->bins(); ++b) {
+        if (b > 0) out += ',';
+        append_number(out, static_cast<double>(s.hist->count(b)));
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  auto labels_of = [](const MetricLabels& l) {
+    std::string s = "{node=\"" + l.node + "\",component=\"" + l.component +
+                    "\"}";
+    return s;
+  };
+  for (const Sample& s : snapshot()) {
+    std::string name = "wow_" + s.name;
+    out += "# TYPE " + name + ' ' + kind_name(s.kind) + '\n';
+    if (s.kind == Sample::Kind::kHistogram && s.hist != nullptr) {
+      std::size_t cumulative = 0;
+      for (std::size_t b = 0; b < s.hist->bins(); ++b) {
+        cumulative += s.hist->count(b);
+        char le[40];
+        std::snprintf(le, sizeof le, "%g", s.hist->bin_hi(b));
+        out += name + "_bucket{node=\"" + s.labels.node + "\",component=\"" +
+               s.labels.component + "\",le=\"" + le + "\"} ";
+        append_number(out, static_cast<double>(cumulative));
+        out += '\n';
+      }
+      out += name + "_bucket{node=\"" + s.labels.node + "\",component=\"" +
+             s.labels.component + "\",le=\"+Inf\"} ";
+      append_number(out, static_cast<double>(s.hist->total()));
+      out += '\n';
+      out += name + "_count" + labels_of(s.labels) + ' ';
+      append_number(out, static_cast<double>(s.hist->total()));
+      out += '\n';
+    } else {
+      out += name + labels_of(s.labels) + ' ';
+      append_number(out, s.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace wow

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace wow {
+
+/// Identity of a metric instance.  `node` is the emitting instance (a
+/// ring-address brief, a host name, or empty for process-wide metrics);
+/// `component` is the subsystem: "sim", "node", "linking", "net",
+/// "transport", "testbed", ...
+struct MetricLabels {
+  std::string node;
+  std::string component;
+
+  [[nodiscard]] bool operator==(const MetricLabels&) const = default;
+  [[nodiscard]] auto operator<=>(const MetricLabels&) const = default;
+};
+
+/// Monotonic event count.
+class MetricCounter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+using MetricId = std::size_t;
+
+/// Registry of named counters, gauges and histograms, each labelled with
+/// {node, component}.  Snapshotable mid-run: gauges are callbacks
+/// evaluated at export time, so registrants expose live state without
+/// copying it on every update.
+///
+/// Like the tracer, the registry is a pure observer: nothing here
+/// consults the RNG or the event queue, so metrics collection cannot
+/// perturb a deterministic run.  Export order is registration order,
+/// making exports themselves reproducible.
+///
+/// Lifetimes: counter()/histogram() return references that stay valid
+/// for the registry's life (entries are never reallocated).  Gauge
+/// callbacks must be removed (remove()) before their captured state
+/// dies — components with a shorter life than the registry unregister
+/// in their destructor.
+class MetricsRegistry {
+ public:
+  /// Get-or-create a counter.  The same (name, labels) always returns
+  /// the same instance.
+  MetricCounter& counter(std::string_view name,
+                         const MetricLabels& labels = {});
+
+  /// Get-or-create a fixed-bin histogram over [lo, hi).  Bin geometry is
+  /// fixed by the first call.
+  Histogram& histogram(std::string_view name, const MetricLabels& labels,
+                       double lo, double hi, std::size_t bins);
+
+  /// Register a gauge callback; returns an id for remove().
+  MetricId add_gauge(std::string_view name, const MetricLabels& labels,
+                     std::function<double()> fn);
+
+  /// Unregister a metric.  References/callbacks for it become dead; the
+  /// id must have come from this registry.
+  void remove(MetricId id);
+
+  /// One exported value (gauges evaluated at snapshot time).
+  struct Sample {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    Kind kind;
+    std::string name;
+    MetricLabels labels;
+    double value = 0.0;            // counter/gauge value, histogram total
+    const Histogram* hist = nullptr;  // only for kHistogram
+  };
+
+  /// Evaluate every live metric, in registration order.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// {"metrics":[{"name":...,"node":...,"component":...,"type":...,
+  ///              "value":...}, ...]}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format (histograms as cumulative
+  /// _bucket/_count series).  Metric names get a "wow_" prefix.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+ private:
+  struct Entry {
+    Sample::Kind kind;
+    std::string name;
+    MetricLabels labels;
+    MetricCounter counter;
+    std::function<double()> gauge;
+    std::optional<Histogram> hist;
+    bool dead = false;
+  };
+
+  Entry& find_or_add(Sample::Kind kind, std::string_view name,
+                     const MetricLabels& labels);
+
+  /// Deque: stable addresses for counter/histogram references.
+  std::deque<Entry> entries_;
+  std::map<std::tuple<std::string, MetricLabels>, MetricId> index_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace wow

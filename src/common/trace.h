@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+
+namespace wow {
+
+/// Receives one JSON record per trace event (no trailing newline).
+/// Implementations must not call back into the simulation: the tracer is
+/// a pure observer and attaching a sink may not perturb event order.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void line(std::string_view json) = 0;
+};
+
+/// Appends JSONL records to a file.
+class FileTraceSink final : public TraceSink {
+ public:
+  explicit FileTraceSink(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {}
+  ~FileTraceSink() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  FileTraceSink(const FileTraceSink&) = delete;
+  FileTraceSink& operator=(const FileTraceSink&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  void line(std::string_view json) override {
+    if (file_ == nullptr) return;
+    std::fwrite(json.data(), 1, json.size(), file_);
+    std::fputc('\n', file_);
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+/// Buffers records in memory (tests, in-process analysis).
+class StringTraceSink final : public TraceSink {
+ public:
+  void line(std::string_view json) override { lines_.emplace_back(json); }
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+  void clear() { lines_.clear(); }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// One key/value pair of a trace record.  Strings are JSON-escaped at
+/// emission time; numbers are written verbatim.
+class TraceField {
+ public:
+  TraceField(std::string_view key, std::uint64_t v)
+      : key_(key), kind_(Kind::kUint), u_(v) {}
+  TraceField(std::string_view key, std::int64_t v)
+      : key_(key), kind_(Kind::kInt), i_(v) {}
+  TraceField(std::string_view key, int v)
+      : TraceField(key, static_cast<std::int64_t>(v)) {}
+  TraceField(std::string_view key, unsigned v)
+      : TraceField(key, static_cast<std::uint64_t>(v)) {}
+  TraceField(std::string_view key, double v)
+      : key_(key), kind_(Kind::kDouble), d_(v) {}
+  TraceField(std::string_view key, std::string_view v)
+      : key_(key), kind_(Kind::kString), s_(v) {}
+  TraceField(std::string_view key, const char* v)
+      : TraceField(key, std::string_view(v)) {}
+  TraceField(std::string_view key, const std::string& v)
+      : TraceField(key, std::string_view(v)) {}
+
+  /// Append `"key":value` (no separators) to `out`.
+  void append_to(std::string& out) const;
+
+ private:
+  enum class Kind { kUint, kInt, kDouble, kString };
+
+  std::string_view key_;
+  Kind kind_;
+  std::uint64_t u_ = 0;
+  std::int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string_view s_;
+};
+
+/// Structured event tracer: emits sim-timestamped JSONL records and
+/// correlates related records through span ids.
+///
+/// Record schema (DESIGN.md "Observability"):
+///   {"t":<sim seconds>,"ev":"<name>","c":"<component>","node":"<id>",
+///    ["span":<id>,] <fields...>}
+///
+/// Disabled (no sink attached) the tracer is a null object: every call
+/// reduces to one pointer test, and span ids come back 0.  Call sites
+/// that build fields should guard on enabled() so formatting work is
+/// skipped too.  Nothing here consults the RNG or schedules events, so
+/// tracing can never perturb a deterministic run.
+class Tracer {
+ public:
+  /// Attach a sink (non-owning).  Pass nullptr to detach.
+  void attach(TraceSink* sink) { sink_ = sink; }
+  void detach() { sink_ = nullptr; }
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+
+  /// Emit one event record.  `span` of 0 means "not part of a span".
+  void event(SimTime now, std::string_view component, std::string_view node,
+             std::string_view name,
+             std::initializer_list<TraceField> fields = {},
+             std::uint64_t span = 0);
+
+  /// Open a span: emits the begin record and returns the correlation id
+  /// (0 when disabled).  Later events and the end record quote the id.
+  [[nodiscard]] std::uint64_t begin_span(
+      SimTime now, std::string_view component, std::string_view node,
+      std::string_view name, std::initializer_list<TraceField> fields = {});
+
+  /// Close a span opened with begin_span.  A span id of 0 is ignored.
+  void end_span(SimTime now, std::string_view component,
+                std::string_view node, std::string_view name,
+                std::uint64_t span,
+                std::initializer_list<TraceField> fields = {});
+
+ private:
+  TraceSink* sink_ = nullptr;
+  /// Span ids live only in trace output; consuming them lazily (only
+  /// while a sink is attached) cannot affect the simulation.
+  std::uint64_t next_span_ = 1;
+};
+
+}  // namespace wow

@@ -10,6 +10,58 @@ Network::Network(sim::Simulator& simulator) : sim_(simulator) {
   internet.name = "internet";
   internet.parent = kInternet;
   domains_.push_back(std::move(internet));
+
+  MetricLabels labels{"", "net"};
+  auto gauge = [&](const char* name, const std::uint64_t& field) {
+    metric_ids_.push_back(sim_.metrics().add_gauge(
+        name, labels, [&field] { return static_cast<double>(field); }));
+  };
+  gauge("net_datagrams_sent", stats_.sent);
+  gauge("net_datagrams_delivered", stats_.delivered);
+  gauge("net_dropped_loss", stats_.dropped_loss);
+  gauge("net_dropped_unroutable", stats_.dropped_unroutable);
+  gauge("net_dropped_nat_filtered", stats_.dropped_nat_filtered);
+  gauge("net_dropped_hairpin", stats_.dropped_hairpin);
+  gauge("net_dropped_no_listener", stats_.dropped_no_listener);
+  gauge("net_dropped_overload", stats_.dropped_overload);
+  gauge("net_dropped_ttl", stats_.dropped_ttl);
+}
+
+Network::~Network() {
+  for (MetricId id : metric_ids_) sim_.metrics().remove(id);
+}
+
+const char* to_string(Network::DropReason reason) {
+  switch (reason) {
+    case Network::DropReason::kLoss: return "loss";
+    case Network::DropReason::kUnroutable: return "unroutable";
+    case Network::DropReason::kNatFiltered: return "nat_filtered";
+    case Network::DropReason::kHairpin: return "hairpin";
+    case Network::DropReason::kNoListener: return "no_listener";
+    case Network::DropReason::kOverload: return "overload";
+    case Network::DropReason::kTtl: return "ttl";
+  }
+  return "unknown";
+}
+
+void Network::record_drop(DropReason reason, const Endpoint& src,
+                          const Endpoint& dst) {
+  switch (reason) {
+    case DropReason::kLoss: ++stats_.dropped_loss; break;
+    case DropReason::kUnroutable: ++stats_.dropped_unroutable; break;
+    case DropReason::kNatFiltered: ++stats_.dropped_nat_filtered; break;
+    case DropReason::kHairpin: ++stats_.dropped_hairpin; break;
+    case DropReason::kNoListener: ++stats_.dropped_no_listener; break;
+    case DropReason::kOverload: ++stats_.dropped_overload; break;
+    case DropReason::kTtl: ++stats_.dropped_ttl; break;
+  }
+  if (drop_hook_) drop_hook_(reason, src, dst);
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(sim_.now(), "net", "", "net.drop",
+                       {{"reason", to_string(reason)},
+                        {"src", src.to_string()},
+                        {"dst", dst.to_string()}});
+  }
 }
 
 SiteId Network::add_site(const std::string& name) {
@@ -112,8 +164,7 @@ void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
                                   ? site_link(src_site, target.site())
                                   : lan_;
       if (sim_.rng().bernoulli(link.loss)) {
-        ++stats_.dropped_loss;
-        if (drop_hook_) drop_hook_(DropReason::kLoss, cur_src, cur_dst);
+        record_drop(DropReason::kLoss, cur_src, cur_dst);
         return;
       }
       t += sample_latency(link);
@@ -127,24 +178,21 @@ void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
       Domain& inner = domains_[static_cast<std::size_t>(it->second)];
       NatBox& nat = *inner.nat;
       if (ascended.count(&nat) != 0 && !nat.config().hairpin) {
-        ++stats_.dropped_hairpin;
-        if (drop_hook_) drop_hook_(DropReason::kHairpin, cur_src, cur_dst);
+        record_drop(DropReason::kHairpin, cur_src, cur_dst);
         return;
       }
       const LinkModel& link = cur_domain == kInternet
                                   ? site_link(src_site, inner.site)
                                   : lan_;
       if (sim_.rng().bernoulli(link.loss)) {
-        ++stats_.dropped_loss;
-        if (drop_hook_) drop_hook_(DropReason::kLoss, cur_src, cur_dst);
+        record_drop(DropReason::kLoss, cur_src, cur_dst);
         return;
       }
       t += sample_latency(link);
       std::optional<Endpoint> inside =
           nat.translate_inbound(cur_dst, cur_src, now);
       if (!inside) {
-        ++stats_.dropped_nat_filtered;
-        if (drop_hook_) drop_hook_(DropReason::kNatFiltered, cur_src, cur_dst);
+        record_drop(DropReason::kNatFiltered, cur_src, cur_dst);
         return;
       }
       t += nat_hop_;
@@ -165,12 +213,10 @@ void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
 
     // 4) In the Internet root and nothing matches: the destination is a
     // private address in some other domain — unroutable.
-    ++stats_.dropped_unroutable;
-    if (drop_hook_) drop_hook_(DropReason::kUnroutable, cur_src, cur_dst);
+    record_drop(DropReason::kUnroutable, cur_src, cur_dst);
     return;
   }
-  ++stats_.dropped_ttl;
-  if (drop_hook_) drop_hook_(DropReason::kTtl, cur_src, cur_dst);
+  record_drop(DropReason::kTtl, cur_src, cur_dst);
 }
 
 void Network::deliver(Host& to, const Endpoint& seen_src,
@@ -178,15 +224,11 @@ void Network::deliver(Host& to, const Endpoint& seen_src,
   std::size_t wire_bytes = payload.size() + 28;
   SimTime done = to.downlink_done(arrival, wire_bytes);
   if (to.proc_backlog(arrival) > to.config().proc_queue_limit) {
-    ++stats_.dropped_overload;
-    if (drop_hook_) {
-      drop_hook_(DropReason::kOverload, seen_src, Endpoint{to.ip(), dst_port});
-    }
+    record_drop(DropReason::kOverload, seen_src, Endpoint{to.ip(), dst_port});
     return;
   }
   if (sim_.rng().bernoulli(to.config().overload_drop)) {
-    ++stats_.dropped_overload;
-    if (drop_hook_) drop_hook_(DropReason::kOverload, seen_src, Endpoint{to.ip(), dst_port});
+    record_drop(DropReason::kOverload, seen_src, Endpoint{to.ip(), dst_port});
     return;
   }
   SimDuration extra =
@@ -202,8 +244,8 @@ void Network::deliver(Host& to, const Endpoint& seen_src,
     Host& target = *hosts_[static_cast<std::size_t>(to_id)];
     const UdpHandler* handler = target.handler(dst_port);
     if (handler == nullptr) {
-      ++stats_.dropped_no_listener;
-      if (drop_hook_) drop_hook_(DropReason::kNoListener, seen_src, Endpoint{target.ip(), dst_port});
+      record_drop(DropReason::kNoListener, seen_src,
+                  Endpoint{target.ip(), dst_port});
       return;
     }
     ++stats_.delivered;

@@ -56,6 +56,9 @@ class Network {
   };
 
   explicit Network(sim::Simulator& simulator);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   // --- topology construction --------------------------------------------
 
@@ -135,6 +138,10 @@ class Network {
   [[nodiscard]] SimDuration sample_latency(const LinkModel& m);
   void deliver(Host& to, const Endpoint& seen_src, std::uint16_t dst_port,
                Bytes payload, SimTime arrival);
+  /// Single funnel for every drop: bumps the matching Stats field, runs
+  /// the diagnostic hook, and emits a "net.drop" trace event.
+  void record_drop(DropReason reason, const Endpoint& src,
+                   const Endpoint& dst);
 
   sim::Simulator& sim_;
   std::vector<Domain> domains_;
@@ -147,11 +154,15 @@ class Network {
   SimDuration nat_hop_ = 100 * kMicrosecond;
   Stats stats_;
   DropHook drop_hook_;
+  std::vector<MetricId> metric_ids_;
 
  public:
   /// Model used when both path ends are at the same site but in
   /// different domains (campus crossing).
   void set_same_site(LinkModel model) { same_site_ = model; }
 };
+
+/// Human-readable drop-reason label (used in traces and reports).
+[[nodiscard]] const char* to_string(Network::DropReason reason);
 
 }  // namespace wow::net

@@ -67,11 +67,33 @@ void LinkingEngine::start(const Address& target, ConnectionType type,
   attempt.uris = order_uris(std::move(uris));
   attempt.retries_left = config_.max_retries;
   attempt.rto = config_.initial_rto;
+  attempt.started = sim_.now();
+  if (sim_.trace().enabled()) {
+    attempt.span = sim_.trace().begin_span(
+        sim_.now(), "linking", self_.brief(), "link.attempt",
+        {{"target", attempt.target.brief()},
+         {"ctype", to_string(attempt.type)},
+         {"token", unsigned(token)},
+         {"uris", int(attempt.uris.size())}});
+  }
   auto [it, inserted] = attempts_.emplace(token, std::move(attempt));
   send_request(it->second);
 }
 
+void LinkingEngine::trace_attempt(const Attempt& attempt, const char* event) {
+  if (!sim_.trace().enabled()) return;
+  sim_.trace().event(sim_.now(), "linking", self_.brief(), event,
+                     {{"target", attempt.target.brief()},
+                      {"uri", attempt.uris[attempt.uri_index].to_string()},
+                      {"uri_index", int(attempt.uri_index)},
+                      {"rto_ms", to_millis(attempt.rto)},
+                      {"retries_left", attempt.retries_left},
+                      {"restarts", attempt.restarts}},
+                     attempt.span);
+}
+
 void LinkingEngine::send_request(Attempt& attempt) {
+  trace_attempt(attempt, "link.tx");
   LinkFrame frame;
   frame.type = LinkType::kRequest;
   frame.sender = self_;
@@ -102,6 +124,7 @@ void LinkingEngine::on_timeout(std::uint32_t token) {
     ++stats_.uri_failovers;
     attempt->retries_left = config_.max_retries;
     attempt->rto = config_.initial_rto;
+    trace_attempt(*attempt, "link.uri_failover");
     send_request(*attempt);
     return;
   }
@@ -109,6 +132,14 @@ void LinkingEngine::on_timeout(std::uint32_t token) {
   ++stats_.failures;
   Address target = attempt->target;
   ConnectionType type = attempt->type;
+  if (attempt->span != 0) {
+    sim_.trace().end_span(sim_.now(), "linking", self_.brief(), "link.failed",
+                          attempt->span,
+                          {{"target", target.brief()},
+                           {"reason", "uris_exhausted"},
+                           {"elapsed_s",
+                            to_seconds(sim_.now() - attempt->started)}});
+  }
   finish(token);
   if (callbacks_.on_failed) callbacks_.on_failed(target, type);
 }
@@ -122,6 +153,14 @@ void LinkingEngine::schedule_restart(Attempt& attempt) {
     Address target = attempt.target;
     ConnectionType type = attempt.type;
     std::uint32_t token = attempt.token;
+    if (attempt.span != 0) {
+      sim_.trace().end_span(sim_.now(), "linking", self_.brief(),
+                            "link.failed", attempt.span,
+                            {{"target", target.brief()},
+                             {"reason", "restarts_exhausted"},
+                             {"elapsed_s",
+                              to_seconds(sim_.now() - attempt.started)}});
+    }
     finish(token);
     if (callbacks_.on_failed) callbacks_.on_failed(target, type);
     return;
@@ -131,6 +170,13 @@ void LinkingEngine::schedule_restart(Attempt& attempt) {
     wait = std::min(wait * 2, config_.restart_backoff_max);
   }
   wait += sim_.rng().jitter(wait);  // jitter breaks repeated symmetry
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(sim_.now(), "linking", self_.brief(), "link.restart",
+                       {{"target", attempt.target.brief()},
+                        {"wait_ms", to_millis(wait)},
+                        {"restarts", attempt.restarts}},
+                       attempt.span);
+  }
   std::uint32_t token = attempt.token;
   attempt.timer = sim_.schedule(wait, [this, token] {
     Attempt* a = by_token(token);
@@ -187,10 +233,22 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
           err.token = frame.token;
           transport_.send_to(from, err.serialize());
           ++stats_.race_errors_sent;
+          if (sim_.trace().enabled()) {
+            sim_.trace().event(sim_.now(), "linking", self_.brief(),
+                               "link.race_veto",
+                               {{"peer", frame.sender.brief()}}, ours->span);
+          }
           return;
         }
         // We yield: abandon our attempt and answer the request below.
         ++stats_.race_aborts;
+        if (ours->span != 0) {
+          sim_.trace().end_span(sim_.now(), "linking", self_.brief(),
+                                "link.race_abort", ours->span,
+                                {{"peer", frame.sender.brief()},
+                                 {"elapsed_s",
+                                  to_seconds(sim_.now() - ours->started)}});
+        }
         finish(ours->token);
       }
       // Accept: record the connection and confirm.  Always report
@@ -225,6 +283,14 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
       ++stats_.established_active;
       net::Endpoint remote = attempt->uris[attempt->uri_index].endpoint;
       ConnectionType type = attempt->type;
+      if (attempt->span != 0) {
+        sim_.trace().end_span(
+            sim_.now(), "linking", self_.brief(), "link.established",
+            attempt->span,
+            {{"peer", frame.sender.brief()},
+             {"uri", attempt->uris[attempt->uri_index].to_string()},
+             {"elapsed_s", to_seconds(sim_.now() - attempt->started)}});
+      }
       finish(frame.token);
       callbacks_.on_established(frame.sender, frame.uris, remote, type);
       return;
@@ -238,6 +304,11 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
       }
       if (attempt == nullptr || attempt->in_restart_wait) return;
       ++stats_.race_aborts;
+      if (sim_.trace().enabled()) {
+        sim_.trace().event(sim_.now(), "linking", self_.brief(),
+                           "link.race_error",
+                           {{"peer", frame.sender.brief()}}, attempt->span);
+      }
       schedule_restart(*attempt);
       return;
     }

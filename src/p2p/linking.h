@@ -112,10 +112,17 @@ class LinkingEngine {
     int restarts = 0;
     bool in_restart_wait = false;
     sim::TimerHandle timer;
+    SimTime started = 0;
+    /// Trace span covering the whole attempt (every URI tried, each
+    /// RTO/backoff step, race aborts and restarts).  0 when no sink is
+    /// attached; never read by protocol logic.
+    std::uint64_t span = 0;
   };
 
   void send_request(Attempt& attempt);
   void on_timeout(std::uint32_t token);
+  /// Attempt-scoped trace event; no-op without a sink.
+  void trace_attempt(const Attempt& attempt, const char* event);
   void schedule_restart(Attempt& attempt);
   void finish(std::uint32_t token);
   [[nodiscard]] Attempt* by_token(std::uint32_t token);

@@ -39,6 +39,9 @@ Node::Node(sim::Simulator& simulator, net::Network& network, net::Host& host,
     config_.address = sim_.rng().ring_id();
     table_ = ConnectionTable(config_.address);
   }
+  trace_node_ = config_.address.brief();
+  log_component_ = "node/" + trace_node_;
+  register_metrics();
   shortcuts_ = std::make_unique<ShortcutOverlord>(
       config_.shortcut,
       ShortcutOverlord::Hooks{
@@ -50,11 +53,92 @@ Node::Node(sim::Simulator& simulator, net::Network& network, net::Host& host,
 }
 
 void Node::log(LogLevel level, const std::string& message) const {
-  sim_.logger().log(level, sim_.now(), config_.address.brief(), message);
+  sim_.logger().log(level, sim_.now(), log_component_, message);
+}
+
+void Node::register_metrics() {
+  MetricsRegistry& reg = sim_.metrics();
+  MetricLabels labels{trace_node_, "node"};
+  auto add = [&](const char* name, auto fn) {
+    metric_ids_.push_back(reg.add_gauge(name, labels, std::move(fn)));
+  };
+  // Stats fields are exposed as callback gauges instead of counters so
+  // the hot paths keep their plain ++stats_ increments.
+  add("node_data_sent", [this] { return double(stats_.data_sent); });
+  add("node_data_delivered",
+      [this] { return double(stats_.data_delivered); });
+  add("node_data_forwarded",
+      [this] { return double(stats_.data_forwarded); });
+  add("node_dropped_no_connection",
+      [this] { return double(stats_.dropped_no_connection); });
+  add("node_dropped_no_route",
+      [this] { return double(stats_.dropped_no_route); });
+  add("node_dropped_ttl", [this] { return double(stats_.dropped_ttl); });
+  add("node_ctm_sent", [this] { return double(stats_.ctm_sent); });
+  add("node_ctm_received", [this] { return double(stats_.ctm_received); });
+  add("node_connections_added",
+      [this] { return double(stats_.connections_added); });
+  add("node_connections_lost",
+      [this] { return double(stats_.connections_lost); });
+  add("node_pings_sent", [this] { return double(stats_.pings_sent); });
+  add("node_delivered_hops",
+      [this] { return double(stats_.delivered_hops); });
+  add("node_connections", [this] { return double(table_.size()); });
+  add("node_routable", [this] { return routable() ? 1.0 : 0.0; });
+
+  MetricLabels link_labels{trace_node_, "linking"};
+  auto add_link = [&](const char* name, auto fn) {
+    metric_ids_.push_back(reg.add_gauge(name, link_labels, std::move(fn)));
+  };
+  // linking_ is rebuilt on every start(); going through the pointer
+  // keeps the gauges valid across restarts (0 while stopped).
+  add_link("link_attempts_started", [this] {
+    return linking_ ? double(linking_->stats().attempts_started) : 0.0;
+  });
+  add_link("link_established_active", [this] {
+    return linking_ ? double(linking_->stats().established_active) : 0.0;
+  });
+  add_link("link_established_passive", [this] {
+    return linking_ ? double(linking_->stats().established_passive) : 0.0;
+  });
+  add_link("link_uri_failovers", [this] {
+    return linking_ ? double(linking_->stats().uri_failovers) : 0.0;
+  });
+  add_link("link_race_aborts", [this] {
+    return linking_ ? double(linking_->stats().race_aborts) : 0.0;
+  });
+  add_link("link_failures", [this] {
+    return linking_ ? double(linking_->stats().failures) : 0.0;
+  });
+}
+
+void Node::trace_packet(const char* event, const RoutedPacket& packet,
+                        const char* reason) const {
+  Tracer& tracer = sim_.trace();
+  if (!tracer.enabled()) return;
+  if (reason != nullptr) {
+    tracer.event(sim_.now(), "node", trace_node_, event,
+                 {{"pkt", packet.trace_id},
+                  {"src", packet.src.brief()},
+                  {"dst", packet.dst.brief()},
+                  {"type", int(packet.type)},
+                  {"hops", int(packet.hops)},
+                  {"ttl", int(packet.ttl)},
+                  {"reason", reason}});
+  } else {
+    tracer.event(sim_.now(), "node", trace_node_, event,
+                 {{"pkt", packet.trace_id},
+                  {"src", packet.src.brief()},
+                  {"dst", packet.dst.brief()},
+                  {"type", int(packet.type)},
+                  {"hops", int(packet.hops)},
+                  {"ttl", int(packet.ttl)}});
+  }
 }
 
 Node::~Node() {
   if (running_) stop();
+  for (MetricId id : metric_ids_) sim_.metrics().remove(id);
 }
 
 void Node::start() {
@@ -87,6 +171,11 @@ void Node::start() {
   running_ = true;
   routable_since_.reset();
   last_stabilize_ = -(1LL << 60);
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(sim_.now(), "node", trace_node_, "node.start",
+                       {{"port", int(config_.port)},
+                        {"bootstrap", int(config_.bootstrap.size())}});
+  }
 
   // Jittered overlord timers so a testbed of nodes doesn't tick in
   // lockstep.
@@ -100,6 +189,10 @@ void Node::start() {
 void Node::stop() {
   if (!running_) return;
   running_ = false;
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(sim_.now(), "node", trace_node_, "node.stop",
+                       {{"connections", int(table_.size())}});
+  }
   sim_.cancel(maintenance_timer_);
   sim_.cancel(keepalive_timer_);
   if (linking_) linking_->abort_all();
@@ -221,6 +314,7 @@ void Node::route(RoutedPacket packet) {
   if (has_via) {
     // Could not reach the forwarding agent; give up.
     ++stats_.dropped_no_route;
+    trace_packet("packet.drop", packet, "no_agent");
     return;
   }
   if (packet.mode == DeliveryMode::kNearest) {
@@ -231,16 +325,26 @@ void Node::route(RoutedPacket packet) {
   // Exact-delivery packet stranded at the nearest node: the destination
   // is not (or no longer) in the ring.  IPOP semantics: drop.
   ++stats_.dropped_no_route;
+  trace_packet("packet.drop", packet, "no_route");
 }
 
 void Node::forward_to(const Connection& next, RoutedPacket packet) {
   if (packet.ttl == 0) {
     ++stats_.dropped_ttl;
+    trace_packet("packet.drop", packet, "ttl");
     return;
   }
   --packet.ttl;
   ++packet.hops;
   if (packet.src != config_.address) ++stats_.data_forwarded;
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(sim_.now(), "node", trace_node_, "packet.forward",
+                       {{"pkt", packet.trace_id},
+                        {"next", next.addr.brief()},
+                        {"dst", packet.dst.brief()},
+                        {"hops", int(packet.hops)},
+                        {"ttl", int(packet.ttl)}});
+  }
   transport_->send_to(next.remote, packet.serialize());
 }
 
@@ -268,10 +372,12 @@ void Node::deliver_local(const RoutedPacket& packet) {
     case RoutedType::kData:
       if (packet.dst != config_.address) {
         ++stats_.dropped_no_route;
+        trace_packet("packet.drop", packet, "wrong_consumer");
         return;
       }
       ++stats_.data_delivered;
       stats_.delivered_hops += packet.hops;
+      trace_packet("packet.deliver", packet, nullptr);
       shortcuts_->on_traffic(packet.src, sim_.now());
       if (data_handler_) data_handler_(packet.src, packet.payload);
       return;
@@ -289,7 +395,6 @@ void Node::deliver_local(const RoutedPacket& packet) {
 void Node::initiate_ctm(const Address& target, ConnectionType type) {
   if (!running_ || table_.empty()) return;
   std::uint32_t token = next_ctm_token_++;
-  pending_ctms_[token] = PendingCtm{target, type, sim_.now()};
 
   CtmRequest req;
   req.con_type = type;
@@ -302,7 +407,19 @@ void Node::initiate_ctm(const Address& target, ConnectionType type) {
   packet.ttl = config_.ttl;
   packet.mode = DeliveryMode::kNearest;
   packet.type = RoutedType::kCtmRequest;
+  packet.trace_id = sim_.next_trace_id();
   packet.payload = req.serialize();
+
+  std::uint64_t span = 0;
+  if (sim_.trace().enabled()) {
+    span = sim_.trace().begin_span(sim_.now(), "node", trace_node_,
+                                   "ctm.request",
+                                   {{"target", target.brief()},
+                                    {"ctype", to_string(type)},
+                                    {"token", unsigned(token)},
+                                    {"pkt", packet.trace_id}});
+  }
+  pending_ctms_[token] = PendingCtm{target, type, sim_.now(), span};
   ++stats_.ctm_sent;
   route(std::move(packet));
 }
@@ -338,9 +455,6 @@ void Node::send_join_ctm() {
     if (agent == nullptr) continue;
 
     std::uint32_t token = next_ctm_token_++;
-    pending_ctms_[token] =
-        PendingCtm{config_.address, ConnectionType::kStructuredNear,
-                   sim_.now()};
     CtmRequest req;
     req.con_type = ConnectionType::kStructuredNear;
     req.token = token;
@@ -353,7 +467,23 @@ void Node::send_join_ctm() {
     packet.ttl = config_.ttl;
     packet.mode = DeliveryMode::kNearest;
     packet.type = RoutedType::kCtmRequest;
+    packet.trace_id = sim_.next_trace_id();
     packet.payload = req.serialize();
+
+    std::uint64_t span = 0;
+    if (sim_.trace().enabled()) {
+      span = sim_.trace().begin_span(sim_.now(), "node", trace_node_,
+                                     "ctm.request",
+                                     {{"target", config_.address.brief()},
+                                      {"ctype", "near"},
+                                      {"token", unsigned(token)},
+                                      {"agent", agent->addr.brief()},
+                                      {"pkt", packet.trace_id},
+                                      {"join", 1}});
+    }
+    pending_ctms_[token] =
+        PendingCtm{config_.address, ConnectionType::kStructuredNear,
+                   sim_.now(), span};
     ++stats_.ctm_sent;
     forward_to(*agent, std::move(packet));
   }
@@ -364,6 +494,14 @@ void Node::handle_ctm_request(const RoutedPacket& packet) {
   ++stats_.ctm_received;
   auto req = CtmRequest::parse(packet.payload);
   if (!req) return;
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(sim_.now(), "node", trace_node_, "ctm.received",
+                       {{"src", packet.src.brief()},
+                        {"ctype", to_string(req->con_type)},
+                        {"token", unsigned(req->token)},
+                        {"pkt", packet.trace_id},
+                        {"hops", int(packet.hops)}});
+  }
 
   // Already connected (e.g. a leaf link): record the stronger role the
   // peer is asking for; no new handshake is needed.
@@ -398,6 +536,7 @@ void Node::handle_ctm_request(const RoutedPacket& packet) {
   out.ttl = config_.ttl;
   out.mode = DeliveryMode::kExact;
   out.type = RoutedType::kCtmReply;
+  out.trace_id = sim_.next_trace_id();
   out.payload = reply.serialize();
   route(std::move(out));
 
@@ -412,6 +551,14 @@ void Node::handle_ctm_reply(const RoutedPacket& packet) {
   auto pending = pending_ctms_.find(reply->token);
   if (pending == pending_ctms_.end()) return;
   ConnectionType type = pending->second.type;
+  if (pending->second.span != 0) {
+    sim_.trace().end_span(
+        sim_.now(), "node", trace_node_, "ctm.reply", pending->second.span,
+        {{"responder", packet.src.brief()},
+         {"rtt_s", to_seconds(sim_.now() - pending->second.sent)},
+         {"hops", int(packet.hops)},
+         {"neighbors", int(reply->neighbors.size())}});
+  }
   pending_ctms_.erase(pending);
 
   if (Connection* existing = table_.find(packet.src)) {
@@ -438,17 +585,22 @@ void Node::send_data(const Address& dst, Bytes payload) {
   ++stats_.data_sent;
   if (!running_ || dst == config_.address) return;
   shortcuts_->on_traffic(dst, sim_.now());
-  if (table_.empty()) {
-    ++stats_.dropped_no_connection;
-    return;
-  }
   RoutedPacket packet;
   packet.src = config_.address;
   packet.dst = dst;
   packet.ttl = config_.ttl;
   packet.mode = DeliveryMode::kExact;
   packet.type = RoutedType::kData;
+  // The id is drawn unconditionally (one counter increment) so that
+  // attaching a trace sink never changes wire bytes or event order.
+  packet.trace_id = sim_.next_trace_id();
   packet.payload = std::move(payload);
+  if (table_.empty()) {
+    ++stats_.dropped_no_connection;
+    trace_packet("packet.drop", packet, "no_connection");
+    return;
+  }
+  trace_packet("packet.send", packet, nullptr);
   route(std::move(packet));
 }
 
@@ -468,9 +620,14 @@ void Node::on_link_established(const Address& peer,
   bool added = table_.add(std::move(c));
   if (added) {
     ++stats_.connections_added;
-    if (sim_.logger().enabled(LogLevel::kDebug)) {
-      log(LogLevel::kDebug, std::string("+conn ") + to_string(type) + " " +
-                                peer.brief() + " via " + remote.to_string());
+    WOW_LOG(sim_.logger(), LogLevel::kDebug, sim_.now(), log_component_,
+            std::string("+conn ") + to_string(type) + " " + peer.brief() +
+                " via " + remote.to_string());
+    if (sim_.trace().enabled()) {
+      sim_.trace().event(sim_.now(), "node", trace_node_, "conn.added",
+                         {{"peer", peer.brief()},
+                          {"ctype", to_string(type)},
+                          {"remote", remote.to_string()}});
     }
     if (type == ConnectionType::kStructuredNear ||
         type == ConnectionType::kLeaf) {
@@ -515,9 +672,11 @@ void Node::drop_connection(const Address& peer, bool send_close) {
     fast_stabilize_until_ = sim_.now() + kMinute;
   }
   ++stats_.connections_lost;
-  if (sim_.logger().enabled(LogLevel::kDebug)) {
-    log(LogLevel::kDebug,
-        std::string("-conn ") + to_string(type) + " " + peer.brief());
+  WOW_LOG(sim_.logger(), LogLevel::kDebug, sim_.now(), log_component_,
+          std::string("-conn ") + to_string(type) + " " + peer.brief());
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(sim_.now(), "node", trace_node_, "conn.lost",
+                       {{"peer", peer.brief()}, {"ctype", to_string(type)}});
   }
   if (disconnection_handler_) disconnection_handler_(peer, type);
 }
@@ -543,6 +702,10 @@ void Node::update_routable() {
   if (!routable_since_ && routable()) {
     routable_since_ = sim_.now();
     log(LogLevel::kInfo, "fully routable");
+    if (sim_.trace().enabled()) {
+      sim_.trace().event(sim_.now(), "node", trace_node_, "node.routable",
+                         {{"connections", int(table_.size())}});
+    }
   }
 }
 
@@ -558,6 +721,11 @@ void Node::maintenance() {
   // Expire CTMs whose replies never came (lost over a loaded path).
   for (auto it = pending_ctms_.begin(); it != pending_ctms_.end();) {
     if (sim_.now() - it->second.sent > 2 * kMinute) {
+      if (it->second.span != 0) {
+        sim_.trace().end_span(sim_.now(), "node", trace_node_, "ctm.expired",
+                              it->second.span,
+                              {{"target", it->second.target.brief()}});
+      }
       it = pending_ctms_.erase(it);
     } else {
       ++it;

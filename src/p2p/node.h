@@ -164,6 +164,9 @@ class Node {
     Address target;
     ConnectionType type;
     SimTime sent;
+    /// Trace correlation id of the request→reply lifecycle span (0 when
+    /// no sink is attached; never read by protocol logic).
+    std::uint64_t span = 0;
   };
 
   // frame plumbing
@@ -184,6 +187,11 @@ class Node {
 
   // diagnostics
   void log(LogLevel level, const std::string& message) const;
+  void register_metrics();
+  /// Emit a packet-level trace event ("packet.send", "packet.forward",
+  /// "packet.drop", ...).  `reason` may be empty.
+  void trace_packet(const char* event, const RoutedPacket& packet,
+                    const char* reason) const;
 
   // connection lifecycle
   void on_link_established(const Address& peer,
@@ -230,6 +238,11 @@ class Node {
   std::optional<SimTime> routable_since_;
   bool running_ = false;
   Stats stats_;
+  /// Cached labels: ring-address brief for traces/metrics, and the
+  /// hierarchical logger component ("node/<brief>").
+  std::string trace_node_;
+  std::string log_component_;
+  std::vector<MetricId> metric_ids_;
 };
 
 }  // namespace wow::p2p

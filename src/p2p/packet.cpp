@@ -31,6 +31,7 @@ Bytes RoutedPacket::serialize() const {
   w.ring_id(src);
   w.ring_id(dst);
   w.ring_id(via);
+  w.u64(trace_id);
   w.raw(payload);
   return std::move(w).take();
 }
@@ -51,7 +52,9 @@ std::optional<RoutedPacket> RoutedPacket::parse(
   auto src = r.ring_id();
   auto dst = r.ring_id();
   auto via = r.ring_id();
-  if (!ttl || !hops || !mode || !bounced || !type || !src || !dst || !via) {
+  auto trace_id = r.u64();
+  if (!ttl || !hops || !mode || !bounced || !type || !src || !dst || !via ||
+      !trace_id) {
     return std::nullopt;
   }
   if (*mode != static_cast<std::uint8_t>(DeliveryMode::kExact) &&
@@ -67,6 +70,7 @@ std::optional<RoutedPacket> RoutedPacket::parse(
   p.src = *src;
   p.dst = *dst;
   p.via = *via;
+  p.trace_id = *trace_id;
   auto rest = r.rest();
   p.payload.assign(rest.begin(), rest.end());
   return p;

@@ -59,6 +59,11 @@ struct RoutedPacket {
   /// gap endpoints don't bounce it back and forth.
   bool bounced = false;
   RoutedType type = RoutedType::kData;
+  /// Observability correlation id, carried on the wire so every node a
+  /// packet visits logs the same id: a packet's hop-by-hop path and its
+  /// drop reason are reconstructable from a merged trace.  Assigned by
+  /// the origin from Simulator::next_trace_id(); 0 = untraced.
+  std::uint64_t trace_id = 0;
   Bytes payload;
 
   [[nodiscard]] Bytes serialize() const;

@@ -4,6 +4,22 @@
 
 namespace wow::sim {
 
+Simulator::Simulator(std::uint64_t seed, LogLevel log_level)
+    : rng_(seed), logger_(log_level) {
+  MetricLabels labels{"", "sim"};
+  metrics_.add_gauge("sim_pending_events", labels, [this] {
+    return static_cast<double>(callbacks_.size());
+  });
+  metrics_.add_gauge("sim_queue_tombstones", labels, [this] {
+    return static_cast<double>(tombstone_slack());
+  });
+  metrics_.add_gauge("sim_executed_events", labels, [this] {
+    return static_cast<double>(executed_);
+  });
+  metrics_.add_gauge("sim_now_seconds", labels,
+                     [this] { return to_seconds(now_); });
+}
+
 TimerHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;
   return schedule_at(now_ + delay, std::move(fn));

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "common/trace.h"
 
 namespace wow::sim {
 
@@ -32,8 +34,7 @@ struct TimerHandle {
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1,
-                     LogLevel log_level = LogLevel::kWarn)
-      : rng_(seed), logger_(log_level) {}
+                     LogLevel log_level = LogLevel::kWarn);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -41,6 +42,19 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] Logger& logger() { return logger_; }
+
+  /// Run-wide observability hub.  The simulator owns the registry and
+  /// tracer so every component reachable from it (they all hold a
+  /// Simulator&) can instrument itself without extra plumbing.  Both are
+  /// pure observers: attaching a sink or snapshotting metrics never
+  /// touches the RNG or the event queue.
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Tracer& trace() { return trace_; }
+
+  /// Monotonic id for packet-level tracing.  Consumed unconditionally by
+  /// the data plane (it is one increment) so that enabling a trace sink
+  /// cannot change any id and therefore any wire byte.
+  [[nodiscard]] std::uint64_t next_trace_id() { return next_trace_id_++; }
 
   /// Schedule `fn` to run `delay` from now.  Negative delays clamp to 0
   /// (fire on the next step).
@@ -71,6 +85,12 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return callbacks_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Cancelled-event tombstones still sitting in the queue (the O(1)
+  /// cancel trade-off); queue memory is pending_events + this.
+  [[nodiscard]] std::size_t tombstone_slack() const {
+    return queue_.size() - callbacks_.size();
+  }
+
  private:
   struct QueuedEvent {
     SimTime when;
@@ -83,12 +103,15 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t next_trace_id_ = 1;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
                       std::greater<QueuedEvent>>
       queue_;
   std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
   Rng rng_;
   Logger logger_;
+  MetricsRegistry metrics_;
+  Tracer trace_;
 };
 
 }  // namespace wow::sim

@@ -7,6 +7,10 @@ namespace wow::transport {
 Transport::Transport(net::Network& network, net::Host& host,
                      std::uint16_t port)
     : network_(network), host_(&host), port_(port) {
+  // One shared fleet-wide counter (pointer stays valid: the registry
+  // never relocates entries).
+  sent_ = &network_.simulator().metrics().counter("transport_datagrams_sent",
+                                                  MetricLabels{"", "transport"});
   bind();
 }
 
@@ -20,6 +24,7 @@ void Transport::bind() {
 
 void Transport::send_to(const net::Endpoint& dst, Bytes payload) {
   if (!open_) return;
+  sent_->inc();
   network_.send(*host_, port_, dst, std::move(payload));
 }
 

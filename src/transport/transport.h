@@ -76,6 +76,8 @@ class Transport {
   Receiver receiver_;
   std::vector<Uri> public_uris_;
   bool open_ = false;
+  /// Fleet-wide datagram counter, owned by the simulator's registry.
+  MetricCounter* sent_ = nullptr;
 };
 
 }  // namespace wow::transport

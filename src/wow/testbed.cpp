@@ -167,6 +167,49 @@ Testbed::Testbed(sim::Simulator& simulator, TestbedConfig config)
                                    phys(5, 33), vip(33)));
   compute_.push_back(build_compute("node034", 34, 0.49, dom_gru_vm, site_gru,
                                    phys(6, 34), vip(34)));
+
+  // --- testbed-level aggregates -------------------------------------------
+  MetricLabels labels{"", "testbed"};
+  metric_ids_.push_back(sim_.metrics().add_gauge(
+      "testbed_routers", labels,
+      [this] { return static_cast<double>(routers_.size()); }));
+  metric_ids_.push_back(sim_.metrics().add_gauge(
+      "testbed_compute_nodes", labels,
+      [this] { return static_cast<double>(compute_.size()); }));
+  metric_ids_.push_back(sim_.metrics().add_gauge(
+      "testbed_routable_compute", labels,
+      [this] { return static_cast<double>(routable_compute_nodes()); }));
+  metric_ids_.push_back(sim_.metrics().add_gauge(
+      "testbed_routable_routers", labels, [this] {
+        int count = 0;
+        for (const auto& r : routers_) {
+          if (r->routable()) ++count;
+        }
+        return static_cast<double>(count);
+      }));
+}
+
+Testbed::~Testbed() {
+  for (MetricId id : metric_ids_) sim_.metrics().remove(id);
+  if (trace_sink_) sim_.trace().detach();
+}
+
+bool Testbed::attach_trace(const std::string& path) {
+  auto sink = std::make_unique<FileTraceSink>(path);
+  if (!sink->ok()) return false;
+  trace_sink_ = std::move(sink);
+  sim_.trace().attach(trace_sink_.get());
+  return true;
+}
+
+bool Testbed::write_metrics_report(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = sim_.metrics().to_json();
+  std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  bool closed = std::fclose(f) == 0;
+  return written == json.size() && closed;
 }
 
 p2p::NodeConfig Testbed::base_node_config() const {

@@ -72,6 +72,9 @@ class Testbed {
   };
 
   Testbed(sim::Simulator& simulator, TestbedConfig config);
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
 
   /// Start the PlanetLab bootstrap overlay only.
   void start_routers();
@@ -94,6 +97,16 @@ class Testbed {
 
   /// Fraction of compute nodes that are fully routable.
   [[nodiscard]] int routable_compute_nodes() const;
+
+  /// Attach a JSONL trace sink writing to `path`; every overlay event
+  /// from now on is recorded (consumed by tools/trace_report).  Returns
+  /// false if the file cannot be opened.  The sink is detached and
+  /// flushed when the Testbed is destroyed.
+  bool attach_trace(const std::string& path);
+
+  /// Write the full metrics registry (simulator, net, transport, node,
+  /// linking, testbed) as a JSON report.  Returns false on I/O error.
+  [[nodiscard]] bool write_metrics_report(const std::string& path) const;
 
   /// Create one extra compute node at a site (used by the join-profile
   /// experiments, which repeatedly instantiate a fresh node "B").
@@ -127,6 +140,8 @@ class Testbed {
   std::vector<ComputeNode> compute_;
   std::vector<transport::Uri> bootstrap_;
   int extra_ip_counter_ = 0;
+  std::unique_ptr<FileTraceSink> trace_sink_;
+  std::vector<MetricId> metric_ids_;
 };
 
 }  // namespace wow

@@ -219,6 +219,33 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  // Empty input: every percentile degrades to 0 rather than reading
+  // out of bounds.
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+  // Single element: every percentile is that element.
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 99), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 100), 42.0);
+}
+
+TEST(Stats, HistogramRenderPreservesTotals) {
+  Histogram h(0.0, 4.0, 4);
+  for (double v : {-1.0, 0.5, 1.5, 2.5, 3.5, 9.0}) h.add(v);
+  EXPECT_EQ(h.total(), 6u);  // clamped samples still count
+  std::string rows = h.render();
+  // One row per bin, each carrying its count; the counts sum to total().
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(rows.begin(), rows.end(), '\n')),
+            h.bins());
+  std::size_t sum = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) sum += h.count(b);
+  EXPECT_EQ(sum, h.total());
+  EXPECT_NE(rows.find("33.3%"), std::string::npos);  // bin 0: 2 of 6
+}
+
 TEST(Rng, Deterministic) {
   Rng a(123), b(123);
   for (int i = 0; i < 50; ++i) {

@@ -53,6 +53,43 @@ TEST(Determinism, DifferentSeedsDiverge) {
   EXPECT_NE(run_overlay(12345), run_overlay(54321));
 }
 
+/// The observability layer is a pure observer: attaching a trace sink
+/// and snapshotting metrics mid-run must leave the simulation byte-
+/// identical to an uninstrumented run.
+TEST(Determinism, TracingAndMetricsDoNotPerturbRuns) {
+  auto run = [](bool instrumented, std::uint64_t* executed) {
+    StringTraceSink sink;
+    testing::PublicOverlay net(10, 4242);
+    if (instrumented) net.sim.trace().attach(&sink);
+    net.start_all();
+    net.sim.run_until(3 * kMinute);
+    if (instrumented) {
+      // Mid-run metric snapshots must not perturb either.
+      (void)net.sim.metrics().to_json();
+      (void)net.sim.metrics().to_prometheus();
+    }
+    for (auto& a : net.nodes) {
+      for (auto& b : net.nodes) {
+        if (a != b) a->send_data(b->address(), Bytes{7});
+      }
+    }
+    net.sim.run_for(kMinute);
+    *executed = net.sim.executed_events();
+    std::string fp = fingerprint(net);
+    if (instrumented) {
+      EXPECT_FALSE(sink.lines().empty());
+      net.sim.trace().detach();
+    }
+    return fp;
+  };
+  std::uint64_t plain_events = 0;
+  std::uint64_t traced_events = 0;
+  std::string plain = run(false, &plain_events);
+  std::string traced = run(true, &traced_events);
+  EXPECT_EQ(plain, traced);
+  EXPECT_EQ(plain_events, traced_events);
+}
+
 TEST(Determinism, TestbedCountersReproduce) {
   auto run = [](std::uint64_t seed) {
     sim::Simulator sim(seed);

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "test_util.h"
+
+namespace wow {
+namespace {
+
+TEST(MetricsRegistry, CounterGetOrCreate) {
+  MetricsRegistry reg;
+  MetricLabels a{"n1", "node"};
+  MetricCounter& c1 = reg.counter("pkts", a);
+  c1.inc();
+  c1.inc(4);
+  MetricCounter& c2 = reg.counter("pkts", a);
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 5u);
+  // Different labels => different instance.
+  MetricCounter& c3 = reg.counter("pkts", MetricLabels{"n2", "node"});
+  EXPECT_NE(&c1, &c3);
+  EXPECT_EQ(c3.value(), 0u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, GaugeCallbackAndRemove) {
+  MetricsRegistry reg;
+  double live = 1.5;
+  MetricId id = reg.add_gauge("depth", {}, [&live] { return live; });
+  live = 7.0;
+  auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].kind, MetricsRegistry::Sample::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(samples[0].value, 7.0);
+
+  reg.remove(id);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_TRUE(reg.snapshot().empty());
+
+  // Re-registering the same name revives the slot with the new callback.
+  double other = 3.0;
+  reg.add_gauge("depth", {}, [&other] { return other; });
+  samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 3.0);
+}
+
+TEST(MetricsRegistry, HistogramRegistersAndExports) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {"", "net"}, 0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(999.0);  // clamps into the last bin
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(&h, &reg.histogram("lat", {"", "net"}, 0.0, 10.0, 5));
+
+  std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"name\":\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[1,1,0,0,1]"), std::string::npos);
+
+  std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE wow_lat histogram"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find("wow_lat_count"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonCarriesLabels) {
+  MetricsRegistry reg;
+  reg.counter("pkts", MetricLabels{"abcd", "node"}).inc(42);
+  std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"node\":\"abcd\""), std::string::npos);
+  EXPECT_NE(json.find("\"component\":\"node\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":42"), std::string::npos);
+}
+
+TEST(Logger, ComponentLevelFiltering) {
+  Logger logger(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug, "linking"));
+  logger.set_component_level("linking", LogLevel::kDebug);
+  EXPECT_TRUE(logger.enabled(LogLevel::kDebug, "linking"));
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug, "node"));  // untouched
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn, "node"));
+
+  // Subtree fallback: "node/<brief>" inherits the "node" override; an
+  // exact entry beats the subtree.
+  logger.set_component_level("node", LogLevel::kDebug);
+  EXPECT_TRUE(logger.enabled(LogLevel::kDebug, "node/ab12"));
+  logger.set_component_level("node/ab12", LogLevel::kError);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug, "node/ab12"));
+  EXPECT_TRUE(logger.enabled(LogLevel::kDebug, "node/cd34"));
+
+  logger.clear_component_levels();
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug, "node/cd34"));
+}
+
+TEST(Logger, WowLogBuildsMessageLazily) {
+  Logger logger(LogLevel::kWarn);
+  int built = 0;
+  auto expensive = [&built] {
+    ++built;
+    return std::string("message");
+  };
+  WOW_LOG(logger, LogLevel::kDebug, 0, "linking", expensive());
+  EXPECT_EQ(built, 0);  // disabled: never constructed
+  logger.set_component_level("linking", LogLevel::kTrace);
+  // Route the enabled call to /dev/null rather than polluting stderr.
+  std::FILE* sink = std::fopen("/dev/null", "w");
+  ASSERT_NE(sink, nullptr);
+  Logger quiet(LogLevel::kWarn, sink);
+  quiet.set_component_level("linking", LogLevel::kTrace);
+  WOW_LOG(quiet, LogLevel::kDebug, 0, "linking", expensive());
+  EXPECT_EQ(built, 1);
+  std::fclose(sink);
+}
+
+TEST(Tracer, DisabledIsNullObject) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.event(0, "c", "n", "ev", {{"k", 1}});
+  EXPECT_EQ(tracer.begin_span(0, "c", "n", "ev"), 0u);
+  tracer.end_span(0, "c", "n", "ev", 0);
+}
+
+TEST(Tracer, EmitsJsonRecords) {
+  Tracer tracer;
+  StringTraceSink sink;
+  tracer.attach(&sink);
+  tracer.event(1500000, "node", "ab12", "packet.send",
+               {{"dst", "cd34"}, {"hops", 3}});
+  ASSERT_EQ(sink.lines().size(), 1u);
+  EXPECT_EQ(sink.lines()[0],
+            "{\"t\":1.500000,\"ev\":\"packet.send\",\"c\":\"node\","
+            "\"node\":\"ab12\",\"dst\":\"cd34\",\"hops\":3}");
+}
+
+TEST(Tracer, SpansCorrelate) {
+  Tracer tracer;
+  StringTraceSink sink;
+  tracer.attach(&sink);
+  std::uint64_t s1 = tracer.begin_span(0, "linking", "n", "link.attempt");
+  std::uint64_t s2 = tracer.begin_span(0, "linking", "n", "link.attempt");
+  EXPECT_NE(s1, 0u);
+  EXPECT_NE(s2, s1);
+  tracer.end_span(2000000, "linking", "n", "link.established", s1,
+                  {{"elapsed_s", 2.0}});
+  ASSERT_EQ(sink.lines().size(), 3u);
+  std::string want = "\"span\":" + std::to_string(s1);
+  EXPECT_NE(sink.lines()[0].find(want), std::string::npos);
+  EXPECT_NE(sink.lines()[2].find(want), std::string::npos);
+  tracer.detach();
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(Tracer, EscapesStrings) {
+  Tracer tracer;
+  StringTraceSink sink;
+  tracer.attach(&sink);
+  tracer.event(0, "c", "", "ev", {{"msg", "a\"b\\c\nd"}});
+  ASSERT_EQ(sink.lines().size(), 1u);
+  EXPECT_NE(sink.lines()[0].find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+/// End-to-end: a small overlay run with a sink attached must produce the
+/// join/CTM/linking event stream trace_report consumes, and the metrics
+/// registry must cover every instrumented subsystem.
+TEST(OverlayObservability, TraceAndMetricsCoverJoin) {
+  testing::PublicOverlay net(8, 11);
+  StringTraceSink sink;
+  net.sim.trace().attach(&sink);
+  net.start_all();
+  net.sim.run_until(2 * kMinute);
+  for (auto& a : net.nodes) {
+    for (auto& b : net.nodes) {
+      if (a != b) a->send_data(b->address(), Bytes{1, 2, 3});
+    }
+  }
+  net.sim.run_for(30 * kSecond);
+  net.sim.trace().detach();
+
+  EXPECT_EQ(net.routable_count(), 8);
+
+  auto count_event = [&](std::string_view name) {
+    std::string needle = "\"ev\":\"";
+    needle += name;
+    needle += "\"";
+    std::size_t n = 0;
+    for (const std::string& line : sink.lines()) {
+      if (line.find(needle) != std::string::npos) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_event("node.start"), 8u);
+  EXPECT_EQ(count_event("node.routable"), 8u);
+  EXPECT_GT(count_event("ctm.request"), 0u);
+  EXPECT_GT(count_event("ctm.reply"), 0u);
+  EXPECT_GT(count_event("link.attempt"), 0u);
+  EXPECT_GT(count_event("link.established"), 0u);
+  EXPECT_GT(count_event("conn.added"), 0u);
+  EXPECT_GT(count_event("packet.deliver"), 0u);
+
+  // Every record is one-line JSON ending in '}' with the required head.
+  for (const std::string& line : sink.lines()) {
+    EXPECT_EQ(line.rfind("{\"t\":", 0), 0u) << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  }
+
+  std::string json = net.sim.metrics().to_json();
+  EXPECT_NE(json.find("\"component\":\"sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"component\":\"net\""), std::string::npos);
+  EXPECT_NE(json.find("\"component\":\"transport\""), std::string::npos);
+  EXPECT_NE(json.find("\"component\":\"node\""), std::string::npos);
+  EXPECT_NE(json.find("\"component\":\"linking\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node_connections\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sim_pending_events\""), std::string::npos);
+}
+
+/// Destroying a component must unregister its gauges: a snapshot taken
+/// afterwards cannot touch freed state.
+TEST(OverlayObservability, ComponentDestructionUnregistersGauges) {
+  sim::Simulator sim(5);
+  std::size_t sim_only = sim.metrics().size();
+  {
+    net::Network network(sim);
+    std::size_t with_net = sim.metrics().size();
+    EXPECT_GT(with_net, sim_only);
+    auto site = network.add_site("s");
+    auto& host = network.add_host(net::Ipv4Addr(128, 1, 0, 1),
+                                  net::Network::kInternet, site, {});
+    {
+      p2p::Node node(sim, network, host, {});
+      EXPECT_GT(sim.metrics().size(), with_net);
+      (void)sim.metrics().to_json();  // all gauges evaluable while alive
+    }
+    EXPECT_EQ(sim.metrics().size(), with_net);
+    (void)sim.metrics().to_json();  // ...and after the node is gone
+  }
+  EXPECT_EQ(sim.metrics().size(), sim_only);
+}
+
+}  // namespace
+}  // namespace wow

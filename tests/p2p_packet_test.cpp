@@ -60,6 +60,7 @@ TEST(RoutedPacketWire, RoundTrip) {
   p.mode = DeliveryMode::kNearest;
   p.bounced = true;
   p.type = RoutedType::kCtmRequest;
+  p.trace_id = 0xfeedfacecafef00dull;
   p.payload = Bytes{9, 8, 7, 6};
 
   auto frame = p.serialize();
@@ -74,6 +75,7 @@ TEST(RoutedPacketWire, RoundTrip) {
   EXPECT_EQ(q->mode, p.mode);
   EXPECT_EQ(q->bounced, p.bounced);
   EXPECT_EQ(q->type, p.type);
+  EXPECT_EQ(q->trace_id, p.trace_id);
   EXPECT_EQ(q->payload, p.payload);
 }
 
@@ -85,7 +87,7 @@ TEST(RoutedPacketWire, RejectsTruncated) {
         std::span<const std::uint8_t>(frame.data(), frame.size() - cut);
     // Truncating into the payload region still parses (payload is the
     // tail); truncating into the header must fail.
-    if (frame.size() - cut < 66) {
+    if (frame.size() - cut < 74) {
       EXPECT_FALSE(RoutedPacket::parse(truncated).has_value());
     }
   }

@@ -1,0 +1,221 @@
+// Offline analyzer for JSONL overlay traces (common/trace.h schema).
+//
+// Reads a trace produced by Testbed::attach_trace() (or any Tracer sink)
+// and reconstructs the paper's observables from events alone:
+//   - join latency (node.start -> node.routable) as a CDF, the Fig. 4
+//     "time to become fully routable" experiment,
+//   - CTM request->reply round-trip latency,
+//   - delivered-packet overlay hop counts,
+//   - drop causes, overlay- and network-level.
+//
+// With --path=<pkt id> it prints every record touching one packet, i.e.
+// the hop-by-hop forwarding path plus the drop that ended it (if any).
+//
+// Usage: trace_report <trace.jsonl> [--path=<pkt>] [--cdf-bins=N]
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace {
+
+// The tracer emits flat, one-level JSON objects with deterministic key
+// order, so targeted key scans are sufficient — no JSON tree needed.
+
+std::optional<std::string_view> raw_value(std::string_view line,
+                                          std::string_view key) {
+  std::string pattern = "\"";
+  pattern += key;
+  pattern += "\":";
+  std::size_t pos = line.find(pattern);
+  if (pos == std::string_view::npos) return std::nullopt;
+  pos += pattern.size();
+  if (pos >= line.size()) return std::nullopt;
+  std::size_t end = pos;
+  if (line[pos] == '"') {
+    end = pos + 1;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\') ++end;
+      ++end;
+    }
+    if (end >= line.size()) return std::nullopt;
+    return line.substr(pos + 1, end - pos - 1);
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(pos, end - pos);
+}
+
+std::optional<double> num_value(std::string_view line, std::string_view key) {
+  auto raw = raw_value(line, key);
+  if (!raw) return std::nullopt;
+  return std::strtod(std::string(*raw).c_str(), nullptr);
+}
+
+std::optional<std::uint64_t> u64_value(std::string_view line,
+                                       std::string_view key) {
+  auto raw = raw_value(line, key);
+  if (!raw) return std::nullopt;
+  return std::strtoull(std::string(*raw).c_str(), nullptr, 10);
+}
+
+void print_distribution(const char* title, std::vector<double> values,
+                        double lo, double hi, std::size_t bins,
+                        const char* unit) {
+  std::printf("\n== %s (%zu samples) ==\n", title, values.size());
+  if (values.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  wow::RunningStats stats;
+  for (double v : values) stats.add(v);
+  std::printf("  min %.3f  p50 %.3f  p90 %.3f  p99 %.3f  max %.3f  (%s)\n",
+              stats.min(), wow::percentile(values, 50),
+              wow::percentile(values, 90), wow::percentile(values, 99),
+              stats.max(), unit);
+  wow::Histogram hist(lo, hi, bins);
+  for (double v : values) hist.add(v);
+  std::printf("%s", hist.render().c_str());
+  // Cumulative fraction per bin upper edge: the CDF the paper plots.
+  std::printf("  CDF:");
+  std::size_t cum = 0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    cum += hist.count(b);
+    if (hist.count(b) == 0) continue;
+    std::printf(" %.0f%s:%.2f", hist.bin_hi(b), unit,
+                static_cast<double>(cum) / static_cast<double>(hist.total()));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::optional<std::uint64_t> follow_pkt;
+  std::size_t cdf_bins = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--path=", 7) == 0) {
+      follow_pkt = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--cdf-bins=", 11) == 0) {
+      cdf_bins = std::strtoul(argv[i] + 11, nullptr, 10);
+      if (cdf_bins == 0) cdf_bins = 20;
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: trace_report <trace.jsonl> [--path=<pkt>] "
+                 "[--cdf-bins=N]\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", path);
+    return 1;
+  }
+
+  // Per node: time of the most recent start, to pair with the next
+  // routable event (restarts produce several pairs per node).
+  std::map<std::string, double> start_at;
+  std::vector<double> join_latency;
+  std::vector<double> ctm_rtt_ms;
+  std::vector<double> hops;
+  std::vector<double> link_latency;
+  std::map<std::string, std::uint64_t> overlay_drops;
+  std::map<std::string, std::uint64_t> net_drops;
+  std::uint64_t lines = 0;
+  std::uint64_t followed = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    auto ev = raw_value(line, "ev");
+    if (!ev) continue;
+
+    if (follow_pkt) {
+      if (auto pkt = u64_value(line, "pkt"); pkt && *pkt == *follow_pkt) {
+        std::printf("%s\n", line.c_str());
+        ++followed;
+      }
+    }
+
+    auto t = num_value(line, "t");
+    auto node = raw_value(line, "node");
+    if (*ev == "node.start") {
+      if (t && node) start_at[std::string(*node)] = *t;
+    } else if (*ev == "node.routable") {
+      if (t && node) {
+        auto it = start_at.find(std::string(*node));
+        if (it != start_at.end()) {
+          join_latency.push_back(*t - it->second);
+          start_at.erase(it);  // next routable needs a fresh start
+        }
+      }
+    } else if (*ev == "ctm.reply") {
+      if (auto rtt = num_value(line, "rtt_s")) {
+        ctm_rtt_ms.push_back(*rtt * 1e3);
+      }
+    } else if (*ev == "packet.deliver") {
+      if (auto h = num_value(line, "hops")) hops.push_back(*h);
+    } else if (*ev == "link.established") {
+      if (auto e = num_value(line, "elapsed_s")) link_latency.push_back(*e);
+    } else if (*ev == "packet.drop") {
+      if (auto reason = raw_value(line, "reason")) {
+        ++overlay_drops[std::string(*reason)];
+      }
+    } else if (*ev == "net.drop") {
+      if (auto reason = raw_value(line, "reason")) {
+        ++net_drops[std::string(*reason)];
+      }
+    }
+  }
+
+  std::printf("trace: %s (%" PRIu64 " records)\n", path, lines);
+  if (follow_pkt) {
+    std::printf("packet %" PRIu64 ": %" PRIu64 " records shown above\n",
+                *follow_pkt, followed);
+  }
+
+  double join_hi = 1.0;
+  for (double v : join_latency) join_hi = std::max(join_hi, v);
+  print_distribution("join latency: node.start -> node.routable",
+                     join_latency, 0.0, join_hi, cdf_bins, "s");
+
+  double ctm_hi = 1.0;
+  for (double v : ctm_rtt_ms) ctm_hi = std::max(ctm_hi, v);
+  print_distribution("CTM request->reply latency", ctm_rtt_ms, 0.0, ctm_hi,
+                     cdf_bins, "ms");
+
+  print_distribution("delivered-packet overlay hops", hops, 0.0, 16.0, 16,
+                     "hops");
+
+  double link_hi = 1.0;
+  for (double v : link_latency) link_hi = std::max(link_hi, v);
+  print_distribution("link handshake latency", link_latency, 0.0, link_hi,
+                     cdf_bins, "s");
+
+  std::printf("\n== drops ==\n");
+  if (overlay_drops.empty() && net_drops.empty()) {
+    std::printf("  (none)\n");
+  }
+  for (const auto& [reason, count] : overlay_drops) {
+    std::printf("  overlay/%-16s %" PRIu64 "\n", reason.c_str(), count);
+  }
+  for (const auto& [reason, count] : net_drops) {
+    std::printf("  net/%-20s %" PRIu64 "\n", reason.c_str(), count);
+  }
+  return 0;
+}
