@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/ring_id.h"
@@ -13,12 +16,67 @@
 namespace wow {
 
 using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Ref-counted immutable-by-default byte buffer.  A datagram travelling
+/// the simulated network — and a routed frame travelling the overlay's
+/// forwarding path — is one SharedBytes handed from stage to stage, so a
+/// multi-hop route costs one allocation at the origin instead of one
+/// copy per hop.
+///
+/// Mutation goes through mutable_data(), which clones the buffer first
+/// when other references exist (copy-on-write).  That keeps the in-place
+/// header rewrites of packet forwarding safe even when a frame has been
+/// fanned out (ring-gap bounce) or is still queued for a deferred
+/// delivery event.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  explicit SharedBytes(Bytes bytes)
+      : buf_(std::make_shared<Bytes>(std::move(bytes))) {}
+
+  [[nodiscard]] const std::uint8_t* data() const {
+    return buf_ ? buf_->data() : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return buf_ ? buf_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] BytesView view() const { return {data(), size()}; }
+  operator BytesView() const { return view(); }  // NOLINT
+
+  /// True when this is the only reference (in-place mutation is safe).
+  [[nodiscard]] bool unique() const { return buf_ && buf_.use_count() == 1; }
+
+  /// Writable pointer to the buffer; clones it first if shared.
+  [[nodiscard]] std::uint8_t* mutable_data() {
+    if (!buf_) return nullptr;
+    if (buf_.use_count() != 1) buf_ = std::make_shared<Bytes>(*buf_);
+    return buf_->data();
+  }
+
+  /// Materialize an owned copy (handlers that must outlive the frame).
+  [[nodiscard]] Bytes to_bytes() const {
+    return buf_ ? *buf_ : Bytes{};
+  }
+
+ private:
+  std::shared_ptr<Bytes> buf_;
+};
 
 /// Serializer writing big-endian (network order) fields into a growable
 /// buffer.  Every on-the-wire message in the overlay is produced through
 /// this writer so framing stays consistent across modules.
 class ByteWriter {
  public:
+  /// Largest byte string a u16 length prefix can carry.  blob()/str()
+  /// refuse anything longer instead of silently truncating the length
+  /// field (which would desynchronize every reader downstream).
+  static constexpr std::size_t kMaxLenPrefixed = 0xffff;
+
+  /// Pre-size the buffer: serialize() implementations know their frame
+  /// size up front, so a single reservation replaces the push_back
+  /// doubling dance.
+  void reserve(std::size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
 
   void u16(std::uint16_t v) {
@@ -49,24 +107,48 @@ class ByteWriter {
     buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   }
 
-  /// Length-prefixed (u16) byte string.
+  /// Length-prefixed (u16) byte string.  Oversize input is rejected: an
+  /// empty blob is written, the overflow flag is set and an error is
+  /// logged — a wrong length prefix must never reach the wire.
   void blob(std::span<const std::uint8_t> bytes) {
+    if (bytes.size() > kMaxLenPrefixed) {
+      fail_oversize("blob", bytes.size());
+      u16(0);
+      return;
+    }
     u16(static_cast<std::uint16_t>(bytes.size()));
     raw(bytes);
   }
 
-  /// Length-prefixed (u16) UTF-8 string.
+  /// Length-prefixed (u16) UTF-8 string.  Same oversize policy as blob().
   void str(std::string_view s) {
+    if (s.size() > kMaxLenPrefixed) {
+      fail_oversize("str", s.size());
+      u16(0);
+      return;
+    }
     u16(static_cast<std::uint16_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
+
+  /// True if any blob()/str() input exceeded kMaxLenPrefixed.  Callers
+  /// that can fail loudly should check this before shipping the frame.
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
 
   [[nodiscard]] const Bytes& bytes() const& { return buf_; }
   [[nodiscard]] Bytes take() && { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
  private:
+  void fail_oversize(const char* what, std::size_t size) {
+    overflowed_ = true;
+    std::fprintf(stderr,
+                 "wow: ByteWriter::%s rejected %zu bytes (max %zu)\n", what,
+                 size, kMaxLenPrefixed);
+  }
+
   Bytes buf_;
+  bool overflowed_ = false;
 };
 
 /// Checked big-endian reader over a byte span.  All read methods return

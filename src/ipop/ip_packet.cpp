@@ -4,13 +4,15 @@ namespace wow::ipop {
 
 Bytes IpPacket::serialize() const {
   ByteWriter w;
+  w.reserve(1 + 1 + 2 + 4 + 4 + 2 + payload.size());
   w.u8(static_cast<std::uint8_t>(proto));
   w.u8(ttl);
   w.u16(id);
   w.u32(src.value());
   w.u32(dst.value());
-  w.u16(static_cast<std::uint16_t>(payload.size()));
-  w.raw(payload);
+  // Length-prefixed via blob(): oversize payloads are rejected loudly
+  // instead of truncating the u16 length.
+  w.blob(payload);
   return std::move(w).take();
 }
 
@@ -42,6 +44,7 @@ std::optional<IpPacket> IpPacket::parse(std::span<const std::uint8_t> data) {
 
 Bytes IcmpEcho::serialize() const {
   ByteWriter w;
+  w.reserve(1 + 1 + 2 + 2 + 8 + 2 + padding);
   w.u8(type);
   w.u8(0);  // code
   w.u16(ident);

@@ -24,7 +24,7 @@ IpopNode::IpopNode(sim::Simulator& simulator, net::Network& network,
   config_.p2p.address = address_for_vip(config_.vip);
   node_ = std::make_unique<p2p::Node>(simulator, network, host, config_.p2p);
   node_->set_data_handler(
-      [this](const p2p::Address& src, const Bytes& payload) {
+      [this](const p2p::Address& src, BytesView payload) {
         on_overlay_data(src, payload);
       });
 }
@@ -43,7 +43,7 @@ void IpopNode::send_ip(IpPacket packet) {
   node_->send_data(address_for_vip(packet.dst), packet.serialize());
 }
 
-void IpopNode::on_overlay_data(const p2p::Address&, const Bytes& payload) {
+void IpopNode::on_overlay_data(const p2p::Address&, BytesView payload) {
   auto packet = IpPacket::parse(payload);
   if (!packet) return;
   if (packet->dst != config_.vip) {

@@ -67,7 +67,7 @@ class IpopNode {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  void on_overlay_data(const p2p::Address& src, const Bytes& payload);
+  void on_overlay_data(const p2p::Address& src, BytesView payload);
 
   sim::Simulator& sim_;
   Config config_;

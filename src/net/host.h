@@ -18,10 +18,12 @@ using DomainId = int;
 using SiteId = int;
 
 /// Delivered datagram callback: source endpoint *as seen by the
-/// receiver* (i.e. post-NAT), destination port, payload.
-using UdpHandler =
-    std::function<void(const Endpoint& src, std::uint16_t dst_port,
-                       const Bytes& payload)>;
+/// receiver* (i.e. post-NAT), destination port, payload.  The payload is
+/// passed by value — a ref-counted buffer handle, not a copy — so the
+/// receiver can keep (or keep forwarding) the frame without copying it.
+using UdpHandler = std::function<void(const Endpoint& src,
+                                      std::uint16_t dst_port,
+                                      SharedBytes payload)>;
 
 /// A physical machine attached to the simulated network.
 ///

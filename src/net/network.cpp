@@ -139,7 +139,7 @@ void Network::move_host(Host& h, DomainId new_domain, Ipv4Addr new_ip) {
 }
 
 void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
-                   Bytes payload) {
+                   SharedBytes payload) {
   ++stats_.sent;
   SimTime now = sim_.now();
   std::size_t wire_bytes = payload.size() + 28;  // IP + UDP headers
@@ -220,7 +220,8 @@ void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
 }
 
 void Network::deliver(Host& to, const Endpoint& seen_src,
-                      std::uint16_t dst_port, Bytes payload, SimTime arrival) {
+                      std::uint16_t dst_port, SharedBytes payload,
+                      SimTime arrival) {
   std::size_t wire_bytes = payload.size() + 28;
   SimTime done = to.downlink_done(arrival, wire_bytes);
   if (to.proc_backlog(arrival) > to.config().proc_queue_limit) {
@@ -239,8 +240,11 @@ void Network::deliver(Host& to, const Endpoint& seen_src,
   done = to.processing_done(done, extra);
 
   HostId to_id = to.id();
+  // Mutable so the payload handle can be moved into the handler: the
+  // receiving node then holds the frame's only reference and can rewrite
+  // its forwarding header in place without a copy.
   sim_.schedule_at(done, [this, to_id, seen_src, dst_port,
-                          payload = std::move(payload)]() {
+                          payload = std::move(payload)]() mutable {
     Host& target = *hosts_[static_cast<std::size_t>(to_id)];
     const UdpHandler* handler = target.handler(dst_port);
     if (handler == nullptr) {
@@ -249,7 +253,7 @@ void Network::deliver(Host& to, const Endpoint& seen_src,
       return;
     }
     ++stats_.delivered;
-    (*handler)(seen_src, dst_port, payload);
+    (*handler)(seen_src, dst_port, std::move(payload));
   });
 }
 

@@ -89,9 +89,14 @@ class Network {
 
   /// Send a UDP datagram.  Fire-and-forget: translation, transit, loss
   /// and queueing happen inside; delivery (if any) is an event calling
-  /// the destination port's handler.
+  /// the destination port's handler.  The payload buffer is shared, not
+  /// copied, across queueing and delivery.
   void send(Host& from, std::uint16_t src_port, const Endpoint& dst,
-            Bytes payload);
+            SharedBytes payload);
+  void send(Host& from, std::uint16_t src_port, const Endpoint& dst,
+            Bytes payload) {
+    send(from, src_port, dst, SharedBytes(std::move(payload)));
+  }
 
   // --- lookup / admin -----------------------------------------------------
 
@@ -137,7 +142,7 @@ class Network {
   [[nodiscard]] const LinkModel& site_link(SiteId a, SiteId b) const;
   [[nodiscard]] SimDuration sample_latency(const LinkModel& m);
   void deliver(Host& to, const Endpoint& seen_src, std::uint16_t dst_port,
-               Bytes payload, SimTime arrival);
+               SharedBytes payload, SimTime arrival);
   /// Single funnel for every drop: bumps the matching Stats field, runs
   /// the diagnostic hook, and emits a "net.drop" trace event.
   void record_drop(DropReason reason, const Endpoint& src,

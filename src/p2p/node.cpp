@@ -150,8 +150,8 @@ void Node::start() {
     transport_->reopen();
   }
   transport_->set_receiver(
-      [this](const net::Endpoint& from, const Bytes& payload) {
-        on_datagram(from, payload);
+      [this](const net::Endpoint& from, SharedBytes payload) {
+        on_datagram(from, std::move(payload));
       });
 
   linking_ = std::make_unique<LinkingEngine>(
@@ -222,9 +222,9 @@ void Node::restart() {
 
 // --- frame plumbing --------------------------------------------------------
 
-void Node::on_datagram(const net::Endpoint& from, const Bytes& payload) {
+void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
   if (!running_) return;
-  auto kind = frame_kind(payload);
+  auto kind = frame_kind(payload.view());
   if (!kind) return;
 
   // Any traffic from a connected peer's endpoint counts as liveness.
@@ -238,10 +238,12 @@ void Node::on_datagram(const net::Endpoint& from, const Bytes& payload) {
   });
 
   if (*kind == FrameKind::kRouted) {
-    auto packet = RoutedPacket::parse(payload);
+    // Zero-copy: the packet adopts the frame buffer; forwarding rewrites
+    // its mutable header fields in place instead of re-serializing.
+    auto packet = RoutedPacket::parse(std::move(payload));
     if (packet) handle_routed(std::move(*packet), from);
   } else {
-    auto frame = LinkFrame::parse(payload);
+    auto frame = LinkFrame::parse(payload.view());
     if (frame) handle_link(*frame, from);
   }
 }
@@ -345,7 +347,7 @@ void Node::forward_to(const Connection& next, RoutedPacket packet) {
                         {"hops", int(packet.hops)},
                         {"ttl", int(packet.ttl)}});
   }
-  transport_->send_to(next.remote, packet.serialize());
+  transport_->send_to(next.remote, packet.wire());
 }
 
 void Node::maybe_bounce(const RoutedPacket& packet) {
@@ -379,7 +381,7 @@ void Node::deliver_local(const RoutedPacket& packet) {
       stats_.delivered_hops += packet.hops;
       trace_packet("packet.deliver", packet, nullptr);
       shortcuts_->on_traffic(packet.src, sim_.now());
-      if (data_handler_) data_handler_(packet.src, packet.payload);
+      if (data_handler_) data_handler_(packet.src, packet.payload());
       return;
     case RoutedType::kCtmRequest:
       handle_ctm_request(packet);
@@ -408,7 +410,7 @@ void Node::initiate_ctm(const Address& target, ConnectionType type) {
   packet.mode = DeliveryMode::kNearest;
   packet.type = RoutedType::kCtmRequest;
   packet.trace_id = sim_.next_trace_id();
-  packet.payload = req.serialize();
+  packet.set_payload(req.serialize());
 
   std::uint64_t span = 0;
   if (sim_.trace().enabled()) {
@@ -468,7 +470,7 @@ void Node::send_join_ctm() {
     packet.mode = DeliveryMode::kNearest;
     packet.type = RoutedType::kCtmRequest;
     packet.trace_id = sim_.next_trace_id();
-    packet.payload = req.serialize();
+    packet.set_payload(req.serialize());
 
     std::uint64_t span = 0;
     if (sim_.trace().enabled()) {
@@ -492,7 +494,7 @@ void Node::send_join_ctm() {
 void Node::handle_ctm_request(const RoutedPacket& packet) {
   if (packet.src == config_.address) return;  // our own announcement
   ++stats_.ctm_received;
-  auto req = CtmRequest::parse(packet.payload);
+  auto req = CtmRequest::parse(packet.payload());
   if (!req) return;
   if (sim_.trace().enabled()) {
     sim_.trace().event(sim_.now(), "node", trace_node_, "ctm.received",
@@ -537,7 +539,7 @@ void Node::handle_ctm_request(const RoutedPacket& packet) {
   out.mode = DeliveryMode::kExact;
   out.type = RoutedType::kCtmReply;
   out.trace_id = sim_.next_trace_id();
-  out.payload = reply.serialize();
+  out.set_payload(reply.serialize());
   route(std::move(out));
 
   // The CTM target initiates linking right away (§IV-B step 2b): its
@@ -546,7 +548,7 @@ void Node::handle_ctm_request(const RoutedPacket& packet) {
 }
 
 void Node::handle_ctm_reply(const RoutedPacket& packet) {
-  auto reply = CtmReply::parse(packet.payload);
+  auto reply = CtmReply::parse(packet.payload());
   if (!reply) return;
   auto pending = pending_ctms_.find(reply->token);
   if (pending == pending_ctms_.end()) return;
@@ -594,7 +596,7 @@ void Node::send_data(const Address& dst, Bytes payload) {
   // The id is drawn unconditionally (one counter increment) so that
   // attaching a trace sink never changes wire bytes or event order.
   packet.trace_id = sim_.next_trace_id();
-  packet.payload = std::move(payload);
+  packet.set_payload(std::move(payload));
   if (table_.empty()) {
     ++stats_.dropped_no_connection;
     trace_packet("packet.drop", packet, "no_connection");

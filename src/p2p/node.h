@@ -77,8 +77,10 @@ class Node {
     std::uint64_t delivered_hops = 0;
   };
 
+  /// Payload is a view into the delivered frame; copy it to keep it
+  /// beyond the handler call.
   using DataHandler =
-      std::function<void(const Address& src, const Bytes& payload)>;
+      std::function<void(const Address& src, BytesView payload)>;
   using ConnectionHandler = std::function<void(const Connection&)>;
   using DisconnectionHandler =
       std::function<void(const Address&, ConnectionType)>;
@@ -170,7 +172,7 @@ class Node {
   };
 
   // frame plumbing
-  void on_datagram(const net::Endpoint& from, const Bytes& payload);
+  void on_datagram(const net::Endpoint& from, SharedBytes payload);
   void handle_routed(RoutedPacket packet, const net::Endpoint& from);
   void handle_link(const LinkFrame& frame, const net::Endpoint& from);
 

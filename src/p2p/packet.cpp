@@ -18,10 +18,48 @@ namespace {
   return v >= 1 && v <= 4;
 }
 
+/// Per-URI wire size (kind + ip + port) and the list's count byte.
+[[nodiscard]] std::size_t uri_list_bytes(
+    const std::vector<transport::Uri>& uris) {
+  return 1 + 7 * uris.size();
+}
+
+/// Write a ring id big-endian (most significant limb first) into `out`,
+/// matching ByteWriter::ring_id — the raw-pointer form used by the
+/// in-place header rewrite of RoutedPacket::wire().
+void store_ring_id(std::uint8_t* out, const RingId& id) {
+  for (int i = RingId::kLimbs - 1; i >= 0; --i) {
+    std::uint32_t limb = id.limbs()[static_cast<std::size_t>(i)];
+    *out++ = static_cast<std::uint8_t>(limb >> 24);
+    *out++ = static_cast<std::uint8_t>(limb >> 16);
+    *out++ = static_cast<std::uint8_t>(limb >> 8);
+    *out++ = static_cast<std::uint8_t>(limb);
+  }
+}
+
 }  // namespace
 
+void RoutedPacket::set_payload(Bytes payload) {
+  owned_payload_ = std::move(payload);
+  frame_ = SharedBytes{};
+}
+
+BytesView RoutedPacket::payload() const {
+  if (!frame_.empty()) return frame_.view().subspan(kHeaderBytes);
+  return owned_payload_;
+}
+
 Bytes RoutedPacket::serialize() const {
+  BytesView body = payload();
+  if (body.size() > kMaxPayloadBytes) {
+    std::fprintf(stderr,
+                 "wow: RoutedPacket::serialize rejected %zu-byte payload "
+                 "(max %zu)\n",
+                 body.size(), kMaxPayloadBytes);
+    return {};
+  }
   ByteWriter w;
+  w.reserve(kHeaderBytes + body.size());
   w.u8(static_cast<std::uint8_t>(FrameKind::kRouted));
   w.u8(ttl);
   w.u8(hops);
@@ -32,13 +70,31 @@ Bytes RoutedPacket::serialize() const {
   w.ring_id(dst);
   w.ring_id(via);
   w.u64(trace_id);
-  w.raw(payload);
+  w.raw(body);
   return std::move(w).take();
 }
 
-std::optional<RoutedPacket> RoutedPacket::parse(
-    std::span<const std::uint8_t> frame) {
-  ByteReader r(frame);
+SharedBytes RoutedPacket::wire() {
+  if (frame_.empty()) {
+    // Locally-built packet: serialize once and cache; a later wire()
+    // (retransmit, bounce copy) reuses the buffer through the in-place
+    // path below.
+    frame_ = SharedBytes(serialize());
+    return frame_;
+  }
+  // Rewrite exactly the fields the forwarding path mutates in flight.
+  // COW inside mutable_data() protects bounce copies and frames still
+  // queued for a deferred delivery event.
+  std::uint8_t* b = frame_.mutable_data();
+  b[1] = ttl;
+  b[2] = hops;
+  b[4] = bounced ? 1 : 0;
+  store_ring_id(b + 46, via);
+  return frame_;
+}
+
+std::optional<RoutedPacket> RoutedPacket::parse(SharedBytes frame) {
+  ByteReader r(frame.view());
   auto kind = r.u8();
   if (!kind || *kind != static_cast<std::uint8_t>(FrameKind::kRouted)) {
     return std::nullopt;
@@ -71,13 +127,18 @@ std::optional<RoutedPacket> RoutedPacket::parse(
   p.dst = *dst;
   p.via = *via;
   p.trace_id = *trace_id;
-  auto rest = r.rest();
-  p.payload.assign(rest.begin(), rest.end());
+  // Zero-copy: the payload stays in the frame buffer; payload() views it.
+  p.frame_ = std::move(frame);
   return p;
+}
+
+std::optional<RoutedPacket> RoutedPacket::parse(BytesView frame) {
+  return parse(SharedBytes(Bytes(frame.begin(), frame.end())));
 }
 
 Bytes CtmRequest::serialize() const {
   ByteWriter w;
+  w.reserve(1 + 4 + 20 + uri_list_bytes(uris));
   w.u8(static_cast<std::uint8_t>(con_type));
   w.u32(token);
   w.ring_id(forwarder);
@@ -106,7 +167,12 @@ std::optional<CtmRequest> CtmRequest::parse(
 }
 
 Bytes CtmReply::serialize() const {
+  std::size_t hint_bytes = 0;
+  for (const NeighborHint& n : neighbors) {
+    hint_bytes += 20 + uri_list_bytes(n.uris);
+  }
   ByteWriter w;
+  w.reserve(1 + 4 + uri_list_bytes(uris) + 1 + hint_bytes);
   w.u8(static_cast<std::uint8_t>(con_type));
   w.u32(token);
   transport::write_uri_list(w, uris);
@@ -145,6 +211,7 @@ std::optional<CtmReply> CtmReply::parse(std::span<const std::uint8_t> body) {
 
 Bytes LinkFrame::serialize() const {
   ByteWriter w;
+  w.reserve(1 + 1 + 1 + 4 + 20 + 4 + 2 + uri_list_bytes(uris));
   w.u8(static_cast<std::uint8_t>(FrameKind::kLink));
   w.u8(static_cast<std::uint8_t>(type));
   w.u8(static_cast<std::uint8_t>(con_type));

@@ -44,7 +44,22 @@ enum class DeliveryMode : std::uint8_t {
 };
 
 /// A packet routed greedily over structured connections.
+///
+/// Two representations share this struct.  A locally-built packet owns
+/// its payload and is serialized from scratch once, at the first send.
+/// A packet parsed from the wire keeps a reference to the frame it
+/// arrived in: the payload is a view into that buffer and wire() emits
+/// the same buffer with only the in-flight-mutable header fields (ttl,
+/// hops, bounced, via) rewritten in place — a forwarding hop touches a
+/// couple of dozen bytes instead of reallocating and copying the frame.
 struct RoutedPacket {
+  /// Fixed header size: kind, ttl, hops, mode, bounced, type (1 byte
+  /// each) + src/dst/via ring ids (20 each) + trace id (8).
+  static constexpr std::size_t kHeaderBytes = 74;
+  /// Ceiling on the payload a routed frame may carry (a simulated UDP
+  /// datagram); serialize() fails loudly above it.
+  static constexpr std::size_t kMaxPayloadBytes = 0xffff;
+
   Address src;
   Address dst;
   /// Optional forwarding agent (§IV-C): when non-zero the packet is
@@ -64,11 +79,36 @@ struct RoutedPacket {
   /// drop reason are reconstructable from a merged trace.  Assigned by
   /// the origin from Simulator::next_trace_id(); 0 = untraced.
   std::uint64_t trace_id = 0;
-  Bytes payload;
 
+  /// Attach a locally-built payload (drops any parsed-from frame).
+  void set_payload(Bytes payload);
+
+  /// The payload, wherever it lives (owned buffer or parsed-from frame).
+  [[nodiscard]] BytesView payload() const;
+
+  /// Serialize the whole frame from scratch (pre-sized, single
+  /// allocation).  Returns an empty buffer — loudly, via stderr — if the
+  /// payload exceeds kMaxPayloadBytes.
   [[nodiscard]] Bytes serialize() const;
-  [[nodiscard]] static std::optional<RoutedPacket> parse(
-      std::span<const std::uint8_t> frame);
+
+  /// Cheap wire form for forwarding: reuses the parsed-from frame,
+  /// rewriting ttl/hops/bounced/via in place (copy-on-write when the
+  /// buffer is shared with a bounce copy or an in-flight delivery).
+  /// Falls back to serialize() for locally-built packets, caching the
+  /// result so repeated sends stay cheap.
+  [[nodiscard]] SharedBytes wire();
+
+  /// Zero-copy parse: the returned packet references `frame` and its
+  /// payload() is a view into it.
+  [[nodiscard]] static std::optional<RoutedPacket> parse(SharedBytes frame);
+  /// Copying parse for callers holding only a borrowed span.
+  [[nodiscard]] static std::optional<RoutedPacket> parse(BytesView frame);
+
+ private:
+  Bytes owned_payload_;
+  /// Wire frame this packet was parsed from (or lazily serialized into);
+  /// empty for a locally-built packet that has never been sent.
+  SharedBytes frame_;
 };
 
 /// Connect-To-Me request body: the initiator's URI list and the desired

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wow::sim {
+
+/// Move-only `void()` callable with small-buffer inline storage.
+///
+/// The event queue stores one of these per scheduled event, so the
+/// common case — a lambda capturing `this` plus a few words — must not
+/// touch the heap.  Callables up to kInlineCapacity bytes are stored in
+/// place; larger (or potentially-throwing-move) ones fall back to a
+/// single heap allocation, same as std::function.
+///
+/// Unlike std::function it never copies the callable: events fire once,
+/// so the queue only ever moves them.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct the callable from `from` into `to`, destroying the
+    /// source.  noexcept so queue growth can never half-move an event.
+    /// nullptr = trivially relocatable: copying `size` bytes suffices.
+    void (*relocate)(void* from, void* to) noexcept;
+    /// nullptr = trivially destructible: nothing to run.
+    void (*destroy)(void*) noexcept;
+    /// Stored object size (the callable inline, the owning pointer when
+    /// heap-allocated); bounds the raw-copy fast path of relocation.
+    std::uint32_t size;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineCapacity &&
+      alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    // The common capture set (this + a few scalars) is trivially
+    // copyable; null relocate/destroy lets the hot paths skip the
+    // indirect calls and just memcpy / do nothing.
+    static constexpr Ops ops{
+        [](void* p) { (*static_cast<D*>(p))(); },
+        std::is_trivially_copyable_v<D>
+            ? nullptr
+            : +[](void* from, void* to) noexcept {
+                D* src = static_cast<D*>(from);
+                ::new (to) D(std::move(*src));
+                src->~D();
+              },
+        std::is_trivially_destructible_v<D>
+            ? nullptr
+            : +[](void* p) noexcept { static_cast<D*>(p)->~D(); },
+        sizeof(D),
+    };
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() {
+    // Relocation is a pointer copy, which the raw-buffer fallback
+    // already performs; only destruction needs real code.
+    static constexpr Ops ops{
+        [](void* p) { (**static_cast<D**>(p))(); },
+        nullptr,
+        [](void* p) noexcept { delete *static_cast<D**>(p); },
+        sizeof(D*),
+    };
+    return &ops;
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, ops_->size);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wow::sim

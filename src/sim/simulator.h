@@ -1,9 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/log.h"
@@ -11,11 +10,18 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "common/trace.h"
+#include "sim/event_fn.h"
 
 namespace wow::sim {
 
 /// Identifies a scheduled event so it can be cancelled.  Value 0 is the
 /// null handle (never issued).
+///
+/// The id packs the event's queue slot (low 32 bits, offset by one so a
+/// valid handle is never 0) and the slot's generation at scheduling time
+/// (high 32 bits).  Slots are recycled; the generation check makes a
+/// stale handle — kept across its event firing and the slot's reuse — a
+/// guaranteed no-op instead of cancelling an unrelated event.
 struct TimerHandle {
   std::uint64_t id = 0;
   [[nodiscard]] bool valid() const { return id != 0; }
@@ -31,6 +37,14 @@ struct TimerHandle {
 ///
 /// Events scheduled for the same timestamp fire in scheduling order
 /// (FIFO), which keeps protocol traces stable across runs.
+///
+/// The queue is an indexed 4-ary min-heap over a slot arena: each slot
+/// stores its callback inline (EventFn small-buffer storage), so the
+/// steady state schedules and fires events with zero heap allocation.
+/// cancel() is O(1): it disarms the slot and leaves the heap entry
+/// behind as a tombstone, which is dropped the one time it surfaces at
+/// the top — or earlier, when tombstones outnumber live events and the
+/// heap is compacted in one O(n) pass.
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1,
@@ -38,6 +52,8 @@ class Simulator {
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  ~Simulator();
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
@@ -58,10 +74,15 @@ class Simulator {
 
   /// Schedule `fn` to run `delay` from now.  Negative delays clamp to 0
   /// (fire on the next step).
-  TimerHandle schedule(SimDuration delay, std::function<void()> fn);
+  TimerHandle schedule(SimDuration delay, EventFn fn) {
+    if (delay < 0) delay = 0;
+    return schedule_at(now_ + delay, std::move(fn));
+  }
 
-  /// Schedule at an absolute simulated time (>= now).
-  TimerHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// Schedule at an absolute simulated time (>= now).  Takes the event
+  /// by rvalue so a lambda converts straight into the queue slot with a
+  /// single move of its (size-bounded) captures.
+  TimerHandle schedule_at(SimTime when, EventFn&& fn);
 
   /// Cancel a pending event.  Cancelling an already-fired or invalid
   /// handle is a no-op; returns whether something was cancelled.
@@ -82,32 +103,102 @@ class Simulator {
   /// Advance the clock by `delta` running all events in between.
   void run_for(SimDuration delta) { run_until(now_ + delta); }
 
-  [[nodiscard]] std::size_t pending_events() const { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
-  /// Cancelled-event tombstones still sitting in the queue (the O(1)
-  /// cancel trade-off); queue memory is pending_events + this.
-  [[nodiscard]] std::size_t tombstone_slack() const {
-    return queue_.size() - callbacks_.size();
-  }
+  /// Cancelled-event tombstones still sitting in the heap (the O(1)
+  /// cancel trade-off); queue memory is pending_events + this.  Bounded:
+  /// compaction runs once tombstones outnumber live events (and exceed a
+  /// floor that keeps tiny queues from compacting constantly).
+  [[nodiscard]] std::size_t tombstone_slack() const { return tombstones_; }
 
  private:
-  struct QueuedEvent {
-    SimTime when;
-    std::uint64_t id;  // also tiebreak: lower id scheduled earlier
-    [[nodiscard]] bool operator>(const QueuedEvent& o) const {
-      return when != o.when ? when > o.when : id > o.id;
-    }
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// Compaction floor: below this many tombstones the O(n) rebuild is
+  /// not worth running regardless of the live/dead ratio.
+  static constexpr std::size_t kCompactionFloor = 64;
+
+  struct Slot {
+    std::uint32_t generation;  // bumped on every (re)allocation
+    std::uint32_t next_free;
+    bool armed;  // callback pending (not fired/cancelled)
+    EventFn fn;
   };
 
+  /// Slots per arena chunk.  Chunked (rather than one growable vector)
+  /// for two reasons: growing never relocates live slots (EventFn moves
+  /// are indirect calls, and 100k-slot growth would do ~2n of them),
+  /// and each chunk is small enough that the allocator recycles it from
+  /// its ordinary bins — a fresh Simulator reuses warm pages instead of
+  /// faulting in megabytes of zero pages.
+  ///
+  /// Chunks are raw uninitialized storage: slots are only ever born via
+  /// the fresh-allocation path in schedule_at(), which writes every
+  /// field (placement-new for fn), so default-constructing ~100 bytes
+  /// per slot up front would be a second full pass over the arena for
+  /// nothing.  Only slots below allocated_ are ever read.  The
+  /// destructor walks the heap and resets the armed slots' callbacks;
+  /// everything else has already been reset by fire/cancel.
+  static constexpr std::uint32_t kChunkShift = 9;  // 512 slots (~48 KiB)
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+
+  /// Heap entries carry the full sort key so sifting stays inside the
+  /// contiguous heap array: comparisons during sift_up/sift_down never
+  /// chase the slot index into the (much larger, cache-hostile) arena.
+  /// The slot is only touched at push, pop, and fire.
+  ///
+  /// 16 bytes, deliberately: pop cost on a large queue is bound by cache
+  /// misses walking the heap, so entry size is the constant that
+  /// matters.  The FIFO tiebreak therefore uses a 32-bit sequence
+  /// number; when it would wrap (every ~4.3 billion schedules) the heap
+  /// is renumbered in one sort pass that preserves the (when, seq)
+  /// total order exactly.
+  struct HeapEntry {
+    SimTime when = 0;
+    std::uint32_t seq = 0;  // FIFO tiebreak: lower = scheduled earlier
+    std::uint32_t slot = 0;
+  };
+
+  /// Written branch-free on purpose: which of two pending events fires
+  /// first is close to a coin flip, so a branchy compare mispredicts
+  /// constantly inside the sift loops — the single biggest cost of an
+  /// in-cache pop.  This form compiles to flag arithmetic + cmov.
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) {
+    const bool lt = a.when < b.when;
+    const bool eq = a.when == b.when;
+    const bool sq = a.seq < b.seq;
+    return lt | (eq & sq);
+  }
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t s) {
+    return reinterpret_cast<Slot*>(
+        chunks_[s >> kChunkShift].get())[s & kChunkMask];
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_heap_top();
+  void free_slot(std::uint32_t s);
+  /// Reassign dense sequence numbers (ahead of 32-bit wrap) without
+  /// disturbing the (when, seq) total order.
+  void renumber_seqs();
+  /// Pop tombstones off the heap top; returns the live top slot or kNil.
+  [[nodiscard]] std::uint32_t live_top();
+  /// Fire the heap-top slot `s` (must be armed): advances the clock,
+  /// releases the slot, runs the callback.
+  void fire_top(std::uint32_t s);
+  void compact();
+
   SimTime now_ = 0;
-  std::uint64_t next_id_ = 1;
+  std::uint32_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t next_trace_id_ = 1;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
-                      std::greater<QueuedEvent>>
-      queue_;
-  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::uint32_t allocated_ = 0;  // slots ever handed out (high-water mark)
+  std::vector<HeapEntry> heap_;  // min-heap ordered by (when, seq)
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_ = 0;        // armed events
+  std::size_t tombstones_ = 0;  // heap entries whose slot was cancelled
   Rng rng_;
   Logger logger_;
   MetricsRegistry metrics_;

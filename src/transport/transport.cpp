@@ -16,13 +16,13 @@ Transport::Transport(net::Network& network, net::Host& host,
 
 void Transport::bind() {
   host_->bind(port_, [this](const net::Endpoint& src, std::uint16_t,
-                            const Bytes& payload) {
-    if (receiver_) receiver_(src, payload);
+                            SharedBytes payload) {
+    if (receiver_) receiver_(src, std::move(payload));
   });
   open_ = true;
 }
 
-void Transport::send_to(const net::Endpoint& dst, Bytes payload) {
+void Transport::send_to(const net::Endpoint& dst, SharedBytes payload) {
   if (!open_) return;
   sent_->inc();
   network_.send(*host_, port_, dst, std::move(payload));

@@ -21,8 +21,10 @@ namespace wow::transport {
 /// echo the observed source address, §IV-C).
 class Transport {
  public:
+  /// Receives the datagram's shared buffer by value: the node keeps the
+  /// only reference after delivery, enabling in-place frame rewrites.
   using Receiver =
-      std::function<void(const net::Endpoint& src, const Bytes& payload)>;
+      std::function<void(const net::Endpoint& src, SharedBytes payload)>;
 
   Transport(net::Network& network, net::Host& host, std::uint16_t port);
   ~Transport() { close(); }
@@ -32,9 +34,12 @@ class Transport {
 
   void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
-  void send_to(const net::Endpoint& dst, Bytes payload);
+  void send_to(const net::Endpoint& dst, SharedBytes payload);
+  void send_to(const net::Endpoint& dst, Bytes payload) {
+    send_to(dst, SharedBytes(std::move(payload)));
+  }
   void send_to(const Uri& uri, Bytes payload) {
-    send_to(uri.endpoint, std::move(payload));
+    send_to(uri.endpoint, SharedBytes(std::move(payload)));
   }
 
   /// The node's private URI (its interface address + bound port).

@@ -4,14 +4,16 @@ namespace wow::vtcp {
 
 Bytes Segment::serialize() const {
   ByteWriter w;
+  w.reserve(2 + 2 + 4 + 4 + 1 + 4 + 2 + payload.size());
   w.u16(src_port);
   w.u16(dst_port);
   w.u32(seq);
   w.u32(ack);
   w.u8(flags);
   w.u32(window);
-  w.u16(static_cast<std::uint16_t>(payload.size()));
-  w.raw(payload);
+  // Length-prefixed via blob(): oversize payloads are rejected loudly
+  // instead of truncating the u16 length.
+  w.blob(payload);
   return std::move(w).take();
 }
 

@@ -187,6 +187,60 @@ TEST(Bytes, TruncatedStringFails) {
   EXPECT_FALSE(r.str().has_value());
 }
 
+TEST(Bytes, BlobAtMaxLenPrefixedRoundTrips) {
+  Bytes big(ByteWriter::kMaxLenPrefixed, 0xab);
+  ByteWriter w;
+  w.blob(big);
+  EXPECT_FALSE(w.overflowed());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.blob(), big);
+}
+
+TEST(Bytes, OversizeBlobIsRejectedNotTruncated) {
+  // One byte past the u16 ceiling.  The old behavior cast the size to
+  // u16 — writing length 0 but appending all 65536 payload bytes, which
+  // desynchronized every field after it.
+  Bytes big(ByteWriter::kMaxLenPrefixed + 1, 0xcd);
+  ByteWriter w;
+  w.u8(7);
+  w.blob(big);
+  w.u8(9);
+  EXPECT_TRUE(w.overflowed());
+  // The rejected blob occupies exactly one empty length prefix, so the
+  // surrounding fields still parse.
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.blob(), Bytes{});
+  EXPECT_EQ(r.u8(), 9);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, OversizeStrIsRejectedNotTruncated) {
+  std::string big(ByteWriter::kMaxLenPrefixed + 1, 'x');
+  ByteWriter w;
+  w.str(big);
+  EXPECT_TRUE(w.overflowed());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Bytes, SharedBytesCopyOnWrite) {
+  SharedBytes a{Bytes{1, 2, 3}};
+  EXPECT_TRUE(a.unique());
+  SharedBytes b = a;  // second reference: in-place mutation now unsafe
+  EXPECT_FALSE(a.unique());
+  const std::uint8_t* before = b.data();
+  b.mutable_data()[0] = 9;  // clones, leaving `a` untouched
+  EXPECT_NE(b.data(), before);
+  EXPECT_EQ(a.view()[0], 1);
+  EXPECT_EQ(b.view()[0], 9);
+  // Sole owner mutates in place — no clone.
+  EXPECT_TRUE(b.unique());
+  const std::uint8_t* stable = b.data();
+  b.mutable_data()[1] = 8;
+  EXPECT_EQ(b.data(), stable);
+}
+
 TEST(Stats, RunningStatsMatchesClosedForm) {
   RunningStats s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);

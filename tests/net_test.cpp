@@ -17,8 +17,8 @@ struct Received {
 void expect_on(Host& host, std::uint16_t port,
                std::optional<Received>& slot) {
   host.bind(port, [&slot](const Endpoint& src, std::uint16_t,
-                          const Bytes& payload) {
-    slot = Received{src, payload};
+                          SharedBytes payload) {
+    slot = Received{src, payload.to_bytes()};
   });
 }
 
@@ -247,9 +247,10 @@ TEST_F(NetTest, UdpHolePunchBetweenTwoPortRestrictedNats) {
   // Both register with the rendezvous to open mappings & learn peers.
   std::optional<Received> from_a, from_b;
   rendezvous.bind(50, [&](const Endpoint& src, std::uint16_t,
-                          const Bytes& payload) {
-    if (payload == payload_of(1)) from_a = Received{src, payload};
-    if (payload == payload_of(2)) from_b = Received{src, payload};
+                          SharedBytes payload) {
+    Bytes data = payload.to_bytes();
+    if (data == payload_of(1)) from_a = Received{src, data};
+    if (data == payload_of(2)) from_b = Received{src, data};
   });
   network.send(a, 40, Endpoint{rendezvous.ip(), 50}, payload_of(1));
   network.send(b, 40, Endpoint{rendezvous.ip(), 50}, payload_of(2));
@@ -441,7 +442,7 @@ TEST_F(NetTest, UplinkSerializationQueues) {
                              site_a, slow);
   Host& b = public_host(2, site_a);
   std::vector<SimTime> arrivals;
-  b.bind(50, [&](const Endpoint&, std::uint16_t, const Bytes&) {
+  b.bind(50, [&](const Endpoint&, std::uint16_t, SharedBytes) {
     arrivals.push_back(sim.now());
   });
 

@@ -61,11 +61,11 @@ TEST(RoutedPacketWire, RoundTrip) {
   p.bounced = true;
   p.type = RoutedType::kCtmRequest;
   p.trace_id = 0xfeedfacecafef00dull;
-  p.payload = Bytes{9, 8, 7, 6};
+  p.set_payload(Bytes{9, 8, 7, 6});
 
   auto frame = p.serialize();
   EXPECT_EQ(frame_kind(frame), FrameKind::kRouted);
-  auto q = RoutedPacket::parse(frame);
+  auto q = RoutedPacket::parse(BytesView(frame));
   ASSERT_TRUE(q.has_value());
   EXPECT_EQ(q->src, p.src);
   EXPECT_EQ(q->dst, p.dst);
@@ -76,7 +76,8 @@ TEST(RoutedPacketWire, RoundTrip) {
   EXPECT_EQ(q->bounced, p.bounced);
   EXPECT_EQ(q->type, p.type);
   EXPECT_EQ(q->trace_id, p.trace_id);
-  EXPECT_EQ(q->payload, p.payload);
+  EXPECT_EQ(Bytes(q->payload().begin(), q->payload().end()),
+            (Bytes{9, 8, 7, 6}));
 }
 
 TEST(RoutedPacketWire, RejectsTruncated) {

@@ -57,7 +57,7 @@ TEST(Ring, DataRoutesBetweenArbitraryPairs) {
 
   int received = 0;
   for (auto& n : net.nodes) {
-    n->set_data_handler([&received](const p2p::Address&, const Bytes&) {
+    n->set_data_handler([&received](const p2p::Address&, BytesView) {
       ++received;
     });
   }
@@ -247,7 +247,7 @@ TEST(Ring, MultiHopDeliveryCountsHops) {
   }
   ASSERT_NE(far, nullptr);
   int got = 0;
-  far->set_data_handler([&](const p2p::Address&, const Bytes&) { ++got; });
+  far->set_data_handler([&](const p2p::Address&, BytesView) { ++got; });
   src->send_data(far->address(), Bytes{1});
   net.sim.run_for(10 * kSecond);
   ASSERT_EQ(got, 1);

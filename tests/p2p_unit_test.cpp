@@ -221,12 +221,12 @@ struct LinkPair {
     addr_b = Address{200};
     ea = make_engine(*ta, addr_a, established_a);
     eb = make_engine(*tb, addr_b, established_b);
-    ta->set_receiver([this](const net::Endpoint& from, const Bytes& data) {
-      auto f = LinkFrame::parse(data);
+    ta->set_receiver([this](const net::Endpoint& from, SharedBytes data) {
+      auto f = LinkFrame::parse(data.view());
       if (f) ea->handle_frame(*f, from);
     });
-    tb->set_receiver([this](const net::Endpoint& from, const Bytes& data) {
-      auto f = LinkFrame::parse(data);
+    tb->set_receiver([this](const net::Endpoint& from, SharedBytes data) {
+      auto f = LinkFrame::parse(data.view());
       if (f) eb->handle_frame(*f, from);
     });
   }

@@ -1,0 +1,162 @@
+// Equivalence tests for the zero-copy forwarding path: a RoutedPacket
+// parsed from the wire and re-emitted through wire() — with the
+// in-flight-mutable header fields rewritten in place — must produce
+// byte-for-byte the frame a from-scratch serialize() of the same
+// logical packet would.  Any divergence would break cross-build
+// determinism (mixed old/new nodes would disagree on bytes) and the
+// fixed-seed trace fingerprints.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "p2p/packet.h"
+
+namespace wow::p2p {
+namespace {
+
+/// Serialize `p`'s logical contents from scratch through a fresh
+/// owned-payload packet — the reference the zero-copy path must match.
+Bytes scratch_serialize(const RoutedPacket& p) {
+  RoutedPacket fresh;
+  fresh.src = p.src;
+  fresh.dst = p.dst;
+  fresh.via = p.via;
+  fresh.ttl = p.ttl;
+  fresh.hops = p.hops;
+  fresh.mode = p.mode;
+  fresh.bounced = p.bounced;
+  fresh.type = p.type;
+  fresh.trace_id = p.trace_id;
+  fresh.set_payload(Bytes(p.payload().begin(), p.payload().end()));
+  return fresh.serialize();
+}
+
+RoutedPacket origin_packet(DeliveryMode mode, bool with_via) {
+  Rng rng(42);
+  RoutedPacket p;
+  p.src = rng.ring_id();
+  p.dst = rng.ring_id();
+  if (with_via) p.via = rng.ring_id();
+  p.ttl = 16;
+  p.mode = mode;
+  p.type = RoutedType::kCtmReply;
+  p.trace_id = 0x1122334455667788ull;
+  Bytes payload(200);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  p.set_payload(std::move(payload));
+  return p;
+}
+
+class ForwardEquivalence
+    : public ::testing::TestWithParam<std::pair<DeliveryMode, bool>> {};
+
+TEST_P(ForwardEquivalence, WireMatchesScratchSerializeAtEveryHop) {
+  auto [mode, with_via] = GetParam();
+  RoutedPacket origin = origin_packet(mode, with_via);
+  Bytes frame = origin.serialize();
+  ASSERT_FALSE(frame.empty());
+
+  for (int hop = 0; hop < 6; ++hop) {
+    auto p = RoutedPacket::parse(SharedBytes{std::move(frame)});
+    ASSERT_TRUE(p.has_value()) << "hop " << hop;
+    // The mutations a forwarding node applies in flight (Node::route /
+    // Node::forward_to): consume the via once "we" are the agent, tag
+    // the gap bounce, spend ttl, count the hop.
+    if (hop == 2) p->via = Address{};   // agent reached: via consumed
+    if (hop == 3) p->bounced = true;    // handed across the ring gap
+    --p->ttl;
+    ++p->hops;
+
+    Bytes expected = scratch_serialize(*p);
+    SharedBytes rewired = p->wire();
+    ASSERT_EQ(rewired.size(), expected.size()) << "hop " << hop;
+    EXPECT_EQ(Bytes(rewired.view().begin(), rewired.view().end()), expected)
+        << "hop " << hop;
+
+    // Next hop receives exactly what this hop sent.
+    frame = rewired.to_bytes();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ForwardEquivalence,
+    ::testing::Values(std::make_pair(DeliveryMode::kExact, false),
+                      std::make_pair(DeliveryMode::kExact, true),
+                      std::make_pair(DeliveryMode::kNearest, false),
+                      std::make_pair(DeliveryMode::kNearest, true)));
+
+TEST(ForwardPath, ParsedPayloadIsViewIntoFrame) {
+  RoutedPacket origin = origin_packet(DeliveryMode::kExact, false);
+  SharedBytes frame{origin.serialize()};
+  const std::uint8_t* base = frame.data();
+  auto p = RoutedPacket::parse(std::move(frame));
+  ASSERT_TRUE(p.has_value());
+  // Zero-copy: the payload view aliases the arrival buffer.
+  EXPECT_EQ(p->payload().data(), base + RoutedPacket::kHeaderBytes);
+  EXPECT_EQ(p->payload().size(),
+            origin.payload().size());
+}
+
+TEST(ForwardPath, UniqueFrameIsRewrittenInPlace) {
+  RoutedPacket origin = origin_packet(DeliveryMode::kExact, false);
+  SharedBytes frame{origin.serialize()};
+  const std::uint8_t* base = frame.data();
+  auto p = RoutedPacket::parse(std::move(frame));
+  ASSERT_TRUE(p.has_value());
+  --p->ttl;
+  ++p->hops;
+  SharedBytes out = p->wire();
+  // Sole reference: same buffer, mutated in place (the whole point).
+  EXPECT_EQ(out.data(), base);
+}
+
+TEST(ForwardPath, SharedFrameCopiesOnWriteLeavingOriginalIntact) {
+  RoutedPacket origin = origin_packet(DeliveryMode::kNearest, false);
+  SharedBytes frame{origin.serialize()};
+  SharedBytes held = frame;  // e.g. a deferred delivery still queued
+  auto p = RoutedPacket::parse(std::move(frame));
+  ASSERT_TRUE(p.has_value());
+  p->bounced = true;
+  --p->ttl;
+  SharedBytes out = p->wire();
+  EXPECT_NE(out.data(), held.data());
+  // The held reference still carries the original header bytes.
+  EXPECT_EQ(held.view()[1], 16);  // ttl
+  EXPECT_EQ(held.view()[4], 0);   // bounced
+  EXPECT_EQ(out.view()[1], 15);
+  EXPECT_EQ(out.view()[4], 1);
+}
+
+TEST(ForwardPath, OversizePayloadFailsLoudlyNotTruncated) {
+  RoutedPacket p;
+  p.set_payload(Bytes(RoutedPacket::kMaxPayloadBytes + 1, 0xee));
+  EXPECT_TRUE(p.serialize().empty());
+  EXPECT_TRUE(p.wire().empty());
+  // At the ceiling it still works.
+  RoutedPacket ok;
+  ok.set_payload(Bytes(RoutedPacket::kMaxPayloadBytes, 0xee));
+  Bytes frame = ok.serialize();
+  EXPECT_EQ(frame.size(),
+            RoutedPacket::kHeaderBytes + RoutedPacket::kMaxPayloadBytes);
+  auto parsed = RoutedPacket::parse(BytesView(frame));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload().size(), RoutedPacket::kMaxPayloadBytes);
+}
+
+TEST(ForwardPath, LocallyBuiltPacketCachesItsFrame) {
+  RoutedPacket p = origin_packet(DeliveryMode::kExact, false);
+  SharedBytes first = p.wire();
+  ASSERT_FALSE(first.empty());
+  // A second send reuses the cached frame rather than re-serializing —
+  // and header edits between sends still land in it.
+  --p.ttl;
+  SharedBytes second = p.wire();
+  EXPECT_EQ(second.view()[1], p.ttl);
+  EXPECT_EQ(Bytes(second.view().begin(), second.view().end()),
+            scratch_serialize(p));
+}
+
+}  // namespace
+}  // namespace wow::p2p

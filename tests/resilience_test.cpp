@@ -32,7 +32,7 @@ TEST(Churn, RingSurvivesRollingRestarts) {
   // Data still routes between every pair.
   int received = 0;
   for (auto& n : net.nodes) {
-    n->set_data_handler([&received](const p2p::Address&, const Bytes&) {
+    n->set_data_handler([&received](const p2p::Address&, BytesView) {
       ++received;
     });
   }
@@ -130,7 +130,7 @@ TEST(NatRenumbering, HomeNodeSurvivesTranslationChange) {
   // And traffic flows again end-to-end: a router can route data to it.
   int got = 0;
   node.p2p().set_data_handler(
-      [&got](const p2p::Address&, const Bytes&) { ++got; });
+      [&got](const p2p::Address&, BytesView) { ++got; });
   // Stale forwarding state at individual routers may take another
   // keepalive cycle to clear; a few probes must get through.
   for (int i = 0; i < 5; ++i) {
@@ -280,7 +280,7 @@ TEST_P(RingSizeSweep, ConvergesAndRoutes) {
   int received = 0;
   int senders = std::min(GetParam() - 1, 5);
   net.nodes.back()->set_data_handler(
-      [&received](const p2p::Address&, const Bytes&) { ++received; });
+      [&received](const p2p::Address&, BytesView) { ++received; });
   for (int i = 0; i < senders; ++i) {
     net.nodes[static_cast<std::size_t>(i)]->send_data(
         net.nodes.back()->address(), Bytes{9});
