@@ -86,6 +86,13 @@ MetricId MetricsRegistry::add_gauge(std::string_view name,
   return entries_.size() - 1;
 }
 
+std::optional<MetricId> MetricsRegistry::id_of(
+    std::string_view name, const MetricLabels& labels) const {
+  auto it = index_.find(std::make_tuple(std::string(name), labels));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
 void MetricsRegistry::remove(MetricId id) {
   if (id >= entries_.size() || entries_[id].dead) return;
   Entry& entry = entries_[id];

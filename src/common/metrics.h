@@ -73,6 +73,12 @@ class MetricsRegistry {
   /// id must have come from this registry.
   void remove(MetricId id);
 
+  /// Id of a live metric by identity (nullopt if absent).  Lets counter
+  /// and histogram registrants unregister on destruction the way gauge
+  /// registrants do with the id add_gauge returns.
+  [[nodiscard]] std::optional<MetricId> id_of(
+      std::string_view name, const MetricLabels& labels) const;
+
   /// One exported value (gauges evaluated at snapshot time).
   struct Sample {
     enum class Kind { kCounter, kGauge, kHistogram };

@@ -45,7 +45,16 @@ void IpopNode::send_ip(IpPacket packet) {
 
 void IpopNode::on_overlay_data(const p2p::Address&, BytesView payload) {
   auto packet = IpPacket::parse(payload);
-  if (!packet) return;
+  if (!packet) {
+    // Corrupted or truncated tunnel payload: reject cleanly, count it.
+    ++stats_.parse_rejects;
+    if (parse_reject_ == nullptr) {
+      parse_reject_ =
+          &sim_.metrics().counter("parse_reject", MetricLabels{"", "ipop"});
+    }
+    parse_reject_->inc();
+    return;
+  }
   if (packet->dst != config_.vip) {
     // The overlay delivered a tunnelled packet for someone else (e.g. a
     // stale shortcut after the ring shifted); a tap would not inject it.

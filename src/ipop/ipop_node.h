@@ -63,6 +63,7 @@ class IpopNode {
     std::uint64_t received = 0;
     std::uint64_t dropped_not_ours = 0;  // dst vip != ours (stale route)
     std::uint64_t dropped_no_handler = 0;
+    std::uint64_t parse_rejects = 0;  // tunnelled bytes not an IpPacket
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -74,6 +75,8 @@ class IpopNode {
   std::unique_ptr<p2p::Node> node_;
   std::map<IpProto, IpHandler> handlers_;
   Stats stats_;
+  /// Fleet-wide parse.reject counter, fetched on first reject.
+  MetricCounter* parse_reject_ = nullptr;
 };
 
 }  // namespace wow::ipop

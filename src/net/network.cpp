@@ -5,26 +5,27 @@
 
 namespace wow::net {
 
-Network::Network(sim::Simulator& simulator) : sim_(simulator) {
+Network::Network(sim::Simulator& simulator)
+    : sim_(simulator), faults_(simulator, *this) {
   Domain internet;
   internet.name = "internet";
   internet.parent = kInternet;
   domains_.push_back(std::move(internet));
 
   MetricLabels labels{"", "net"};
-  auto gauge = [&](const char* name, const std::uint64_t& field) {
+  auto gauge = [&](const std::string& name, const std::uint64_t& field) {
     metric_ids_.push_back(sim_.metrics().add_gauge(
         name, labels, [&field] { return static_cast<double>(field); }));
   };
   gauge("net_datagrams_sent", stats_.sent);
   gauge("net_datagrams_delivered", stats_.delivered);
-  gauge("net_dropped_loss", stats_.dropped_loss);
-  gauge("net_dropped_unroutable", stats_.dropped_unroutable);
-  gauge("net_dropped_nat_filtered", stats_.dropped_nat_filtered);
-  gauge("net_dropped_hairpin", stats_.dropped_hairpin);
-  gauge("net_dropped_no_listener", stats_.dropped_no_listener);
-  gauge("net_dropped_overload", stats_.dropped_overload);
-  gauge("net_dropped_ttl", stats_.dropped_ttl);
+  // One gauge per drop reason, named after its label; looping over the
+  // enum keeps the metric set in lockstep with DropReason.
+  for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+    gauge(std::string("net_dropped_") +
+              to_string(static_cast<DropReason>(i)),
+          stats_.dropped[i]);
+  }
 }
 
 Network::~Network() {
@@ -40,21 +41,18 @@ const char* to_string(Network::DropReason reason) {
     case Network::DropReason::kNoListener: return "no_listener";
     case Network::DropReason::kOverload: return "overload";
     case Network::DropReason::kTtl: return "ttl";
+    case Network::DropReason::kPartition: return "partition";
+    case Network::DropReason::kLinkDown: return "link_down";
+    case Network::DropReason::kHostDown: return "host_down";
+    case Network::DropReason::kCorrupted: return "corrupted";
+    case Network::DropReason::kCount: break;
   }
   return "unknown";
 }
 
 void Network::record_drop(DropReason reason, const Endpoint& src,
                           const Endpoint& dst) {
-  switch (reason) {
-    case DropReason::kLoss: ++stats_.dropped_loss; break;
-    case DropReason::kUnroutable: ++stats_.dropped_unroutable; break;
-    case DropReason::kNatFiltered: ++stats_.dropped_nat_filtered; break;
-    case DropReason::kHairpin: ++stats_.dropped_hairpin; break;
-    case DropReason::kNoListener: ++stats_.dropped_no_listener; break;
-    case DropReason::kOverload: ++stats_.dropped_overload; break;
-    case DropReason::kTtl: ++stats_.dropped_ttl; break;
-  }
+  ++stats_.dropped[static_cast<std::size_t>(reason)];
   if (drop_hook_) drop_hook_(reason, src, dst);
   if (sim_.trace().enabled()) {
     sim_.trace().event(sim_.now(), "net", "", "net.drop",
@@ -138,9 +136,33 @@ void Network::move_host(Host& h, DomainId new_domain, Ipv4Addr new_ip) {
   h = Host(h.id(), new_ip, new_domain, target.site, h.config());
 }
 
+bool Network::wan_faulted(SiteId a, SiteId b, SimTime& t,
+                          const Endpoint& src, const Endpoint& dst) {
+  if (faults_.partitioned(a, b)) {
+    record_drop(DropReason::kPartition, src, dst);
+    return true;
+  }
+  if (faults_.link_down(a, b)) {
+    record_drop(DropReason::kLinkDown, src, dst);
+    return true;
+  }
+  t += faults_.wan_extra_latency();
+  // Short-circuit keeps the RNG untouched while no storm is active.
+  double extra_loss = faults_.wan_extra_loss();
+  if (extra_loss > 0.0 && sim_.rng().bernoulli(extra_loss)) {
+    record_drop(DropReason::kLoss, src, dst);
+    return true;
+  }
+  return false;
+}
+
 void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
                    SharedBytes payload) {
   ++stats_.sent;
+  if (faults_.host_blocked(from.id())) {
+    record_drop(DropReason::kHostDown, Endpoint{from.ip(), src_port}, dst);
+    return;
+  }
   SimTime now = sim_.now();
   std::size_t wire_bytes = payload.size() + 28;  // IP + UDP headers
 
@@ -163,6 +185,10 @@ void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
       const LinkModel& link = cur_domain == kInternet
                                   ? site_link(src_site, target.site())
                                   : lan_;
+      if (cur_domain == kInternet &&
+          wan_faulted(src_site, target.site(), t, cur_src, cur_dst)) {
+        return;
+      }
       if (sim_.rng().bernoulli(link.loss)) {
         record_drop(DropReason::kLoss, cur_src, cur_dst);
         return;
@@ -177,6 +203,12 @@ void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
         it != dom.child_nats_by_wan_ip.end()) {
       Domain& inner = domains_[static_cast<std::size_t>(it->second)];
       NatBox& nat = *inner.nat;
+      // An isolated domain's uplink is physically cut: nothing descends
+      // into it, NAT state notwithstanding.
+      if (faults_.domain_isolated(it->second)) {
+        record_drop(DropReason::kPartition, cur_src, cur_dst);
+        return;
+      }
       if (ascended.count(&nat) != 0 && !nat.config().hairpin) {
         record_drop(DropReason::kHairpin, cur_src, cur_dst);
         return;
@@ -184,6 +216,10 @@ void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
       const LinkModel& link = cur_domain == kInternet
                                   ? site_link(src_site, inner.site)
                                   : lan_;
+      if (cur_domain == kInternet &&
+          wan_faulted(src_site, inner.site, t, cur_src, cur_dst)) {
+        return;
+      }
       if (sim_.rng().bernoulli(link.loss)) {
         record_drop(DropReason::kLoss, cur_src, cur_dst);
         return;
@@ -203,6 +239,10 @@ void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
 
     // 3) Ascend through our own NAT toward the Internet.
     if (cur_domain != kInternet) {
+      if (faults_.domain_isolated(cur_domain)) {
+        record_drop(DropReason::kPartition, cur_src, cur_dst);
+        return;
+      }
       NatBox& nat = *dom.nat;
       cur_src = nat.translate_outbound(cur_src, cur_dst, now);
       t += nat_hop_;
@@ -222,6 +262,34 @@ void Network::send(Host& from, std::uint16_t src_port, const Endpoint& dst,
 void Network::deliver(Host& to, const Endpoint& seen_src,
                       std::uint16_t dst_port, SharedBytes payload,
                       SimTime arrival) {
+  if (faults_.host_blocked(to.id())) {
+    record_drop(DropReason::kHostDown, seen_src, Endpoint{to.ip(), dst_port});
+    return;
+  }
+  if (faults_.roll_duplicate()) {
+    // The duplicate is an independent physical datagram: it shares the
+    // payload buffer (copy-on-write) but rolls its own corruption,
+    // reordering and queueing below.
+    deliver_one(to, seen_src, dst_port, payload, arrival);
+  }
+  deliver_one(to, seen_src, dst_port, std::move(payload), arrival);
+}
+
+void Network::deliver_one(Host& to, const Endpoint& seen_src,
+                          std::uint16_t dst_port, SharedBytes payload,
+                          SimTime arrival) {
+  switch (faults_.roll_corruption()) {
+    case FaultInjector::CorruptAction::kNone:
+      break;
+    case FaultInjector::CorruptAction::kDrop:
+      record_drop(DropReason::kCorrupted, seen_src,
+                  Endpoint{to.ip(), dst_port});
+      return;
+    case FaultInjector::CorruptAction::kDeliverCorrupted:
+      faults_.corrupt(payload);
+      break;
+  }
+  arrival += faults_.roll_reorder_delay();
   std::size_t wire_bytes = payload.size() + 28;
   SimTime done = to.downlink_done(arrival, wire_bytes);
   if (to.proc_backlog(arrival) > to.config().proc_queue_limit) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "common/bytes.h"
 #include "common/time.h"
 #include "net/addr.h"
+#include "net/faults.h"
 #include "net/host.h"
 #include "net/nat.h"
 #include "sim/simulator.h"
@@ -43,16 +45,35 @@ class Network {
   static constexpr DomainId kInternet = 0;
   static constexpr int kMaxRouteSteps = 16;
 
+  /// Reasons a datagram can die inside the fabric.  Every value has a
+  /// to_string label, a Stats counter and a `net_dropped_<label>` gauge
+  /// (registered in a loop over the enum, so the three can't drift).
+  enum class DropReason {
+    kLoss,
+    kUnroutable,
+    kNatFiltered,
+    kHairpin,
+    kNoListener,
+    kOverload,
+    kTtl,
+    kPartition,  // active partition/isolation separates src and dst
+    kLinkDown,   // active link flap took the site-pair path down
+    kHostDown,   // endpoint host is crashed or frozen
+    kCorrupted,  // in-flight corruption caught by the UDP checksum
+    kCount,      // sentinel: number of reasons, not a reason
+  };
+  static constexpr std::size_t kDropReasonCount =
+      static_cast<std::size_t>(DropReason::kCount);
+
   struct Stats {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
-    std::uint64_t dropped_loss = 0;
-    std::uint64_t dropped_unroutable = 0;
-    std::uint64_t dropped_nat_filtered = 0;
-    std::uint64_t dropped_hairpin = 0;
-    std::uint64_t dropped_no_listener = 0;
-    std::uint64_t dropped_overload = 0;
-    std::uint64_t dropped_ttl = 0;
+    /// Indexed by DropReason; use drops() for readable access.
+    std::array<std::uint64_t, kDropReasonCount> dropped{};
+
+    [[nodiscard]] std::uint64_t drops(DropReason reason) const {
+      return dropped[static_cast<std::size_t>(reason)];
+    }
   };
 
   explicit Network(sim::Simulator& simulator);
@@ -100,16 +121,6 @@ class Network {
 
   // --- lookup / admin -----------------------------------------------------
 
-  /// Reasons a datagram can die inside the fabric (mirrors Stats).
-  enum class DropReason {
-    kLoss,
-    kUnroutable,
-    kNatFiltered,
-    kHairpin,
-    kNoListener,
-    kOverload,
-    kTtl,
-  };
   using DropHook = std::function<void(DropReason, const Endpoint& src,
                                       const Endpoint& dst)>;
   /// Observe every drop (diagnostics; not part of the data plane).
@@ -121,6 +132,8 @@ class Network {
   [[nodiscard]] SiteId site_of_domain(DomainId domain) const;
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// The fault fabric riding on this network's data plane.
+  [[nodiscard]] FaultInjector& faults() { return faults_; }
 
   /// Move a host to another domain/site, releasing its old address and
   /// assigning `new_ip` (VM migration re-homes the physical interface).
@@ -141,8 +154,17 @@ class Network {
 
   [[nodiscard]] const LinkModel& site_link(SiteId a, SiteId b) const;
   [[nodiscard]] SimDuration sample_latency(const LinkModel& m);
+  /// Fault checks for one Internet crossing between sites `a` and `b`:
+  /// records the drop and returns true if an active partition or flap
+  /// kills the packet (or storm loss does); otherwise adds any storm
+  /// latency to `t`.
+  [[nodiscard]] bool wan_faulted(SiteId a, SiteId b, SimTime& t,
+                                 const Endpoint& src, const Endpoint& dst);
   void deliver(Host& to, const Endpoint& seen_src, std::uint16_t dst_port,
                SharedBytes payload, SimTime arrival);
+  /// One physical copy (deliver() may fan out under duplication).
+  void deliver_one(Host& to, const Endpoint& seen_src, std::uint16_t dst_port,
+                   SharedBytes payload, SimTime arrival);
   /// Single funnel for every drop: bumps the matching Stats field, runs
   /// the diagnostic hook, and emits a "net.drop" trace event.
   void record_drop(DropReason reason, const Endpoint& src,
@@ -160,6 +182,7 @@ class Network {
   Stats stats_;
   DropHook drop_hook_;
   std::vector<MetricId> metric_ids_;
+  FaultInjector faults_;
 
  public:
   /// Model used when both path ends are at the same site but in

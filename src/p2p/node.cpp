@@ -83,6 +83,7 @@ void Node::register_metrics() {
   add("node_pings_sent", [this] { return double(stats_.pings_sent); });
   add("node_delivered_hops",
       [this] { return double(stats_.delivered_hops); });
+  add("node_parse_rejects", [this] { return double(stats_.parse_rejects); });
   add("node_connections", [this] { return double(table_.size()); });
   add("node_routable", [this] { return routable() ? 1.0 : 0.0; });
 
@@ -222,10 +223,22 @@ void Node::restart() {
 
 // --- frame plumbing --------------------------------------------------------
 
+void Node::count_parse_reject() {
+  ++stats_.parse_rejects;
+  if (parse_reject_ == nullptr) {
+    parse_reject_ =
+        &sim_.metrics().counter("parse_reject", MetricLabels{"", "node"});
+  }
+  parse_reject_->inc();
+}
+
 void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
   if (!running_) return;
   auto kind = frame_kind(payload.view());
-  if (!kind) return;
+  if (!kind) {
+    count_parse_reject();
+    return;
+  }
 
   // Any traffic from a connected peer's endpoint counts as liveness.
   table_.for_each([&](const Connection& c) {
@@ -241,10 +254,18 @@ void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
     // Zero-copy: the packet adopts the frame buffer; forwarding rewrites
     // its mutable header fields in place instead of re-serializing.
     auto packet = RoutedPacket::parse(std::move(payload));
-    if (packet) handle_routed(std::move(*packet), from);
+    if (packet) {
+      handle_routed(std::move(*packet), from);
+    } else {
+      count_parse_reject();
+    }
   } else {
     auto frame = LinkFrame::parse(payload.view());
-    if (frame) handle_link(*frame, from);
+    if (frame) {
+      handle_link(*frame, from);
+    } else {
+      count_parse_reject();
+    }
   }
 }
 
@@ -495,7 +516,10 @@ void Node::handle_ctm_request(const RoutedPacket& packet) {
   if (packet.src == config_.address) return;  // our own announcement
   ++stats_.ctm_received;
   auto req = CtmRequest::parse(packet.payload());
-  if (!req) return;
+  if (!req) {
+    count_parse_reject();
+    return;
+  }
   if (sim_.trace().enabled()) {
     sim_.trace().event(sim_.now(), "node", trace_node_, "ctm.received",
                        {{"src", packet.src.brief()},
@@ -549,7 +573,10 @@ void Node::handle_ctm_request(const RoutedPacket& packet) {
 
 void Node::handle_ctm_reply(const RoutedPacket& packet) {
   auto reply = CtmReply::parse(packet.payload());
-  if (!reply) return;
+  if (!reply) {
+    count_parse_reject();
+    return;
+  }
   auto pending = pending_ctms_.find(reply->token);
   if (pending == pending_ctms_.end()) return;
   ConnectionType type = pending->second.type;

@@ -75,6 +75,8 @@ class Node {
     std::uint64_t pings_sent = 0;
     /// Sum of hop counts over delivered data packets (avg = /delivered).
     std::uint64_t delivered_hops = 0;
+    /// Frames/payloads that failed to parse (truncated or corrupted).
+    std::uint64_t parse_rejects = 0;
   };
 
   /// Payload is a view into the delivered frame; copy it to keep it
@@ -190,6 +192,8 @@ class Node {
   // diagnostics
   void log(LogLevel level, const std::string& message) const;
   void register_metrics();
+  /// Count a frame/payload the parsers refused (truncation, bit rot).
+  void count_parse_reject();
   /// Emit a packet-level trace event ("packet.send", "packet.forward",
   /// "packet.drop", ...).  `reason` may be empty.
   void trace_packet(const char* event, const RoutedPacket& packet,
@@ -245,6 +249,9 @@ class Node {
   std::string trace_node_;
   std::string log_component_;
   std::vector<MetricId> metric_ids_;
+  /// Fleet-wide parse.reject counter, fetched on first reject so clean
+  /// runs leave the metric set untouched.
+  MetricCounter* parse_reject_ = nullptr;
 };
 
 }  // namespace wow::p2p

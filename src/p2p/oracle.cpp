@@ -1,0 +1,188 @@
+#include "p2p/oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace wow::p2p {
+
+namespace {
+
+/// Keepalive detection bound: an idle peer is pinged after ping_interval
+/// and dropped after ping_retries unanswered pings, with the sweep
+/// running at half-interval granularity — so (2 + retries) intervals is
+/// a safe "must have noticed by now" grace.
+[[nodiscard]] SimDuration dead_grace(const Node& node) {
+  const NodeConfig& cfg = node.node_config();
+  return cfg.ping_interval * (2 + cfg.ping_retries);
+}
+
+/// 2^159, the boundary routable() uses between a node's clockwise and
+/// counter-clockwise sides.
+[[nodiscard]] RingId ring_half() {
+  std::array<std::uint32_t, RingId::kLimbs> limbs{};
+  limbs[RingId::kLimbs - 1] = 0x80000000u;
+  return RingId{limbs};
+}
+
+[[nodiscard]] OracleReport violation(std::string invariant,
+                                     std::string detail, SimTime now,
+                                     std::uint64_t seed) {
+  OracleReport r;
+  r.ok = false;
+  r.invariant = std::move(invariant);
+  r.detail = std::move(detail);
+  r.at = now;
+  r.seed = seed;
+  return r;
+}
+
+}  // namespace
+
+std::string OracleReport::to_string() const {
+  std::ostringstream out;
+  if (ok) {
+    out << "oracle: OK at t=" << to_seconds(at) << "s seed=" << seed;
+  } else {
+    out << "oracle: VIOLATION " << invariant << " at t=" << to_seconds(at)
+        << "s seed=" << seed << ": " << detail;
+  }
+  return out.str();
+}
+
+OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
+                           const Config& config) {
+  OracleReport ok_report;
+  ok_report.at = now;
+  ok_report.seed = config.seed;
+  if (live.empty()) return ok_report;
+
+  // God's-eye ring: live addresses in ring order, with a lookup map.
+  std::map<Address, Node*> by_addr;
+  for (Node* n : live) by_addr[n->address()] = n;
+  std::vector<Address> ring;
+  ring.reserve(by_addr.size());
+  for (const auto& [addr, node] : by_addr) ring.push_back(addr);
+  auto ring_index = [&](const Address& a) {
+    return static_cast<std::size_t>(
+        std::lower_bound(ring.begin(), ring.end(), a) - ring.begin());
+  };
+
+  // 1. Every live node is routable — where routability is achievable.
+  // routable() wants a structured-near link in each ring half, which no
+  // repair can provide when every other live address sits in one half
+  // (small or address-clustered rings); invariant 2 still pins those
+  // nodes to their true successor/predecessor.
+  RingId half = ring_half();
+  for (Node* n : live) {
+    std::size_t i = ring_index(n->address());
+    const Address& succ = ring[(i + 1) % ring.size()];
+    const Address& pred = ring[(i + ring.size() - 1) % ring.size()];
+    bool achievable =
+        ring.size() >= 3 &&
+        n->address().clockwise_distance(succ) < half &&
+        !(n->address().clockwise_distance(pred) < half);
+    if (achievable && !n->routable()) {
+      return violation("routable",
+                       "node " + n->address().brief() +
+                           " is not routable (missing structured-near "
+                           "links on at least one side)",
+                       now, config.seed);
+    }
+  }
+
+  // 2. Near pointers agree with the true live ring.
+  if (ring.size() >= 2) {
+    for (Node* n : live) {
+      std::size_t i = ring_index(n->address());
+      const Address& true_succ = ring[(i + 1) % ring.size()];
+      const Address& true_pred = ring[(i + ring.size() - 1) % ring.size()];
+
+      const Connection* succ = n->connections().right_neighbor();
+      if (succ == nullptr || !(succ->addr == true_succ)) {
+        return violation(
+            "near_is_live_successor",
+            "node " + n->address().brief() + " successor is " +
+                (succ == nullptr ? std::string("absent") :
+                                   succ->addr.brief()) +
+                ", true live successor is " + true_succ.brief(),
+            now, config.seed);
+      }
+      const Connection* pred = n->connections().left_neighbor();
+      if (pred == nullptr || !(pred->addr == true_pred)) {
+        return violation(
+            "near_is_live_predecessor",
+            "node " + n->address().brief() + " predecessor is " +
+                (pred == nullptr ? std::string("absent") :
+                                   pred->addr.brief()),
+            now, config.seed);
+      }
+    }
+  }
+
+  // 3. No stale entries past the keepalive grace.
+  for (Node* n : live) {
+    SimDuration grace = dead_grace(*n);
+    OracleReport result = ok_report;
+    n->connections().for_each([&](const Connection& c) {
+      if (!result.ok) return;
+      if (by_addr.count(c.addr) != 0) return;  // live peer: fine
+      if (now - c.last_heard <= grace) return;  // detector still in grace
+      result = violation(
+          "stale_connection",
+          "node " + n->address().brief() + " still holds " +
+              to_string(c.type) + " connection to dead node " +
+              c.addr.brief() + " last heard " +
+              std::to_string(to_seconds(now - c.last_heard)) + "s ago",
+          now, config.seed);
+    });
+    if (!result.ok) return result;
+  }
+
+  // 4. Greedy routing from every node terminates at the owner.
+  std::size_t pairs = ring.size() * ring.size();
+  std::size_t stride = 1;
+  if (config.max_route_pairs != 0 && pairs > config.max_route_pairs) {
+    stride = (pairs + config.max_route_pairs - 1) / config.max_route_pairs;
+  }
+  for (std::size_t p = 0; p < pairs; p += stride) {
+    Node* src = live[p / ring.size() % live.size()];
+    const Address& dst = ring[p % ring.size()];
+    Node* cur = src;
+    std::size_t hops = 0;
+    while (true) {
+      if (cur->address() == dst) break;  // owner reached
+      const Connection* next = cur->connections().closest_to(dst);
+      if (next == nullptr) {
+        // cur believes it is the owner, but dst names a different live
+        // node — greedy routing would misdeliver.
+        return violation("greedy_termination",
+                         "route " + src->address().brief() + " -> " +
+                             dst.brief() + " terminated early at " +
+                             cur->address().brief(),
+                         now, config.seed);
+      }
+      auto it = by_addr.find(next->addr);
+      if (it == by_addr.end()) {
+        return violation("route_into_dead",
+                         "route " + src->address().brief() + " -> " +
+                             dst.brief() + " steps from " +
+                             cur->address().brief() + " to dead node " +
+                             next->addr.brief(),
+                         now, config.seed);
+      }
+      cur = it->second;
+      if (++hops > ring.size()) {
+        return violation("route_loop",
+                         "route " + src->address().brief() + " -> " +
+                             dst.brief() + " exceeded " +
+                             std::to_string(ring.size()) + " hops",
+                         now, config.seed);
+      }
+    }
+  }
+
+  return ok_report;
+}
+
+}  // namespace wow::p2p

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "p2p/node.h"
+
+namespace wow::p2p {
+
+/// Verdict of one oracle sweep.  `ok` when every invariant holds;
+/// otherwise the first violated invariant, with enough context to
+/// reproduce (sim time + run seed) and to debug (the detail line).
+struct OracleReport {
+  bool ok = true;
+  std::string invariant;  // e.g. "near_is_live_successor"
+  std::string detail;     // who violated it and how
+  SimTime at = 0;
+  std::uint64_t seed = 0;
+
+  /// One-line form for logs and test failure messages, e.g.
+  ///   "oracle: VIOLATION near_is_live_successor at t=312.5s seed=7: ..."
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Global structural-invariant checker for a set of live overlay nodes
+/// (the "god's eye" view a real deployment lacks; in simulation we have
+/// it, so we use it — in the spirit of Chord's ring-invariant analysis).
+///
+/// Invariants checked, in order (the first violation is reported):
+///   1. routable        — every live node reports routable() (holds
+///                        structured-near links on both ring sides),
+///                        where the live address set makes that
+///                        achievable: a node whose every live peer sits
+///                        in one ring half can never cover both sides,
+///                        and is held to invariant 2 instead.
+///   2. near_is_live_successor / near_is_live_predecessor — each node's
+///                        ring successor/predecessor in its connection
+///                        table is the true nearest LIVE node on that
+///                        side.  Catches both ring gaps (pointing past a
+///                        live node) and stale pointers (at a dead one).
+///   3. stale_connection — no table entry references a dead node beyond
+///                        the keepalive grace period (per-node:
+///                        ping_interval * (2 + ping_retries); within the
+///                        grace the failure detector is still allowed to
+///                        be catching up).
+///   4. greedy_termination — greedy routing (closest_to walk over the
+///                        real tables) from every live node to every
+///                        live address reaches exactly the owner, within
+///                        a live-count hop bound ("route_loop"), never
+///                        stepping to a dead node ("route_into_dead").
+///
+/// The oracle is a pure observer: it reads connection tables and draws
+/// nothing from the RNG, so calling it cannot perturb a deterministic
+/// run.  Cost is O(n^2) table lookups for the routing sweep — fine for
+/// the soak harness's double-digit overlays.
+class Oracle {
+ public:
+  struct Config {
+    /// Echoed into reports so a failing check prints the reproducer.
+    std::uint64_t seed = 0;
+    /// Cap on (src, dst) pairs in the routing sweep, taken in a
+    /// deterministic stride over the full pair set; 0 = exhaustive.
+    std::size_t max_route_pairs = 0;
+  };
+
+  /// Check all invariants over `live` (the nodes currently running) at
+  /// sim time `now`.  Nodes stopped/crashed at `now` must not be in
+  /// `live` — they are exactly what the stale checks test against.
+  [[nodiscard]] static OracleReport check(const std::vector<Node*>& live,
+                                          SimTime now, const Config& config);
+};
+
+}  // namespace wow::p2p

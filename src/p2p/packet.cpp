@@ -37,6 +37,42 @@ void store_ring_id(std::uint8_t* out, const RingId& id) {
   }
 }
 
+void store_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+constexpr std::uint32_t kFnvOffset = 2166136261u;
+constexpr std::uint32_t kFnvPrime = 16777619u;
+
+[[nodiscard]] std::uint32_t fnv1a(std::uint32_t h,
+                                  std::span<const std::uint8_t> bytes) {
+  for (std::uint8_t b : bytes) h = (h ^ b) * kFnvPrime;
+  return h;
+}
+
+/// Routed-frame checksum: the kind byte, the immutable header fields
+/// (bytes 5..54: mode, type, src, dst, trace id) and the payload.
+/// Deliberately skips the checksum field itself and the mutable tail
+/// (ttl, hops, bounced, via) so a forwarding hop's in-place rewrite
+/// does not invalidate it — computed once at the origin, verified at
+/// every hop.  Callers guarantee `f` is at least kHeaderBytes long.
+[[nodiscard]] std::uint32_t routed_checksum(
+    std::span<const std::uint8_t> f) {
+  std::uint32_t h = fnv1a(kFnvOffset, f.subspan(0, 1));
+  h = fnv1a(h, f.subspan(5, 50));
+  return fnv1a(h, f.subspan(RoutedPacket::kHeaderBytes));
+}
+
+/// Link-frame checksum: the kind byte plus everything after the
+/// checksum field (link frames are never rewritten in flight).
+[[nodiscard]] std::uint32_t link_checksum(std::span<const std::uint8_t> f) {
+  std::uint32_t h = fnv1a(kFnvOffset, f.subspan(0, 1));
+  return fnv1a(h, f.subspan(5));
+}
+
 }  // namespace
 
 void RoutedPacket::set_payload(Bytes payload) {
@@ -61,17 +97,20 @@ Bytes RoutedPacket::serialize() const {
   ByteWriter w;
   w.reserve(kHeaderBytes + body.size());
   w.u8(static_cast<std::uint8_t>(FrameKind::kRouted));
-  w.u8(ttl);
-  w.u8(hops);
+  w.u32(0);  // checksum, patched below once the frame is complete
   w.u8(static_cast<std::uint8_t>(mode));
-  w.u8(bounced ? 1 : 0);
   w.u8(static_cast<std::uint8_t>(type));
   w.ring_id(src);
   w.ring_id(dst);
-  w.ring_id(via);
   w.u64(trace_id);
+  w.u8(ttl);
+  w.u8(hops);
+  w.u8(bounced ? 1 : 0);
+  w.ring_id(via);
   w.raw(body);
-  return std::move(w).take();
+  Bytes out = std::move(w).take();
+  store_u32(out.data() + 1, routed_checksum(out));
+  return out;
 }
 
 SharedBytes RoutedPacket::wire() {
@@ -82,14 +121,15 @@ SharedBytes RoutedPacket::wire() {
     frame_ = SharedBytes(serialize());
     return frame_;
   }
-  // Rewrite exactly the fields the forwarding path mutates in flight.
-  // COW inside mutable_data() protects bounce copies and frames still
-  // queued for a deferred delivery event.
+  // Rewrite exactly the fields the forwarding path mutates in flight —
+  // all outside the checksummed region, so the origin's checksum stays
+  // valid.  COW inside mutable_data() protects bounce copies and frames
+  // still queued for a deferred delivery event.
   std::uint8_t* b = frame_.mutable_data();
-  b[1] = ttl;
-  b[2] = hops;
-  b[4] = bounced ? 1 : 0;
-  store_ring_id(b + 46, via);
+  b[55] = ttl;
+  b[56] = hops;
+  b[57] = bounced ? 1 : 0;
+  store_ring_id(b + 58, via);
   return frame_;
 }
 
@@ -100,17 +140,18 @@ std::optional<RoutedPacket> RoutedPacket::parse(SharedBytes frame) {
     return std::nullopt;
   }
   RoutedPacket p;
-  auto ttl = r.u8();
-  auto hops = r.u8();
+  auto csum = r.u32();
   auto mode = r.u8();
-  auto bounced = r.u8();
   auto type = r.u8();
   auto src = r.ring_id();
   auto dst = r.ring_id();
-  auto via = r.ring_id();
   auto trace_id = r.u64();
-  if (!ttl || !hops || !mode || !bounced || !type || !src || !dst || !via ||
-      !trace_id) {
+  auto ttl = r.u8();
+  auto hops = r.u8();
+  auto bounced = r.u8();
+  auto via = r.ring_id();
+  if (!csum || !mode || !type || !src || !dst || !trace_id || !ttl ||
+      !hops || !bounced || !via) {
     return std::nullopt;
   }
   if (*mode != static_cast<std::uint8_t>(DeliveryMode::kExact) &&
@@ -118,6 +159,7 @@ std::optional<RoutedPacket> RoutedPacket::parse(SharedBytes frame) {
     return std::nullopt;
   }
   if (*type < 1 || *type > 3) return std::nullopt;
+  if (*csum != routed_checksum(frame.view())) return std::nullopt;
   p.ttl = *ttl;
   p.hops = *hops;
   p.mode = static_cast<DeliveryMode>(*mode);
@@ -211,8 +253,9 @@ std::optional<CtmReply> CtmReply::parse(std::span<const std::uint8_t> body) {
 
 Bytes LinkFrame::serialize() const {
   ByteWriter w;
-  w.reserve(1 + 1 + 1 + 4 + 20 + 4 + 2 + uri_list_bytes(uris));
+  w.reserve(1 + 4 + 1 + 1 + 4 + 20 + 4 + 2 + uri_list_bytes(uris));
   w.u8(static_cast<std::uint8_t>(FrameKind::kLink));
+  w.u32(0);  // checksum, patched below once the frame is complete
   w.u8(static_cast<std::uint8_t>(type));
   w.u8(static_cast<std::uint8_t>(con_type));
   w.u32(token);
@@ -220,7 +263,9 @@ Bytes LinkFrame::serialize() const {
   w.u32(observed.ip.value());
   w.u16(observed.port);
   transport::write_uri_list(w, uris);
-  return std::move(w).take();
+  Bytes out = std::move(w).take();
+  store_u32(out.data() + 1, link_checksum(out));
+  return out;
 }
 
 std::optional<LinkFrame> LinkFrame::parse(
@@ -230,13 +275,15 @@ std::optional<LinkFrame> LinkFrame::parse(
   if (!kind || *kind != static_cast<std::uint8_t>(FrameKind::kLink)) {
     return std::nullopt;
   }
+  auto csum = r.u32();
   auto type = r.u8();
   auto con_type = r.u8();
   auto token = r.u32();
   auto sender = r.ring_id();
   auto obs_ip = r.u32();
   auto obs_port = r.u16();
-  if (!type || !con_type || !token || !sender || !obs_ip || !obs_port) {
+  if (!csum || !type || !con_type || !token || !sender || !obs_ip ||
+      !obs_port) {
     return std::nullopt;
   }
   if (*type < 1 || *type > 6 || !valid_connection_type(*con_type)) {
@@ -244,6 +291,7 @@ std::optional<LinkFrame> LinkFrame::parse(
   }
   auto uris = transport::read_uri_list(r);
   if (!uris) return std::nullopt;
+  if (*csum != link_checksum(frame)) return std::nullopt;
   LinkFrame f;
   f.type = static_cast<LinkType>(*type);
   f.con_type = static_cast<ConnectionType>(*con_type);

@@ -24,6 +24,16 @@ enum class ConnectionType : std::uint8_t {
 [[nodiscard]] const char* to_string(ConnectionType type);
 
 /// Outer frame discriminator.
+///
+/// Every frame carries a 32-bit FNV-1a checksum right after this byte.
+/// UDP's own 16-bit checksum is weak — the fault model lets half of all
+/// corrupted datagrams through it — and a bit-flipped frame that still
+/// parses would install a phantom address (a node that does not exist)
+/// into connection tables.  The application-level checksum closes that:
+/// parse() rejects any frame whose recomputed checksum disagrees, and
+/// the node counts the reject.  For routed frames the checksum covers
+/// only the fields a forwarding hop may NOT rewrite (plus the payload),
+/// so it is computed once at origin and survives in-place forwarding.
 enum class FrameKind : std::uint8_t {
   kRouted = 1,  // forwarded hop-by-hop over the structured ring
   kLink = 2,    // direct link-level message between two endpoints
@@ -53,9 +63,11 @@ enum class DeliveryMode : std::uint8_t {
 /// hops, bounced, via) rewritten in place — a forwarding hop touches a
 /// couple of dozen bytes instead of reallocating and copying the frame.
 struct RoutedPacket {
-  /// Fixed header size: kind, ttl, hops, mode, bounced, type (1 byte
-  /// each) + src/dst/via ring ids (20 each) + trace id (8).
-  static constexpr std::size_t kHeaderBytes = 74;
+  /// Fixed header size: kind (1) + checksum (4) + the immutable fields
+  /// — mode, type (1 each), src/dst ring ids (20 each), trace id (8) —
+  /// followed by the in-flight-mutable tail the checksum skips: ttl,
+  /// hops, bounced (1 each) + via ring id (20).
+  static constexpr std::size_t kHeaderBytes = 78;
   /// Ceiling on the payload a routed frame may carry (a simulated UDP
   /// datagram); serialize() fails loudly above it.
   static constexpr std::size_t kMaxPayloadBytes = 0xffff;

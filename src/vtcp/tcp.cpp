@@ -507,7 +507,16 @@ std::uint16_t TcpStack::ephemeral_port() {
 
 void TcpStack::on_ip_packet(const ipop::IpPacket& packet) {
   auto seg = Segment::parse(packet.payload);
-  if (!seg) return;
+  if (!seg) {
+    // Not a well-formed segment (corruption survived the outer layers):
+    // reject cleanly and count it.
+    if (parse_reject_ == nullptr) {
+      parse_reject_ =
+          &sim_.metrics().counter("parse_reject", MetricLabels{"", "vtcp"});
+    }
+    parse_reject_->inc();
+    return;
+  }
   ConnKey key{packet.src.value(), seg->src_port, seg->dst_port};
   if (auto it = sockets_.find(key); it != sockets_.end()) {
     auto socket = it->second;  // keep alive across detach

@@ -249,6 +249,8 @@ class TcpStack {
   std::map<ConnKey, std::shared_ptr<TcpSocket>> sockets_;
   std::map<std::uint16_t, AcceptHandler> listeners_;
   std::uint16_t next_ephemeral_ = 40000;
+  /// Fleet-wide parse.reject counter, fetched on first reject.
+  MetricCounter* parse_reject_ = nullptr;
 };
 
 }  // namespace wow::vtcp

@@ -27,7 +27,8 @@ std::string fingerprint(testing::PublicOverlay& net) {
   }
   const auto& ns = net.network.stats();
   out << "net:" << ns.sent << '/' << ns.delivered << '/'
-      << ns.dropped_loss << '/' << ns.dropped_nat_filtered;
+      << ns.drops(net::Network::DropReason::kLoss) << '/'
+      << ns.drops(net::Network::DropReason::kNatFiltered);
   return out.str();
 }
 
@@ -88,6 +89,48 @@ TEST(Determinism, TracingAndMetricsDoNotPerturbRuns) {
   std::string traced = run(true, &traced_events);
   EXPECT_EQ(plain, traced);
   EXPECT_EQ(plain_events, traced_events);
+}
+
+/// The fault fabric is part of the deterministic core: the same seed
+/// and fault plan must reproduce the run — and its trace — byte for
+/// byte, or the chaos harness's (seed, schedule) reproducer is a lie.
+TEST(Determinism, ChaosScheduleRunsAreByteIdentical) {
+  auto run = [](std::vector<std::string>* trace) {
+    StringTraceSink sink;
+    testing::PublicOverlay net(10, 6060);
+    net.sim.trace().attach(&sink);
+    net.start_all();
+    net.sim.run_until(3 * kMinute);
+
+    net::FaultPlan::RandomParams params;
+    params.start = net.sim.now();
+    params.horizon = net.sim.now() + 5 * kMinute;
+    params.sites = {net.site};
+    for (std::size_t i = 5; i < net.nodes.size(); ++i) {
+      params.hosts.push_back(net.nodes[i]->host().id());
+    }
+    net.network.faults().schedule(net::FaultPlan::random(13, params));
+
+    for (int burst = 0; burst < 18; ++burst) {
+      auto& target = net.nodes[static_cast<std::size_t>(burst) %
+                               net.nodes.size()];
+      for (auto& a : net.nodes) {
+        if (a != target) a->send_data(target->address(), Bytes{9});
+      }
+      net.sim.run_for(20 * kSecond);
+    }
+    std::string fp = fingerprint(net);
+    net.sim.trace().detach();
+    *trace = sink.lines();
+    return fp;
+  };
+  std::vector<std::string> trace_a;
+  std::vector<std::string> trace_b;
+  std::string fp_a = run(&trace_a);
+  std::string fp_b = run(&trace_b);
+  EXPECT_EQ(fp_a, fp_b);
+  ASSERT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b);
 }
 
 TEST(Determinism, TestbedCountersReproduce) {

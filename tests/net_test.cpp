@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <set>
+#include <string>
 
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -82,7 +84,7 @@ TEST_F(NetTest, DeliveryToUnboundPortIsCounted) {
   Host& b = public_host(2, site_a);
   network.send(a, 40, Endpoint{b.ip(), 50}, payload_of(1));
   sim.run();
-  EXPECT_EQ(network.stats().dropped_no_listener, 1u);
+  EXPECT_EQ(network.stats().drops(Network::DropReason::kNoListener), 1u);
   EXPECT_EQ(network.stats().delivered, 0u);
 }
 
@@ -113,7 +115,7 @@ TEST_F(NetTest, InboundWithoutMappingDropped) {
                payload_of(3));
   sim.run();
   EXPECT_FALSE(got.has_value());
-  EXPECT_EQ(network.stats().dropped_nat_filtered, 1u);
+  EXPECT_EQ(network.stats().drops(Network::DropReason::kNatFiltered), 1u);
 }
 
 TEST_F(NetTest, PortRestrictedReplyPath) {
@@ -303,7 +305,7 @@ TEST_F(NetTest, HairpinSupportedTranslatesBack) {
   sim.run();
   ASSERT_TRUE(at_p2.has_value());
   EXPECT_EQ(at_p2->payload, payload_of(2));
-  EXPECT_EQ(network.stats().dropped_hairpin, 0u);
+  EXPECT_EQ(network.stats().drops(Network::DropReason::kHairpin), 0u);
 }
 
 TEST_F(NetTest, HairpinUnsupportedDrops) {
@@ -322,7 +324,7 @@ TEST_F(NetTest, HairpinUnsupportedDrops) {
 
   network.send(p1, 40, at_pub->src, payload_of(2));
   sim.run();
-  EXPECT_EQ(network.stats().dropped_hairpin, 1u);
+  EXPECT_EQ(network.stats().drops(Network::DropReason::kHairpin), 1u);
 }
 
 TEST_F(NetTest, SameDomainIsDirectLan) {
@@ -350,7 +352,7 @@ TEST_F(NetTest, PrivateAddressInOtherDomainUnroutable) {
   network.send(p1, 30, Endpoint{p2.ip(), 40}, payload_of(1));
   sim.run();
   EXPECT_FALSE(got.has_value());
-  EXPECT_EQ(network.stats().dropped_unroutable, 1u);
+  EXPECT_EQ(network.stats().drops(Network::DropReason::kUnroutable), 1u);
 }
 
 TEST_F(NetTest, FirewallOpenPortFilter) {
@@ -467,6 +469,25 @@ TEST_F(NetTest, ProcessingDelayAddsLatency) {
   sim.run();
   ASSERT_TRUE(got.has_value());
   EXPECT_GE(sim.now(), 11 * kMillisecond);  // same-site 1ms + 10ms service
+}
+
+// Guard against the drop enum drifting from its labels and gauges: a
+// new DropReason added without a to_string case would report "unknown"
+// in traces and shadow another reason's metric.
+TEST_F(NetTest, EveryDropReasonHasUniqueLabelAndGauge) {
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < Network::kDropReasonCount; ++i) {
+    std::string label = to_string(static_cast<Network::DropReason>(i));
+    EXPECT_NE(label, "unknown") << "DropReason " << i << " lacks a label";
+    EXPECT_TRUE(labels.insert(label).second)
+        << "DropReason " << i << " reuses label " << label;
+  }
+  std::set<std::string> gauges;
+  for (const auto& s : sim.metrics().snapshot()) gauges.insert(s.name);
+  for (const std::string& label : labels) {
+    EXPECT_EQ(gauges.count("net_dropped_" + label), 1u)
+        << "no gauge registered for net_dropped_" << label;
+  }
 }
 
 }  // namespace

@@ -123,10 +123,10 @@ TEST(ForwardPath, SharedFrameCopiesOnWriteLeavingOriginalIntact) {
   SharedBytes out = p->wire();
   EXPECT_NE(out.data(), held.data());
   // The held reference still carries the original header bytes.
-  EXPECT_EQ(held.view()[1], 16);  // ttl
-  EXPECT_EQ(held.view()[4], 0);   // bounced
-  EXPECT_EQ(out.view()[1], 15);
-  EXPECT_EQ(out.view()[4], 1);
+  EXPECT_EQ(held.view()[55], 16);  // ttl
+  EXPECT_EQ(held.view()[57], 0);   // bounced
+  EXPECT_EQ(out.view()[55], 15);
+  EXPECT_EQ(out.view()[57], 1);
 }
 
 TEST(ForwardPath, OversizePayloadFailsLoudlyNotTruncated) {
@@ -153,7 +153,7 @@ TEST(ForwardPath, LocallyBuiltPacketCachesItsFrame) {
   // and header edits between sends still land in it.
   --p.ttl;
   SharedBytes second = p.wire();
-  EXPECT_EQ(second.view()[1], p.ttl);
+  EXPECT_EQ(second.view()[55], p.ttl);
   EXPECT_EQ(Bytes(second.view().begin(), second.view().end()),
             scratch_serialize(p));
 }

@@ -1,0 +1,214 @@
+// Seeded chaos soak runner: the CI/CLI face of the fault-injection
+// fabric.  Builds a multi-site overlay, applies a fault schedule
+// (random from --seed, or an explicit --schedule reproducer), drives
+// traffic across the fault horizon, and judges the end state with the
+// overlay invariant oracle.
+//
+// Exit status: 0 oracle green, 1 oracle violation (the reproducer line
+// is printed), 2 usage/parse error.
+//
+// Usage:
+//   chaos_runner [--seed=N] [--schedule="kind@ms+ms:args;..."]
+//                [--nodes=N] [--events=N] [--trace=out.jsonl]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "net/faults.h"
+#include "p2p/oracle.h"
+#include "p2p/node.h"
+#include "sim/simulator.h"
+#include "transport/uri.h"
+
+namespace {
+
+using namespace wow;
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::string schedule;  // empty: generate from seed
+  int nodes = 12;
+  int events = 10;
+  std::string trace_path;
+};
+
+/// The soak topology: public hosts spread round-robin over three WAN
+/// sites, all bootstrapping off node 0 (which faults never touch).
+struct SoakNet {
+  SoakNet(std::uint64_t seed, int node_count)
+      : sim(seed), network(sim) {
+    network.set_default_wan(
+        net::LinkModel{30 * kMillisecond, 2 * kMillisecond, 0.002});
+    for (int s = 0; s < 3; ++s) {
+      sites.push_back(network.add_site("site" + std::to_string(s)));
+    }
+    for (int i = 0; i < node_count; ++i) {
+      auto ip = net::Ipv4Addr(128, static_cast<std::uint8_t>(10 + i % 3), 0,
+                              static_cast<std::uint8_t>(1 + i));
+      auto& host = network.add_host(
+          ip, net::Network::kInternet, sites[static_cast<std::size_t>(i % 3)],
+          net::Host::Config{"host" + std::to_string(i)});
+      p2p::NodeConfig cfg;
+      cfg.port = 17000;
+      if (i > 0) {
+        cfg.bootstrap = {transport::Uri{
+            transport::TransportKind::kUdp,
+            net::Endpoint{nodes[0]->host().ip(), 17000}}};
+      }
+      nodes.push_back(std::make_unique<p2p::Node>(sim, network, host, cfg));
+    }
+    network.faults().set_crash_handler([this](net::HostId host, bool down) {
+      for (auto& n : nodes) {
+        if (n->host().id() != host) continue;
+        if (down && n->running()) n->stop();
+        if (!down && !n->running()) n->restart();
+      }
+    });
+  }
+
+  [[nodiscard]] std::vector<p2p::Node*> live() const {
+    std::vector<p2p::Node*> out;
+    for (const auto& n : nodes) {
+      if (n->running()) out.push_back(n.get());
+    }
+    return out;
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  std::vector<net::SiteId> sites;
+  std::vector<std::unique_ptr<p2p::Node>> nodes;
+};
+
+int run(const Options& opt) {
+  // Declared before the overlay: node destructors still emit trace
+  // events, so the sink must outlive SoakNet.
+  std::unique_ptr<FileTraceSink> sink;
+  SoakNet soak(opt.seed, opt.nodes);
+
+  net::FaultPlan plan;
+  if (!opt.schedule.empty()) {
+    auto parsed = net::FaultPlan::parse(opt.schedule);
+    if (!parsed) {
+      std::fprintf(stderr, "chaos_runner: malformed --schedule: %s\n",
+                   opt.schedule.c_str());
+      return 2;
+    }
+    plan = std::move(*parsed);
+  } else {
+    net::FaultPlan::RandomParams params;
+    params.events = opt.events;
+    params.start = 3 * kMinute;
+    params.horizon = 10 * kMinute;
+    params.sites = soak.sites;
+    // Node 0 is the bootstrap every crashed node rejoins through; only
+    // the back half of the fleet may freeze or crash.
+    for (std::size_t i = soak.nodes.size() / 2; i < soak.nodes.size(); ++i) {
+      params.hosts.push_back(soak.nodes[i]->host().id());
+    }
+    plan = net::FaultPlan::random(opt.seed, params);
+  }
+  const std::string reproducer =
+      "chaos_runner --seed=" + std::to_string(opt.seed) + " --schedule=\"" +
+      plan.describe() + "\"";
+
+  if (!opt.trace_path.empty()) {
+    sink = std::make_unique<FileTraceSink>(opt.trace_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "chaos_runner: cannot write %s\n",
+                   opt.trace_path.c_str());
+      return 2;
+    }
+    soak.sim.trace().attach(sink.get());
+  }
+
+  for (auto& n : soak.nodes) n->start();
+  soak.sim.run_until(3 * kMinute);
+  soak.network.faults().schedule(plan);
+
+  // Horizon = the last heal instant; run traffic through it.
+  SimTime horizon = 3 * kMinute;
+  for (const net::FaultSpec& e : plan.events) {
+    horizon = std::max(horizon, e.at + e.duration);
+  }
+  int burst = 0;
+  while (soak.sim.now() < horizon + kSecond) {
+    auto live = soak.live();
+    for (std::size_t i = 0; i + 1 < live.size(); i += 2) {
+      live[i]->send_data(
+          live[(i + 1 + static_cast<std::size_t>(burst)) % live.size()]
+              ->address(),
+          Bytes{7, 7});
+    }
+    ++burst;
+    soak.sim.run_for(20 * kSecond);
+  }
+  soak.sim.run_for(5 * kMinute);  // repair window after the last heal
+
+  const auto& fs = soak.network.faults().stats();
+  std::printf(
+      "chaos_runner: seed=%" PRIu64 " nodes=%d events=%zu begun=%" PRIu64
+      " healed=%" PRIu64 " dup=%" PRIu64 " reorder=%" PRIu64
+      " corrupt=%" PRIu64 "/%" PRIu64 " t=%.0fs\n",
+      opt.seed, opt.nodes, plan.events.size(), fs.faults_begun,
+      fs.faults_healed, fs.duplicated, fs.reordered, fs.corrupted_dropped,
+      fs.corrupted_delivered, to_seconds(soak.sim.now()));
+  std::printf("schedule: %s\n", plan.describe().c_str());
+
+  if (soak.network.faults().active_faults() != 0) {
+    std::printf("FAIL: %zu fault windows still active after horizon\n",
+                soak.network.faults().active_faults());
+    std::printf("reproduce: %s\n", reproducer.c_str());
+    return 1;
+  }
+  auto live = soak.live();
+  if (live.size() != soak.nodes.size()) {
+    std::printf("FAIL: %zu/%zu nodes running after all heals\n", live.size(),
+                soak.nodes.size());
+    std::printf("reproduce: %s\n", reproducer.c_str());
+    return 1;
+  }
+  auto report =
+      p2p::Oracle::check(live, soak.sim.now(), {.seed = opt.seed});
+  std::printf("%s\n", report.to_string().c_str());
+  if (!report.ok) {
+    std::printf("reproduce: %s\n", reproducer.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--schedule=", 11) == 0) {
+      opt.schedule = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+      opt.nodes = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
+      opt.events = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      opt.trace_path = argv[i] + 8;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_runner [--seed=N] [--schedule=\"...\"] "
+                   "[--nodes=N] [--events=N] [--trace=out.jsonl]\n");
+      return 2;
+    }
+  }
+  if (opt.nodes < 4 || opt.nodes > 256 || opt.events < 1) {
+    std::fprintf(stderr, "chaos_runner: implausible --nodes/--events\n");
+    return 2;
+  }
+  return run(opt);
+}

@@ -11,7 +11,12 @@
 // With --path=<pkt id> it prints every record touching one packet, i.e.
 // the hop-by-hop forwarding path plus the drop that ended it (if any).
 //
-// Usage: trace_report <trace.jsonl> [--path=<pkt>] [--cdf-bins=N]
+// With --faults it aligns fault.begin/end records with the overlay's
+// repair activity: the fault timeline, fault -> detection (conn.lost)
+// latency, and detection -> relink (conn.added) latency distributions.
+//
+// Usage: trace_report <trace.jsonl> [--path=<pkt>] [--faults]
+//                     [--cdf-bins=N]
 
 #include <cinttypes>
 #include <cstdint>
@@ -103,10 +108,13 @@ void print_distribution(const char* title, std::vector<double> values,
 int main(int argc, char** argv) {
   const char* path = nullptr;
   std::optional<std::uint64_t> follow_pkt;
+  bool faults_view = false;
   std::size_t cdf_bins = 20;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--path=", 7) == 0) {
       follow_pkt = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults_view = true;
     } else if (std::strncmp(argv[i], "--cdf-bins=", 11) == 0) {
       cdf_bins = std::strtoul(argv[i] + 11, nullptr, 10);
       if (cdf_bins == 0) cdf_bins = 20;
@@ -117,7 +125,7 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: trace_report <trace.jsonl> [--path=<pkt>] "
-                 "[--cdf-bins=N]\n");
+                 "[--faults] [--cdf-bins=N]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -137,6 +145,22 @@ int main(int argc, char** argv) {
   std::map<std::string, std::uint64_t> net_drops;
   std::uint64_t lines = 0;
   std::uint64_t followed = 0;
+
+  // --faults state: the fault timeline, plus repair spans.  A conn.lost
+  // within the attribution horizon of the latest fault.begin is a
+  // detection; the owner's next conn.added of the same connection type
+  // closes the repair.
+  struct FaultWindow {
+    double begin = 0.0;
+    double end = -1.0;  // -1 while open
+    std::string kind;
+    std::string spec;
+  };
+  constexpr double kAttributionHorizon = 300.0;  // seconds past begin
+  std::vector<FaultWindow> fault_windows;
+  std::vector<double> detect_latency;
+  std::vector<double> relink_latency;
+  std::map<std::string, double> pending_relink;  // node|ctype -> t lost
 
   std::string line;
   while (std::getline(in, line)) {
@@ -181,6 +205,52 @@ int main(int argc, char** argv) {
         ++net_drops[std::string(*reason)];
       }
     }
+
+    if (!faults_view || !t) continue;
+    if (*ev == "fault.begin") {
+      FaultWindow w;
+      w.begin = *t;
+      if (auto kind = raw_value(line, "kind")) w.kind = *kind;
+      if (auto spec = raw_value(line, "spec")) w.spec = *spec;
+      fault_windows.push_back(std::move(w));
+    } else if (*ev == "fault.end") {
+      auto spec = raw_value(line, "spec");
+      for (auto it = fault_windows.rbegin(); it != fault_windows.rend();
+           ++it) {
+        if (it->end < 0.0 && (!spec || it->spec == *spec)) {
+          it->end = *t;
+          break;
+        }
+      }
+    } else if (*ev == "conn.lost") {
+      double latest_begin = -1.0;
+      for (const FaultWindow& w : fault_windows) {
+        if (w.begin <= *t && *t - w.begin <= kAttributionHorizon) {
+          latest_begin = std::max(latest_begin, w.begin);
+        }
+      }
+      if (latest_begin >= 0.0 && node) {
+        detect_latency.push_back(*t - latest_begin);
+        std::string key = std::string(*node);
+        if (auto ctype = raw_value(line, "ctype")) {
+          key += '|';
+          key += *ctype;
+        }
+        pending_relink.emplace(std::move(key), *t);  // keep the earliest
+      }
+    } else if (*ev == "conn.added") {
+      if (node) {
+        std::string key = std::string(*node);
+        if (auto ctype = raw_value(line, "ctype")) {
+          key += '|';
+          key += *ctype;
+        }
+        if (auto it = pending_relink.find(key); it != pending_relink.end()) {
+          relink_latency.push_back(*t - it->second);
+          pending_relink.erase(it);
+        }
+      }
+    }
   }
 
   std::printf("trace: %s (%" PRIu64 " records)\n", path, lines);
@@ -216,6 +286,32 @@ int main(int argc, char** argv) {
   }
   for (const auto& [reason, count] : net_drops) {
     std::printf("  net/%-20s %" PRIu64 "\n", reason.c_str(), count);
+  }
+
+  if (faults_view) {
+    std::printf("\n== fault timeline (%zu windows) ==\n",
+                fault_windows.size());
+    for (const FaultWindow& w : fault_windows) {
+      if (w.end >= 0.0) {
+        std::printf("  %9.3fs +%6.1fs  %-9s %s\n", w.begin, w.end - w.begin,
+                    w.kind.c_str(), w.spec.c_str());
+      } else {
+        std::printf("  %9.3fs  (open)   %-9s %s\n", w.begin, w.kind.c_str(),
+                    w.spec.c_str());
+      }
+    }
+    double detect_hi = 1.0;
+    for (double v : detect_latency) detect_hi = std::max(detect_hi, v);
+    print_distribution("fault -> detection (conn.lost) latency",
+                       detect_latency, 0.0, detect_hi, cdf_bins, "s");
+    double relink_hi = 1.0;
+    for (double v : relink_latency) relink_hi = std::max(relink_hi, v);
+    print_distribution("detection -> relink (conn.added) latency",
+                       relink_latency, 0.0, relink_hi, cdf_bins, "s");
+    if (!pending_relink.empty()) {
+      std::printf("  (%zu lost connections never relinked)\n",
+                  pending_relink.size());
+    }
   }
   return 0;
 }
