@@ -8,7 +8,13 @@ bool ConnectionTable::add(Connection connection) {
   if (it != by_distance_.end()) {
     Connection& existing = it->second;
     existing.last_heard = connection.last_heard;
-    existing.remote = connection.remote;
+    // A direct path always supersedes a relay tunnel (that transition IS
+    // the relay→direct upgrade), but a relay refresh must never clobber
+    // the endpoint of a working direct connection.
+    if (!connection.is_relay() || existing.is_relay()) {
+      existing.remote = connection.remote;
+      existing.relay = connection.relay;
+    }
     if (!connection.uris.empty()) existing.uris = connection.uris;
     if (retention_priority(connection.type) >
         retention_priority(existing.type)) {

@@ -21,6 +21,42 @@ struct Connection {
   std::vector<transport::Uri> uris;     // everything the peer advertised
   SimTime established = 0;
   SimTime last_heard = 0;
+  /// For kRelay tunnels: the mutual neighbor frames are source-routed
+  /// through; `remote` is then that agent's endpoint.  Zero = direct.
+  Address relay;
+  /// Jacobson-style smoothed RTT estimator, fed Karn-filtered samples
+  /// from keepalive ping round-trips and link handshakes.  0 = no
+  /// sample yet.  Drives the keepalive probe RTO and seeds the linking
+  /// RTO for re-link attempts.
+  SimDuration srtt = 0;
+  SimDuration rttvar = 0;
+
+  [[nodiscard]] bool is_relay() const { return relay != Address{}; }
+
+  /// Fold one clean round-trip sample into the estimator (RFC 6298
+  /// coefficients, mirroring the vtcp layer).
+  void rtt_sample(SimDuration sample) {
+    if (sample < 0) return;
+    if (srtt == 0) {
+      srtt = sample;
+      rttvar = sample / 2;
+    } else {
+      SimDuration err = sample > srtt ? sample - srtt : srtt - sample;
+      rttvar = (3 * rttvar + err) / 4;
+      srtt = (7 * srtt + sample) / 8;
+    }
+  }
+
+  /// Retransmission timeout derived from the estimator, clamped to
+  /// [min_rto, max_rto]; max_rto when no sample exists yet.
+  [[nodiscard]] SimDuration rto(SimDuration min_rto,
+                                SimDuration max_rto) const {
+    if (srtt == 0) return max_rto;
+    SimDuration t = srtt + 4 * rttvar;
+    if (t < min_rto) return min_rto;
+    if (t > max_rto) return max_rto;
+    return t;
+  }
 };
 
 /// The node's view of its overlay links, ordered on the ring.
@@ -88,9 +124,13 @@ class ConnectionTable {
  private:
   [[nodiscard]] static int retention_priority(ConnectionType t) {
     switch (t) {
-      case ConnectionType::kStructuredNear: return 3;
-      case ConnectionType::kStructuredFar: return 2;
-      case ConnectionType::kShortcut: return 1;
+      case ConnectionType::kStructuredNear: return 4;
+      case ConnectionType::kStructuredFar: return 3;
+      case ConnectionType::kShortcut: return 2;
+      // A relay fills the near role while direct linking is impossible,
+      // but any direct role upgrade must win so the periodic probes can
+      // replace the tunnel in place.
+      case ConnectionType::kRelay: return 1;
       case ConnectionType::kLeaf: return 0;
     }
     return 0;

@@ -50,13 +50,16 @@ void LinkingEngine::start(const Address& target, ConnectionType type,
       }
       if (promoted) {
         existing->retries_left = config_.max_retries;
-        existing->rto = config_.initial_rto;
+        existing->rto = existing->initial_rto;
         sim_.cancel(existing->timer);
         send_request(*existing);
       }
       return;
     }
     if (callbacks_.has_connection(target)) return;
+    if (callbacks_.is_quarantined && callbacks_.is_quarantined(target)) {
+      return;
+    }
   }
   ++stats_.attempts_started;
   std::uint32_t token = next_token_++;
@@ -66,7 +69,15 @@ void LinkingEngine::start(const Address& target, ConnectionType type,
   attempt.token = token;
   attempt.uris = order_uris(std::move(uris));
   attempt.retries_left = config_.max_retries;
-  attempt.rto = config_.initial_rto;
+  attempt.initial_rto = config_.initial_rto;
+  if (target != Address{} && callbacks_.rto_hint) {
+    SimDuration hint = callbacks_.rto_hint(target);
+    if (hint > 0) {
+      attempt.initial_rto =
+          std::clamp(hint, config_.min_rto, config_.initial_rto);
+    }
+  }
+  attempt.rto = attempt.initial_rto;
   attempt.started = sim_.now();
   if (sim_.trace().enabled()) {
     attempt.span = sim_.trace().begin_span(
@@ -101,6 +112,8 @@ void LinkingEngine::send_request(Attempt& attempt) {
   frame.token = attempt.token;
   frame.uris = transport_.local_uris();
   transport_.send_to(attempt.uris[attempt.uri_index], frame.serialize());
+  attempt.clean = attempt.last_send == 0;  // only the very first send
+  attempt.last_send = sim_.now();
 
   std::uint32_t token = attempt.token;
   attempt.timer = sim_.schedule(attempt.rto, [this, token] {
@@ -123,7 +136,7 @@ void LinkingEngine::on_timeout(std::uint32_t token) {
   if (attempt->uri_index < attempt->uris.size()) {
     ++stats_.uri_failovers;
     attempt->retries_left = config_.max_retries;
-    attempt->rto = config_.initial_rto;
+    attempt->rto = attempt->initial_rto;
     trace_attempt(*attempt, "link.uri_failover");
     send_request(*attempt);
     return;
@@ -191,7 +204,7 @@ void LinkingEngine::schedule_restart(Attempt& attempt) {
     // re-walking the list would re-pay the full dead-URI timeout
     // (≈157 s behind a non-hairpin NAT) after every race abort.
     a->retries_left = config_.max_retries;
-    a->rto = config_.initial_rto;
+    a->rto = a->initial_rto;
     send_request(*a);
   });
 }
@@ -222,7 +235,7 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
                     static_cast<std::ptrdiff_t>(ours->uri_index),
                 seen);
             ours->retries_left = config_.max_retries;
-            ours->rto = config_.initial_rto;
+            ours->rto = ours->initial_rto;
             sim_.cancel(ours->timer);
             send_request(*ours);
           }
@@ -281,6 +294,10 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
             transport::Uri{transport::TransportKind::kUdp, frame.observed});
       }
       ++stats_.established_active;
+      if (attempt->clean && callbacks_.on_rtt_sample) {
+        callbacks_.on_rtt_sample(frame.sender,
+                                 sim_.now() - attempt->last_send);
+      }
       net::Endpoint remote = attempt->uris[attempt->uri_index].endpoint;
       ConnectionType type = attempt->type;
       if (attempt->span != 0) {

@@ -21,6 +21,11 @@ namespace wow::p2p {
 /// why UFL-UFL shortcut setup takes ~200 s in Figure 4.
 struct LinkConfig {
   SimDuration initial_rto = 2500 * kMillisecond;
+  /// Floor for the adaptive per-attempt RTO (Callbacks::rto_hint); a
+  /// measured 2 ms LAN RTT must not shrink the handshake timer into
+  /// spurious-retransmit territory.  The hint is clamped to
+  /// [min_rto, initial_rto] — adaptation only ever speeds linking up.
+  SimDuration min_rto = 250 * kMillisecond;
   double backoff = 2.0;
   int max_retries = 5;  // retransmissions per URI after the first send
   /// After a race abort (mutual link-error), wait this long (doubling,
@@ -59,6 +64,17 @@ class LinkingEngine {
     std::function<void(const transport::Uri& uri)> on_observed_uri;
     /// Does a connection to this peer already exist?
     std::function<bool(const Address& peer)> has_connection;
+    /// Adaptive seed for the attempt's RTO, from the peer's measured RTT
+    /// history (0 = no estimate, use config.initial_rto).  Optional.
+    std::function<SimDuration(const Address& peer)> rto_hint;
+    /// A clean (Karn-filtered: single transmission) handshake round-trip
+    /// completed; feeds the peer's RTT estimator.  Optional.
+    std::function<void(const Address& peer, SimDuration sample)>
+        on_rtt_sample;
+    /// Flap quarantine gate: true suppresses starting an active attempt
+    /// to this peer.  Passive accepts are never gated, so a one-sided
+    /// quarantine still converges.  Optional.
+    std::function<bool(const Address& peer)> is_quarantined;
   };
 
   LinkingEngine(sim::Simulator& simulator, transport::Transport& transport,
@@ -109,10 +125,20 @@ class LinkingEngine {
     std::size_t uri_index = 0;
     int retries_left = 0;
     SimDuration rto = 0;
+    /// Per-attempt RTO seed: config.initial_rto, or the clamped adaptive
+    /// hint when the peer has RTT history.  Every reset (URI failover,
+    /// restart resume, race retarget) restarts from this value.
+    SimDuration initial_rto = 0;
     int restarts = 0;
     bool in_restart_wait = false;
     sim::TimerHandle timer;
     SimTime started = 0;
+    /// When the most recent request was transmitted, and whether that
+    /// was the attempt's only transmission so far — Karn's rule: a reply
+    /// is an RTT sample only when no retransmission makes the pairing
+    /// ambiguous.
+    SimTime last_send = 0;
+    bool clean = false;
     /// Trace span covering the whole attempt (every URI tried, each
     /// RTO/backoff step, race aborts and restarts).  0 when no sink is
     /// attached; never read by protocol logic.

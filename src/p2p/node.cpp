@@ -31,6 +31,17 @@ namespace {
 
 }  // namespace
 
+const char* to_string(DisconnectCause cause) {
+  switch (cause) {
+    case DisconnectCause::kKeepaliveTimeout: return "keepalive_timeout";
+    case DisconnectCause::kCloseFrame: return "close_frame";
+    case DisconnectCause::kLinkError: return "link_error";
+    case DisconnectCause::kRelayDown: return "relay_down";
+    case DisconnectCause::kCount: break;
+  }
+  return "unknown";
+}
+
 Node::Node(sim::Simulator& simulator, net::Network& network, net::Host& host,
            NodeConfig config)
     : sim_(simulator), network_(network), host_(host),
@@ -39,6 +50,7 @@ Node::Node(sim::Simulator& simulator, net::Network& network, net::Host& host,
     config_.address = sim_.rng().ring_id();
     table_ = ConnectionTable(config_.address);
   }
+
   trace_node_ = config_.address.brief();
   log_component_ = "node/" + trace_node_;
   register_metrics();
@@ -49,6 +61,16 @@ Node::Node(sim::Simulator& simulator, net::Network& network, net::Host& host,
           [this](const Address& a) { return linking_ && linking_->attempting(a); },
           [this] { return shortcut_connection_count(); },
           [this](const Address& a) { initiate_ctm(a, ConnectionType::kShortcut); },
+          [this](const Address& a) { return is_quarantined(a); },
+          [this](const Address& a) -> SimDuration {
+            // Adaptive spacing: a shortcut attempt is a CTM plus a link
+            // handshake, each a few round-trips — 8 RTOs is a generous
+            // bound, and the fixed cooldown stays the ceiling.
+            SimDuration hint = peer_rto_hint(a);
+            if (hint == 0) return SimDuration{0};
+            return std::clamp(8 * hint, 2 * kSecond,
+                              config_.shortcut.retry_cooldown);
+          },
       });
 }
 
@@ -80,7 +102,25 @@ void Node::register_metrics() {
       [this] { return double(stats_.connections_added); });
   add("node_connections_lost",
       [this] { return double(stats_.connections_lost); });
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(DisconnectCause::kCount); ++i) {
+    std::string name = std::string("node_lost_") +
+                       to_string(static_cast<DisconnectCause>(i));
+    metric_ids_.push_back(reg.add_gauge(
+        name, labels,
+        [this, i] { return double(stats_.lost_by_cause[i]); }));
+  }
   add("node_pings_sent", [this] { return double(stats_.pings_sent); });
+  add("node_rtt_samples", [this] { return double(stats_.rtt_samples); });
+  add("node_ctm_retries", [this] { return double(stats_.ctm_retries); });
+  add("node_ctm_timeouts", [this] { return double(stats_.ctm_timeouts); });
+  add("node_quarantines", [this] { return double(stats_.quarantines); });
+  add("node_relays_established",
+      [this] { return double(stats_.relays_established); });
+  add("node_relays_upgraded",
+      [this] { return double(stats_.relays_upgraded); });
+  add("node_relay_forwarded",
+      [this] { return double(stats_.relay_forwarded); });
   add("node_delivered_hops",
       [this] { return double(stats_.delivered_hops); });
   add("node_parse_rejects", [this] { return double(stats_.parse_rejects); });
@@ -162,16 +202,29 @@ void Node::start() {
                  const net::Endpoint& remote, ConnectionType type) {
             on_link_established(peer, uris, remote, type);
           },
-          [](const Address&, ConnectionType) { /* overlords retry */ },
+          [this](const Address& peer, ConnectionType type) {
+            on_link_failed(peer, type);
+          },
           [this](const transport::Uri& uri) {
             if (transport_->learn_public_uri(uri)) refresh_connections();
           },
-          [this](const Address& peer) { return table_.contains(peer); },
+          // "Has a connection" means a DIRECT one: a relay tunnel must
+          // not block the upgrade probes that would replace it.
+          [this](const Address& peer) {
+            const Connection* c = table_.find(peer);
+            return c != nullptr && !c->is_relay();
+          },
+          [this](const Address& peer) { return peer_rto_hint(peer); },
+          [this](const Address& peer, SimDuration sample) {
+            note_rtt(peer, sample);
+          },
+          [this](const Address& peer) { return is_quarantined(peer); },
       });
 
   running_ = true;
   routable_since_.reset();
   last_stabilize_ = -(1LL << 60);
+  last_bootstrap_probe_ = -(1LL << 60);
   if (sim_.trace().enabled()) {
     sim_.trace().event(sim_.now(), "node", trace_node_, "node.start",
                        {{"port", int(config_.port)},
@@ -197,9 +250,14 @@ void Node::stop() {
   sim_.cancel(maintenance_timer_);
   sim_.cancel(keepalive_timer_);
   if (linking_) linking_->abort_all();
+  for (auto& [peer, attempt] : relay_attempts_) sim_.cancel(attempt.timer);
+  relay_attempts_.clear();
   table_.clear();
   pending_ctms_.clear();
-  ping_outstanding_.clear();
+  ping_states_.clear();
+  peer_health_.clear();
+  ctm_srtt_ = 0;
+  ctm_rttvar_ = 0;
   shortcuts_->reset();
   transport_->close();
 }
@@ -211,7 +269,7 @@ void Node::stop_gracefully() {
     close.type = LinkType::kClose;
     close.sender = config_.address;
     close.con_type = c.type;
-    transport_->send_to(c.remote, close.serialize());
+    send_link_frame(c, close);
   });
   stop();
 }
@@ -241,12 +299,15 @@ void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
   }
 
   // Any traffic from a connected peer's endpoint counts as liveness.
+  // Relay tunnels are excluded: their `remote` is the AGENT's endpoint,
+  // so the agent's own traffic would falsely credit the tunneled peer —
+  // a relay connection is only credited when an inner frame from the
+  // peer arrives through the tunnel (handle_relay).
   table_.for_each([&](const Connection& c) {
-    if (c.remote == from) {
+    if (c.remote == from && !c.is_relay()) {
       // for_each hands out const refs; go through find() to mutate.
       Connection* live = table_.find(c.addr);
       live->last_heard = sim_.now();
-      ping_outstanding_.erase(c.addr);
     }
   });
 
@@ -256,6 +317,13 @@ void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
     auto packet = RoutedPacket::parse(std::move(payload));
     if (packet) {
       handle_routed(std::move(*packet), from);
+    } else {
+      count_parse_reject();
+    }
+  } else if (*kind == FrameKind::kRelay) {
+    auto relay = RelayFrame::parse(std::move(payload));
+    if (relay) {
+      handle_relay(std::move(*relay), from);
     } else {
       count_parse_reject();
     }
@@ -292,16 +360,172 @@ void Node::handle_link(const LinkFrame& frame, const net::Endpoint& from) {
       transport_->send_to(from, pong.serialize());
       return;
     }
-    case LinkType::kPong:
-      return;  // liveness already recorded in on_datagram
+    case LinkType::kPong: {
+      // Liveness was recorded in on_datagram; here the probe round-trip
+      // feeds the RTT estimator — only when Karn's rule allows it.
+      auto it = ping_states_.find(frame.sender);
+      if (it != ping_states_.end()) {
+        if (it->second.clean && it->second.token == frame.token) {
+          if (Connection* c = table_.find(frame.sender)) {
+            SimDuration sample = sim_.now() - it->second.last_sent;
+            c->rtt_sample(sample);
+            note_rtt(frame.sender, sample);
+            if (sim_.trace().enabled()) {
+              sim_.trace().event(sim_.now(), "node", trace_node_,
+                                 "conn.rtt",
+                                 {{"peer", frame.sender.brief()},
+                                  {"sample_ms", to_millis(sample)},
+                                  {"srtt_ms", to_millis(c->srtt)}});
+            }
+          }
+        }
+        ping_states_.erase(it);
+      }
+      return;
+    }
     case LinkType::kClose:
-      drop_connection(frame.sender, /*send_close=*/false);
+      drop_connection(frame.sender, /*send_close=*/false,
+                      DisconnectCause::kCloseFrame);
       return;
     case LinkType::kRequest:
     case LinkType::kReply:
     case LinkType::kError:
       linking_->handle_frame(frame, from);
       return;
+  }
+}
+
+void Node::send_link_frame(const Connection& c, const LinkFrame& frame) {
+  if (!c.is_relay()) {
+    transport_->send_to(c.remote, frame.serialize());
+    return;
+  }
+  transport_->send_to(c.remote, RelayFrame::wrap(config_.address, c.relay,
+                                                 c.addr, frame.serialize()));
+}
+
+void Node::handle_relay(RelayFrame relay, const net::Endpoint& from) {
+  if (relay.dst != config_.address) {
+    // We are the agent.  Forward exactly once, and only over a direct
+    // connection — tunnels never chain.
+    if (relay.hops != 0) return;
+    const Connection* next = table_.find(relay.dst);
+    if (next == nullptr || next->is_relay()) {
+      if (sim_.trace().enabled()) {
+        sim_.trace().event(sim_.now(), "node", trace_node_, "relay.refuse",
+                           {{"src", relay.src.brief()},
+                            {"dst", relay.dst.brief()}});
+      }
+      return;
+    }
+    ++stats_.relay_forwarded;
+    transport_->send_to(next->remote, relay.forwarded());
+    return;
+  }
+
+  // We are the tunnel endpoint: an inner frame from relay.src reached us
+  // through the agent — that is this connection's liveness signal.
+  if (Connection* c = table_.find(relay.src)) {
+    if (c->is_relay()) c->last_heard = sim_.now();
+  }
+
+  BytesView inner = relay.payload();
+  auto kind = frame_kind(inner);
+  if (!kind) {
+    count_parse_reject();
+    return;
+  }
+  if (*kind == FrameKind::kRouted) {
+    auto packet = RoutedPacket::parse(inner);
+    if (packet) {
+      handle_routed(std::move(*packet), from);
+    } else {
+      count_parse_reject();
+    }
+  } else if (*kind == FrameKind::kLink) {
+    auto frame = LinkFrame::parse(inner);
+    if (frame) {
+      handle_relay_link(*frame, relay);
+    } else {
+      count_parse_reject();
+    }
+  }
+  // A nested relay frame is never legal; drop it silently (the hops
+  // check above already stops multi-hop tunneling on the agent side).
+}
+
+void Node::handle_relay_link(const LinkFrame& frame, const RelayFrame& outer) {
+  switch (frame.type) {
+    case LinkType::kRequest: {
+      if (frame.con_type != ConnectionType::kRelay) return;
+      // Tunnel handshake: the initiator could not reach us directly and
+      // asks to converse through outer.relay.  Accept if we can reach
+      // that agent directly ourselves (it is a mutual neighbor).
+      const Connection* agent = table_.find(outer.relay);
+      if (agent == nullptr || agent->is_relay()) return;
+      add_relay_connection(frame.sender, outer.relay, agent->remote,
+                           frame.uris);
+      LinkFrame reply;
+      reply.type = LinkType::kReply;
+      reply.sender = config_.address;
+      reply.con_type = ConnectionType::kRelay;
+      reply.token = frame.token;
+      reply.uris = transport_->local_uris();
+      transport_->send_to(agent->remote,
+                          RelayFrame::wrap(config_.address, outer.relay,
+                                           frame.sender, reply.serialize()));
+      return;
+    }
+    case LinkType::kReply: {
+      if (frame.con_type != ConnectionType::kRelay) return;
+      auto it = relay_attempts_.find(frame.sender);
+      if (it == relay_attempts_.end() || it->second.token != frame.token) {
+        return;  // late duplicate, or an attempt we already finished
+      }
+      const Address& agent = it->second.candidates[it->second.index];
+      const Connection* agent_conn = table_.find(agent);
+      if (agent_conn == nullptr || agent_conn->is_relay()) return;
+      add_relay_connection(frame.sender, agent, agent_conn->remote,
+                           frame.uris);
+      finish_relay_attempt(frame.sender, "relay.established");
+      return;
+    }
+    case LinkType::kPing: {
+      Connection* c = table_.find(frame.sender);
+      if (c == nullptr) {
+        // §V-E as for direct pings: a tunnel ping for a connection we no
+        // longer hold gets a Close so the peer re-establishes.
+        const Connection* agent = table_.find(outer.relay);
+        if (agent == nullptr || agent->is_relay()) return;
+        LinkFrame close;
+        close.type = LinkType::kClose;
+        close.sender = config_.address;
+        close.con_type = frame.con_type;
+        transport_->send_to(agent->remote,
+                            RelayFrame::wrap(config_.address, outer.relay,
+                                             frame.sender,
+                                             close.serialize()));
+        return;
+      }
+      LinkFrame pong;
+      pong.type = LinkType::kPong;
+      pong.sender = config_.address;
+      pong.con_type = frame.con_type;
+      pong.token = frame.token;
+      send_link_frame(*c, pong);
+      return;
+    }
+    case LinkType::kPong:
+      // Same RTT-sampling path as a direct pong; the source endpoint is
+      // irrelevant (liveness was credited in handle_relay).
+      handle_link(frame, net::Endpoint{});
+      return;
+    case LinkType::kClose:
+      drop_connection(frame.sender, /*send_close=*/false,
+                      DisconnectCause::kCloseFrame);
+      return;
+    case LinkType::kError:
+      return;  // races cannot happen on tunnels (token-matched)
   }
 }
 
@@ -368,6 +592,14 @@ void Node::forward_to(const Connection& next, RoutedPacket packet) {
                         {"hops", int(packet.hops)},
                         {"ttl", int(packet.ttl)}});
   }
+  if (next.is_relay()) {
+    // The tunnel carries complete inner frames; wrap the routed frame
+    // and hand it to the agent.
+    transport_->send_to(next.remote,
+                        RelayFrame::wrap(config_.address, next.relay,
+                                         next.addr, packet.wire().view()));
+    return;
+  }
   transport_->send_to(next.remote, packet.wire());
 }
 
@@ -417,6 +649,7 @@ void Node::deliver_local(const RoutedPacket& packet) {
 
 void Node::initiate_ctm(const Address& target, ConnectionType type) {
   if (!running_ || table_.empty()) return;
+  if (is_quarantined(target)) return;
   std::uint32_t token = next_ctm_token_++;
 
   CtmRequest req;
@@ -442,7 +675,12 @@ void Node::initiate_ctm(const Address& target, ConnectionType type) {
                                     {"token", unsigned(token)},
                                     {"pkt", packet.trace_id}});
   }
-  pending_ctms_[token] = PendingCtm{target, type, sim_.now(), span};
+  pending_ctms_[token] =
+      PendingCtm{target, type, sim_.now(), span,
+                 /*retries_left=*/config_.adaptive_timers
+                     ? config_.ctm_max_retries
+                     : 0,
+                 /*retransmitted=*/false};
   ++stats_.ctm_sent;
   route(std::move(packet));
 }
@@ -530,12 +768,16 @@ void Node::handle_ctm_request(const RoutedPacket& packet) {
   }
 
   // Already connected (e.g. a leaf link): record the stronger role the
-  // peer is asking for; no new handshake is needed.
+  // peer is asking for; no new handshake is needed.  A relay tunnel is
+  // NOT role-upgraded — it stays kRelay until a direct link replaces it
+  // (the handshake below doubles as the upgrade probe).
   if (Connection* existing = table_.find(packet.src)) {
-    Connection upgraded = *existing;
-    upgraded.type = req->con_type;
-    table_.add(std::move(upgraded));
-    update_routable();
+    if (!existing->is_relay()) {
+      Connection upgraded = *existing;
+      upgraded.type = req->con_type;
+      table_.add(std::move(upgraded));
+      update_routable();
+    }
   }
 
   CtmReply reply;
@@ -580,21 +822,36 @@ void Node::handle_ctm_reply(const RoutedPacket& packet) {
   auto pending = pending_ctms_.find(reply->token);
   if (pending == pending_ctms_.end()) return;
   ConnectionType type = pending->second.type;
+  SimDuration rtt = sim_.now() - pending->second.sent;
   if (pending->second.span != 0) {
     sim_.trace().end_span(
         sim_.now(), "node", trace_node_, "ctm.reply", pending->second.span,
         {{"responder", packet.src.brief()},
-         {"rtt_s", to_seconds(sim_.now() - pending->second.sent)},
+         {"rtt_s", to_seconds(rtt)},
          {"hops", int(packet.hops)},
          {"neighbors", int(reply->neighbors.size())}});
+  }
+  // The request→reply round-trip calibrates the CTM timeout.  Karn:
+  // a reply to a retransmitted request is ambiguous, skip it.
+  if (!pending->second.retransmitted) {
+    if (ctm_srtt_ == 0) {
+      ctm_srtt_ = rtt;
+      ctm_rttvar_ = rtt / 2;
+    } else {
+      SimDuration err = rtt > ctm_srtt_ ? rtt - ctm_srtt_ : ctm_srtt_ - rtt;
+      ctm_rttvar_ = (3 * ctm_rttvar_ + err) / 4;
+      ctm_srtt_ = (7 * ctm_srtt_ + rtt) / 8;
+    }
   }
   pending_ctms_.erase(pending);
 
   if (Connection* existing = table_.find(packet.src)) {
-    Connection upgraded = *existing;
-    upgraded.type = type;
-    table_.add(std::move(upgraded));
-    update_routable();
+    if (!existing->is_relay()) {
+      Connection upgraded = *existing;
+      upgraded.type = type;
+      table_.add(std::move(upgraded));
+      update_routable();
+    }
   }
   linking_->start(packet.src, type, reply->uris);
 
@@ -639,6 +896,18 @@ void Node::on_link_established(const Address& peer,
                                const std::vector<transport::Uri>& uris,
                                const net::Endpoint& remote,
                                ConnectionType type) {
+  // If a relay tunnel to this peer exists, this direct handshake is the
+  // upgrade succeeding: the table merge below adopts the direct endpoint
+  // and clears the relay agent in place.
+  SimTime relay_since = -1;
+  if (const Connection* prev = table_.find(peer)) {
+    if (prev->is_relay()) relay_since = prev->established;
+  }
+  if (relay_attempts_.count(peer) != 0) {
+    // The direct path came up while a tunnel handshake was in flight;
+    // the tunnel is moot.
+    finish_relay_attempt(peer, "relay.moot");
+  }
   Connection c;
   c.addr = peer;
   c.type = type;
@@ -646,7 +915,28 @@ void Node::on_link_established(const Address& peer,
   c.uris = uris;
   c.established = sim_.now();
   c.last_heard = sim_.now();
+  // Warm-start the estimator from the peer's durable health record (a
+  // re-established connection keeps its RTT history).
+  auto health = peer_health_.find(peer);
+  if (health != peer_health_.end()) {
+    c.srtt = health->second.srtt;
+    c.rttvar = health->second.rttvar;
+  }
   bool added = table_.add(std::move(c));
+  if (relay_since >= 0) {
+    if (Connection* now_direct = table_.find(peer);
+        now_direct != nullptr && !now_direct->is_relay()) {
+      ++stats_.relays_upgraded;
+      WOW_LOG(sim_.logger(), LogLevel::kInfo, sim_.now(), log_component_,
+              "relay to " + peer.brief() + " upgraded to direct link");
+      if (sim_.trace().enabled()) {
+        sim_.trace().event(
+            sim_.now(), "node", trace_node_, "relay.upgraded",
+            {{"peer", peer.brief()},
+             {"relay_lifetime_s", to_seconds(sim_.now() - relay_since)}});
+      }
+    }
+  }
   if (added) {
     ++stats_.connections_added;
     WOW_LOG(sim_.logger(), LogLevel::kDebug, sim_.now(), log_component_,
@@ -667,6 +957,39 @@ void Node::on_link_established(const Address& peer,
   update_routable();
 }
 
+void Node::on_link_failed(const Address& peer, ConnectionType type) {
+  if (!running_ || peer == Address{}) return;
+  Connection* existing = table_.find(peer);
+  if (existing != nullptr && existing->is_relay()) {
+    // An upgrade probe exhausted every URI: the pair is still mutually
+    // unreachable.  Keep the tunnel, back off the next probe.
+    peer_health_[peer].next_direct_probe =
+        sim_.now() + config_.relay_probe_interval;
+    if (sim_.trace().enabled()) {
+      sim_.trace().event(sim_.now(), "node", trace_node_,
+                         "relay.probe_failed", {{"peer", peer.brief()}});
+    }
+    return;
+  }
+  if (existing != nullptr) {
+    if (sim_.now() - existing->last_heard <= config_.ping_interval) {
+      // The peer linked to us passively while our attempt was failing;
+      // the connection is demonstrably alive — nothing to heal.
+      return;
+    }
+    // We hold a connection whose peer answers on no URI and has been
+    // silent past the ping interval; the entry is stale and keeping it
+    // would poison greedy routing.
+    drop_connection(peer, /*send_close=*/false, DisconnectCause::kLinkError);
+  }
+  if (!config_.relay_enabled) return;
+  // Relay fallback serves the ring invariant: only a structured-near
+  // role justifies the tunnel overhead (far/shortcut links are optional
+  // accelerators, and leaf bootstrap is retried by its overlord).
+  if (type != ConnectionType::kStructuredNear) return;
+  start_relay_attempt(peer);
+}
+
 void Node::refresh_connections() {
   // Our advertised URI set changed (we just learnt a NAT-assigned public
   // endpoint).  Peers that linked with us earlier recorded the stale
@@ -674,6 +997,10 @@ void Node::refresh_connections() {
   // handshake so they store the complete set.  The peers answer
   // idempotently (token 0 replies match no attempt and are ignored).
   table_.for_each([this](const Connection& c) {
+    // Relay peers are skipped: an unwrapped request would reach the
+    // AGENT's endpoint and read as a link request from us to the agent.
+    // The tunneled peer learns our full URI set at upgrade time.
+    if (c.is_relay()) return;
     LinkFrame req;
     req.type = LinkType::kRequest;
     req.sender = config_.address;
@@ -684,7 +1011,8 @@ void Node::refresh_connections() {
   });
 }
 
-void Node::drop_connection(const Address& peer, bool send_close) {
+void Node::drop_connection(const Address& peer, bool send_close,
+                           DisconnectCause cause) {
   Connection* c = table_.find(peer);
   if (c == nullptr) return;
   if (send_close) {
@@ -692,22 +1020,43 @@ void Node::drop_connection(const Address& peer, bool send_close) {
     close.type = LinkType::kClose;
     close.sender = config_.address;
     close.con_type = c->type;
-    transport_->send_to(c->remote, close.serialize());
+    send_link_frame(*c, close);
   }
   ConnectionType type = c->type;
+  // How long the link demonstrably worked: detection latency after the
+  // peer went silent must not count toward the flap-lifetime test, or
+  // every real flap would look long-lived.
+  SimDuration lifetime = c->last_heard - c->established;
   table_.remove(peer);
-  ping_outstanding_.erase(peer);
-  if (type == ConnectionType::kStructuredNear) {
+  ping_states_.erase(peer);
+  if (type == ConnectionType::kStructuredNear ||
+      type == ConnectionType::kRelay) {
     fast_stabilize_until_ = sim_.now() + kMinute;
   }
   ++stats_.connections_lost;
+  ++stats_.lost_by_cause[static_cast<std::size_t>(cause)];
+  note_flap(peer, lifetime);
   WOW_LOG(sim_.logger(), LogLevel::kDebug, sim_.now(), log_component_,
-          std::string("-conn ") + to_string(type) + " " + peer.brief());
+          std::string("-conn ") + to_string(type) + " " + peer.brief() +
+              " (" + to_string(cause) + ")");
   if (sim_.trace().enabled()) {
     sim_.trace().event(sim_.now(), "node", trace_node_, "conn.lost",
-                       {{"peer", peer.brief()}, {"ctype", to_string(type)}});
+                       {{"peer", peer.brief()},
+                        {"ctype", to_string(type)},
+                        {"cause", to_string(cause)}});
   }
   if (disconnection_handler_) disconnection_handler_(peer, type);
+
+  // A dead peer may have been the agent of relay tunnels: they die with
+  // it.  (Relay connections are never agents themselves, so the cascade
+  // is one level deep.)
+  std::vector<Address> orphaned;
+  table_.for_each([&](const Connection& t) {
+    if (t.is_relay() && t.relay == peer) orphaned.push_back(t.addr);
+  });
+  for (const Address& a : orphaned) {
+    drop_connection(a, /*send_close=*/false, DisconnectCause::kRelayDown);
+  }
 }
 
 bool Node::routable() const {
@@ -716,7 +1065,12 @@ bool Node::routable() const {
   bool left_covered = false;
   RingId half = ring_half();
   table_.for_each([&](const Connection& c) {
-    if (c.type != ConnectionType::kStructuredNear) return;
+    // A relay tunnel holds the ring together while the pair cannot link
+    // directly — it counts as near coverage (that is its entire point).
+    if (c.type != ConnectionType::kStructuredNear &&
+        c.type != ConnectionType::kRelay) {
+      return;
+    }
     RingId cw = config_.address.clockwise_distance(c.addr);
     if (cw < half) {
       right_covered = true;
@@ -743,19 +1097,41 @@ void Node::update_routable() {
 void Node::maintenance() {
   if (!running_) return;
   maintain_leaf();
+  maintain_bootstrap();
   maintain_near();
   maintain_far();
+  maintain_relays();
   shortcuts_->sweep(sim_.now());
 
-  // Expire CTMs whose replies never came (lost over a loaded path).
+  // CTM requests whose replies never came: retransmit while the retry
+  // budget lasts (adaptive timeout), then count the timeout and drop.
+  SimDuration timeout = ctm_timeout();
   for (auto it = pending_ctms_.begin(); it != pending_ctms_.end();) {
-    if (sim_.now() - it->second.sent > 2 * kMinute) {
-      if (it->second.span != 0) {
-        sim_.trace().end_span(sim_.now(), "node", trace_node_, "ctm.expired",
-                              it->second.span,
-                              {{"target", it->second.target.brief()}});
-      }
-      it = pending_ctms_.erase(it);
+    if (sim_.now() - it->second.sent <= timeout) {
+      ++it;
+      continue;
+    }
+    if (it->second.retries_left > 0) {
+      retry_ctm(it->first, it->second);
+      ++it;
+      continue;
+    }
+    ++stats_.ctm_timeouts;
+    if (it->second.span != 0) {
+      sim_.trace().end_span(sim_.now(), "node", trace_node_, "ctm.expired",
+                            it->second.span,
+                            {{"target", it->second.target.brief()}});
+    }
+    it = pending_ctms_.erase(it);
+  }
+
+  // Durable peer-health records decay: an entry untouched for three
+  // flap windows (and past its quarantine) has nothing left to say.
+  for (auto it = peer_health_.begin(); it != peer_health_.end();) {
+    if (sim_.now() - it->second.last_update > 3 * config_.flap_window &&
+        sim_.now() >= it->second.quarantine_until &&
+        table_.find(it->first) == nullptr) {
+      it = peer_health_.erase(it);
     } else {
       ++it;
     }
@@ -766,6 +1142,65 @@ void Node::maintenance() {
       period / 2 + sim_.rng().jitter(period), [this] { maintenance(); });
 }
 
+void Node::retry_ctm(std::uint32_t token, PendingCtm& pending) {
+  --pending.retries_left;
+  pending.retransmitted = true;
+  pending.sent = sim_.now();
+  ++stats_.ctm_retries;
+
+  CtmRequest req;
+  req.con_type = pending.type;
+  req.token = token;
+  req.uris = transport_->local_uris();
+
+  RoutedPacket packet;
+  packet.src = config_.address;
+  packet.dst = pending.target;
+  packet.ttl = config_.ttl;
+  packet.mode = DeliveryMode::kNearest;
+  packet.type = RoutedType::kCtmRequest;
+  packet.trace_id = sim_.next_trace_id();
+  packet.set_payload(req.serialize());
+
+  if (pending.span != 0) {
+    sim_.trace().event(sim_.now(), "node", trace_node_, "ctm.retry",
+                       {{"target", pending.target.brief()},
+                        {"token", unsigned(token)},
+                        {"retries_left", pending.retries_left},
+                        {"pkt", packet.trace_id}},
+                       pending.span);
+  }
+  ++stats_.ctm_sent;
+  route(std::move(packet));
+}
+
+void Node::maintain_relays() {
+  if (!config_.relay_enabled || !running_) return;
+  SimTime now = sim_.now();
+  std::vector<const Connection*> due;
+  table_.for_each([&](const Connection& c) {
+    if (!c.is_relay() || c.uris.empty()) return;
+    if (linking_->attempting(c.addr)) return;
+    auto it = peer_health_.find(c.addr);
+    if (it != peer_health_.end() && now < it->second.next_direct_probe) {
+      return;
+    }
+    due.push_back(&c);
+  });
+  for (const Connection* c : due) {
+    peer_health_[c->addr].next_direct_probe =
+        now + config_.relay_probe_interval;
+    if (sim_.trace().enabled()) {
+      sim_.trace().event(now, "node", trace_node_, "relay.probe",
+                         {{"peer", c->addr.brief()}});
+    }
+    // A plain active handshake over the peer's direct URIs: success
+    // lands in on_link_established (the upgrade), exhaustion lands in
+    // on_link_failed (keep tunnel, back off).
+    linking_->start(c->addr, ConnectionType::kStructuredNear, c->uris);
+  }
+}
+
 void Node::maintain_leaf() {
   if (!table_.empty() || config_.bootstrap.empty()) return;
   if (linking_->attempting(Address{})) return;  // leaf attempt in flight
@@ -774,6 +1209,40 @@ void Node::maintain_leaf() {
       pool[static_cast<std::size_t>(sim_.rng().uniform(
           0, static_cast<std::int64_t>(pool.size()) - 1))];
   if (uri.endpoint == transport_->private_uri().endpoint) return;
+  linking_->start(Address{}, ConnectionType::kLeaf, {uri});
+}
+
+void Node::maintain_bootstrap() {
+  // Ring-merge safety net: a fragment that repaired into its own
+  // self-consistent ring looks healthy to every overlord, so the only
+  // way to rediscover the rest of the overlay is the well-known
+  // bootstrap list.  Keep a leaf link to it alive; when the link lands
+  // in a different fragment it is the bridge join CTMs merge across.
+  if (config_.bootstrap_reprobe_interval <= 0) return;
+  if (table_.empty() || config_.bootstrap.empty()) return;
+  if (sim_.now() - last_bootstrap_probe_ <
+      config_.bootstrap_reprobe_interval) {
+    return;
+  }
+  if (linking_->attempting(Address{})) return;
+  for (const transport::Uri& uri : config_.bootstrap) {
+    if (uri.endpoint == transport_->private_uri().endpoint) return;
+  }
+  bool covered = false;
+  table_.for_each([&](const Connection& c) {
+    if (c.is_relay()) return;
+    for (const transport::Uri& uri : config_.bootstrap) {
+      if (c.remote == uri.endpoint) covered = true;
+    }
+  });
+  last_bootstrap_probe_ = sim_.now();
+  if (covered) return;
+  const auto& pool = config_.bootstrap;
+  const transport::Uri& uri =
+      pool[static_cast<std::size_t>(sim_.rng().uniform(
+          0, static_cast<std::int64_t>(pool.size()) - 1))];
+  sim_.trace().event(sim_.now(), "node", trace_node_, "bootstrap.reprobe",
+                     {{"uri", uri.to_string()}});
   linking_->start(Address{}, ConnectionType::kLeaf, {uri});
 }
 
@@ -836,26 +1305,310 @@ std::size_t Node::shortcut_connection_count() const {
 void Node::keepalive_sweep() {
   if (!running_) return;
   SimTime now = sim_.now();
+  // Fixed mode reschedules at the seed cadence (interval/2), which also
+  // spaces the probes; adaptive mode wakes when the next probe or idle
+  // threshold is due, clamped so a noisy estimator can't spin the timer.
+  SimDuration next_wake = config_.ping_interval / 2;
   std::vector<Address> dead;
   table_.for_each([&](const Connection& c) {
-    if (now - c.last_heard < config_.ping_interval) return;
-    int& outstanding = ping_outstanding_[c.addr];
-    if (outstanding >= config_.ping_retries) {
+    SimDuration idle = now - c.last_heard;
+    if (idle < config_.ping_interval) {
+      // Not idle: any probe episode is over.  Erasing here (plus on
+      // drop) is what keeps the map bounded by the table size.
+      ping_states_.erase(c.addr);
+      if (config_.adaptive_timers) {
+        next_wake = std::min(next_wake, config_.ping_interval - idle);
+      }
+      return;
+    }
+    PingState& ps = ping_states_[c.addr];
+    if (ps.outstanding >= config_.ping_retries) {
       dead.push_back(c.addr);
       return;
     }
-    ++outstanding;
+    // Probe spacing: fixed mode inherits the sweep cadence; adaptive
+    // mode uses the connection's RTO with exponential (Karn) backoff
+    // per unanswered probe, never slower than the fixed schedule.
+    SimDuration spacing = config_.ping_interval / 2;
+    if (config_.adaptive_timers && c.srtt != 0) {
+      spacing = c.rto(config_.ping_rto_min, config_.ping_interval / 2);
+      for (int i = 0; i < ps.outstanding; ++i) {
+        spacing = std::min(spacing * 2, config_.ping_interval / 2);
+      }
+    }
+    if (ps.outstanding > 0 && now - ps.last_sent < spacing) {
+      if (config_.adaptive_timers) {
+        next_wake = std::min(next_wake, ps.last_sent + spacing - now);
+      }
+      return;
+    }
+    ps.token = next_ping_token_++;
+    ps.clean = ps.outstanding == 0;  // Karn: only an unrepeated probe
+    ps.last_sent = now;
+    ++ps.outstanding;
     LinkFrame ping;
     ping.type = LinkType::kPing;
     ping.sender = config_.address;
     ping.con_type = c.type;
-    transport_->send_to(c.remote, ping.serialize());
+    ping.token = ps.token;
+    send_link_frame(c, ping);
     ++stats_.pings_sent;
+    if (config_.adaptive_timers) next_wake = std::min(next_wake, spacing);
   });
-  for (const Address& a : dead) drop_connection(a, /*send_close=*/false);
+  for (const Address& a : dead) {
+    drop_connection(a, /*send_close=*/false,
+                    DisconnectCause::kKeepaliveTimeout);
+  }
 
-  keepalive_timer_ = sim_.schedule(config_.ping_interval / 2,
-                                   [this] { keepalive_sweep(); });
+  if (config_.adaptive_timers) {
+    next_wake = std::clamp(next_wake, 50 * kMillisecond,
+                           config_.ping_interval / 2);
+  } else {
+    next_wake = config_.ping_interval / 2;
+  }
+  keepalive_timer_ =
+      sim_.schedule(next_wake, [this] { keepalive_sweep(); });
+}
+
+// --- adaptive self-healing ---------------------------------------------------
+
+void Node::note_rtt(const Address& peer, SimDuration sample) {
+  if (sample < 0) return;
+  ++stats_.rtt_samples;
+  PeerHealth& h = peer_health_[peer];
+  if (h.srtt == 0) {
+    h.srtt = sample;
+    h.rttvar = sample / 2;
+  } else {
+    SimDuration err = sample > h.srtt ? sample - h.srtt : h.srtt - sample;
+    h.rttvar = (3 * h.rttvar + err) / 4;
+    h.srtt = (7 * h.srtt + sample) / 8;
+  }
+  h.last_update = sim_.now();
+}
+
+void Node::note_flap(const Address& peer, SimDuration lifetime) {
+  if (!config_.quarantine_enabled) return;
+  SimTime now = sim_.now();
+  if (lifetime >= config_.flap_lifetime) {
+    // A connection that held for a while proves the path works; decay
+    // one quarantine level so an old episode is eventually forgiven.
+    auto it = peer_health_.find(peer);
+    if (it != peer_health_.end() && it->second.quarantine_level > 0) {
+      --it->second.quarantine_level;
+      it->second.last_update = now;
+    }
+    return;
+  }
+  PeerHealth& h = peer_health_[peer];
+  if (h.flaps == 0 || now - h.first_flap > config_.flap_window) {
+    h.flaps = 0;
+    h.first_flap = now;
+  }
+  ++h.flaps;
+  h.last_update = now;
+  if (h.flaps < config_.flap_threshold) return;
+  // Enough flaps inside the window: quarantine, doubling per episode.
+  SimDuration duration = config_.quarantine_base;
+  for (int i = 0; i < h.quarantine_level; ++i) {
+    duration = std::min(duration * 2, config_.quarantine_max);
+  }
+  ++h.quarantine_level;
+  h.quarantine_until = now + duration;
+  h.flaps = 0;  // fresh window once the quarantine lapses
+  ++stats_.quarantines;
+  WOW_LOG(sim_.logger(), LogLevel::kInfo, now, log_component_,
+          "quarantined " + peer.brief() + " for " +
+              std::to_string(to_seconds(duration)) + "s (level " +
+              std::to_string(h.quarantine_level) + ")");
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(now, "node", trace_node_, "quarantine.begin",
+                       {{"peer", peer.brief()},
+                        {"level", h.quarantine_level},
+                        {"duration_s", to_seconds(duration)}});
+  }
+}
+
+bool Node::is_quarantined(const Address& peer) const {
+  auto it = peer_health_.find(peer);
+  return it != peer_health_.end() &&
+         sim_.now() < it->second.quarantine_until;
+}
+
+SimTime Node::quarantine_until(const Address& peer) const {
+  auto it = peer_health_.find(peer);
+  return it == peer_health_.end() ? 0 : it->second.quarantine_until;
+}
+
+SimDuration Node::srtt_of(const Address& peer) const {
+  if (const Connection* c = table_.find(peer); c != nullptr && c->srtt != 0) {
+    return c->srtt;
+  }
+  auto it = peer_health_.find(peer);
+  return it == peer_health_.end() ? 0 : it->second.srtt;
+}
+
+SimDuration Node::peer_rto_hint(const Address& peer) const {
+  if (!config_.adaptive_timers) return 0;
+  if (const Connection* c = table_.find(peer); c != nullptr && c->srtt != 0) {
+    return c->srtt + 4 * c->rttvar;
+  }
+  auto it = peer_health_.find(peer);
+  if (it != peer_health_.end() && it->second.srtt != 0) {
+    return it->second.srtt + 4 * it->second.rttvar;
+  }
+  return 0;
+}
+
+SimDuration Node::ctm_timeout() const {
+  if (!config_.adaptive_timers) return config_.ctm_rto_max;
+  if (ctm_srtt_ == 0) return config_.ctm_rto_initial;
+  return std::clamp(ctm_srtt_ + 4 * ctm_rttvar_, config_.ctm_rto_min,
+                    config_.ctm_rto_max);
+}
+
+// --- relay fallback ----------------------------------------------------------
+
+void Node::start_relay_attempt(const Address& peer) {
+  if (relay_attempts_.count(peer) != 0) return;
+  // Candidate agents: peers WE hold a direct connection to, nearest to
+  // the unreachable peer on the ring first — the likeliest to be its
+  // neighbor too, i.e. a mutual neighbor that can hand frames across.
+  std::vector<const Connection*> direct;
+  table_.for_each([&](const Connection& c) {
+    if (!c.is_relay() && c.addr != peer) direct.push_back(&c);
+  });
+  if (direct.empty()) return;
+  std::stable_sort(direct.begin(), direct.end(),
+                   [&](const Connection* a, const Connection* b) {
+                     return a->addr.ring_distance(peer) <
+                            b->addr.ring_distance(peer);
+                   });
+  RelayAttempt attempt;
+  for (const Connection* c : direct) {
+    attempt.candidates.push_back(c->addr);
+    if (static_cast<int>(attempt.candidates.size()) >=
+        config_.relay_max_candidates) {
+      break;
+    }
+  }
+  attempt.token = next_relay_token_++;
+  attempt.started = sim_.now();
+  if (sim_.trace().enabled()) {
+    attempt.span = sim_.trace().begin_span(
+        sim_.now(), "node", trace_node_, "relay.attempt",
+        {{"peer", peer.brief()},
+         {"candidates", int(attempt.candidates.size())}});
+  }
+  relay_attempts_.emplace(peer, std::move(attempt));
+  send_relay_request(peer);
+}
+
+void Node::send_relay_request(const Address& peer) {
+  auto it = relay_attempts_.find(peer);
+  if (it == relay_attempts_.end()) return;
+  RelayAttempt& attempt = it->second;
+  if (attempt.index >= attempt.candidates.size()) {
+    finish_relay_attempt(peer, "relay.exhausted");
+    return;
+  }
+  const Address& agent = attempt.candidates[attempt.index];
+  const Connection* agent_conn = table_.find(agent);
+  if (agent_conn == nullptr || agent_conn->is_relay()) {
+    // The candidate vanished since we enumerated it; try the next.
+    ++attempt.index;
+    send_relay_request(peer);
+    return;
+  }
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(sim_.now(), "node", trace_node_, "relay.tx",
+                       {{"peer", peer.brief()},
+                        {"agent", agent.brief()},
+                        {"candidate", int(attempt.index)}},
+                       attempt.span);
+  }
+  LinkFrame req;
+  req.type = LinkType::kRequest;
+  req.sender = config_.address;
+  req.con_type = ConnectionType::kRelay;
+  req.token = attempt.token;
+  req.uris = transport_->local_uris();
+  transport_->send_to(agent_conn->remote,
+                      RelayFrame::wrap(config_.address, agent, peer,
+                                       req.serialize()));
+  // One shot per agent: either the tunneled reply lands, or the timer
+  // advances to the next candidate.  The request timeout shrinks with a
+  // measured agent RTT (the tunnel leg we cannot measure is bounded by
+  // the same WAN scale).
+  SimDuration wait = config_.relay_request_timeout;
+  if (config_.adaptive_timers) {
+    SimDuration hint = peer_rto_hint(agent);
+    if (hint > 0) {
+      wait = std::clamp(4 * hint, kSecond, config_.relay_request_timeout);
+    }
+  }
+  attempt.timer =
+      sim_.schedule(wait, [this, peer] { on_relay_timeout(peer); });
+}
+
+void Node::on_relay_timeout(const Address& peer) {
+  auto it = relay_attempts_.find(peer);
+  if (it == relay_attempts_.end()) return;
+  ++it->second.index;
+  send_relay_request(peer);
+}
+
+void Node::finish_relay_attempt(const Address& peer, const char* outcome) {
+  auto it = relay_attempts_.find(peer);
+  if (it == relay_attempts_.end()) return;
+  sim_.cancel(it->second.timer);
+  if (it->second.span != 0) {
+    sim_.trace().end_span(
+        sim_.now(), "node", trace_node_, outcome, it->second.span,
+        {{"peer", peer.brief()},
+         {"elapsed_s", to_seconds(sim_.now() - it->second.started)}});
+  }
+  relay_attempts_.erase(it);
+}
+
+void Node::add_relay_connection(const Address& peer, const Address& agent,
+                                const net::Endpoint& agent_endpoint,
+                                const std::vector<transport::Uri>& uris) {
+  Connection c;
+  c.addr = peer;
+  c.type = ConnectionType::kRelay;
+  c.remote = agent_endpoint;
+  c.relay = agent;
+  c.uris = uris;
+  c.established = sim_.now();
+  c.last_heard = sim_.now();
+  auto health = peer_health_.find(peer);
+  if (health != peer_health_.end()) {
+    c.srtt = health->second.srtt;
+    c.rttvar = health->second.rttvar;
+  }
+  bool added = table_.add(std::move(c));
+  if (!added) {
+    // The table either refreshed an existing relay entry or protected a
+    // direct connection (the merge never downgrades); nothing to count.
+    update_routable();
+    return;
+  }
+  ++stats_.connections_added;
+  ++stats_.relays_established;
+  peer_health_[peer].next_direct_probe =
+      sim_.now() + config_.relay_probe_interval;
+  WOW_LOG(sim_.logger(), LogLevel::kInfo, sim_.now(), log_component_,
+          "+conn relay " + peer.brief() + " via agent " + agent.brief());
+  if (sim_.trace().enabled()) {
+    sim_.trace().event(sim_.now(), "node", trace_node_, "conn.added",
+                       {{"peer", peer.brief()},
+                        {"ctype", "relay"},
+                        {"agent", agent.brief()},
+                        {"remote", agent_endpoint.to_string()}});
+  }
+  if (connection_handler_) connection_handler_(*table_.find(peer));
+  update_routable();
 }
 
 }  // namespace wow::p2p

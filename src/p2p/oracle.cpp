@@ -139,6 +139,38 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
     if (!result.ok) return result;
   }
 
+  // 3b. Relay tunnels rest on a live agent that can actually forward:
+  // the agent node must be up and hold a direct connection to the
+  // tunneled peer.  A tunnel whose agent died (or dropped the peer) is
+  // given the keepalive grace — pings through the dead agent go
+  // unanswered and the tunnel collapses within it (or immediately via
+  // the kRelayDown cascade when the agent link itself drops).
+  for (Node* n : live) {
+    SimDuration grace = dead_grace(*n);
+    OracleReport result = ok_report;
+    n->connections().for_each([&](const Connection& c) {
+      if (!result.ok || !c.is_relay()) return;
+      if (now - c.last_heard <= grace) return;  // detector still in grace
+      auto agent_it = by_addr.find(c.relay);
+      bool agent_ok =
+          agent_it != by_addr.end() &&
+          [&] {
+            const Connection* to_peer =
+                agent_it->second->connections().find(c.addr);
+            return to_peer != nullptr && !to_peer->is_relay();
+          }();
+      if (agent_ok) return;
+      result = violation(
+          "relay_without_agent",
+          "node " + n->address().brief() + " holds relay connection to " +
+              c.addr.brief() + " through agent " + c.relay.brief() +
+              " which is dead or cannot forward, last heard " +
+              std::to_string(to_seconds(now - c.last_heard)) + "s ago",
+          now, config.seed);
+    });
+    if (!result.ok) return result;
+  }
+
   // 4. Greedy routing from every node terminates at the owner.
   std::size_t pairs = ring.size() * ring.size();
   std::size_t stride = 1;

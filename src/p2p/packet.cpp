@@ -8,6 +8,7 @@ const char* to_string(ConnectionType type) {
     case ConnectionType::kStructuredNear: return "near";
     case ConnectionType::kStructuredFar: return "far";
     case ConnectionType::kShortcut: return "shortcut";
+    case ConnectionType::kRelay: return "relay";
   }
   return "?";
 }
@@ -15,7 +16,7 @@ const char* to_string(ConnectionType type) {
 namespace {
 
 [[nodiscard]] bool valid_connection_type(std::uint8_t v) {
-  return v >= 1 && v <= 4;
+  return v >= 1 && v <= 5;
 }
 
 /// Per-URI wire size (kind + ip + port) and the list's count byte.
@@ -71,6 +72,16 @@ constexpr std::uint32_t kFnvPrime = 16777619u;
 [[nodiscard]] std::uint32_t link_checksum(std::span<const std::uint8_t> f) {
   std::uint32_t h = fnv1a(kFnvOffset, f.subspan(0, 1));
   return fnv1a(h, f.subspan(5));
+}
+
+/// Relay-frame checksum: kind byte, the three ring ids (bytes 5..64) and
+/// the wrapped inner frame — skipping the hops byte at offset 65, which
+/// the relay agent rewrites in place.  Callers guarantee `f` is at least
+/// kHeaderBytes long.
+[[nodiscard]] std::uint32_t relay_checksum(std::span<const std::uint8_t> f) {
+  std::uint32_t h = fnv1a(kFnvOffset, f.subspan(0, 1));
+  h = fnv1a(h, f.subspan(5, 60));
+  return fnv1a(h, f.subspan(RelayFrame::kHeaderBytes));
 }
 
 }  // namespace
@@ -302,6 +313,55 @@ std::optional<LinkFrame> LinkFrame::parse(
   return f;
 }
 
+Bytes RelayFrame::wrap(const Address& src, const Address& relay,
+                       const Address& dst, BytesView inner) {
+  ByteWriter w;
+  w.reserve(kHeaderBytes + inner.size());
+  w.u8(static_cast<std::uint8_t>(FrameKind::kRelay));
+  w.u32(0);  // checksum, patched below once the frame is complete
+  w.ring_id(src);
+  w.ring_id(relay);
+  w.ring_id(dst);
+  w.u8(0);  // hops: incremented in place by the relay agent
+  w.raw(inner);
+  Bytes out = std::move(w).take();
+  store_u32(out.data() + 1, relay_checksum(out));
+  return out;
+}
+
+SharedBytes RelayFrame::forwarded() {
+  std::uint8_t* b = frame_.mutable_data();
+  b[65] = static_cast<std::uint8_t>(hops + 1);
+  return frame_;
+}
+
+std::optional<RelayFrame> RelayFrame::parse(SharedBytes frame) {
+  ByteReader r(frame.view());
+  auto kind = r.u8();
+  if (!kind || *kind != static_cast<std::uint8_t>(FrameKind::kRelay)) {
+    return std::nullopt;
+  }
+  auto csum = r.u32();
+  auto src = r.ring_id();
+  auto relay = r.ring_id();
+  auto dst = r.ring_id();
+  auto hops = r.u8();
+  if (!csum || !src || !relay || !dst || !hops) return std::nullopt;
+  if (r.remaining() == 0) return std::nullopt;  // empty tunnel: nonsense
+  if (*csum != relay_checksum(frame.view())) return std::nullopt;
+  RelayFrame f;
+  f.src = *src;
+  f.relay = *relay;
+  f.dst = *dst;
+  f.hops = *hops;
+  f.frame_ = std::move(frame);
+  return f;
+}
+
+std::optional<RelayFrame> RelayFrame::parse(BytesView frame) {
+  return parse(SharedBytes(Bytes(frame.begin(), frame.end())));
+}
+
 std::optional<FrameKind> frame_kind(std::span<const std::uint8_t> frame) {
   if (frame.empty()) return std::nullopt;
   std::uint8_t k = frame[0];
@@ -310,6 +370,9 @@ std::optional<FrameKind> frame_kind(std::span<const std::uint8_t> frame) {
   }
   if (k == static_cast<std::uint8_t>(FrameKind::kLink)) {
     return FrameKind::kLink;
+  }
+  if (k == static_cast<std::uint8_t>(FrameKind::kRelay)) {
+    return FrameKind::kRelay;
   }
   return std::nullopt;
 }

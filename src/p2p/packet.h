@@ -19,6 +19,10 @@ enum class ConnectionType : std::uint8_t {
   kStructuredNear = 2,  // ring neighbor
   kStructuredFar = 3,   // long-range link (routing accelerator)
   kShortcut = 4,        // on-demand direct link created by traffic
+  kRelay = 5,           // tunnel through a mutual neighbor when no direct
+                        // path exists (non-hairpin NAT pair, §V-B; long
+                        // partitions); upgraded to a direct link by
+                        // periodic probes once reachability returns
 };
 
 [[nodiscard]] const char* to_string(ConnectionType type);
@@ -37,6 +41,8 @@ enum class ConnectionType : std::uint8_t {
 enum class FrameKind : std::uint8_t {
   kRouted = 1,  // forwarded hop-by-hop over the structured ring
   kLink = 2,    // direct link-level message between two endpoints
+  kRelay = 3,   // source-routed tunnel frame: src asks a mutual neighbor
+                // to hand the wrapped inner frame to dst (one hop only)
 };
 
 /// Payload types carried inside a routed packet.
@@ -187,6 +193,52 @@ struct LinkFrame {
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] static std::optional<LinkFrame> parse(
       std::span<const std::uint8_t> frame);
+};
+
+/// A relay tunnel frame: the degraded path for a peer pair with no
+/// working direct endpoint (non-hairpin NATs, a partition outliving the
+/// linking retries).  `src` sends the frame to a mutual neighbor
+/// (`relay`), which forwards it — once, enforced by `hops` — over its
+/// direct connection to `dst`.  The inner payload is a complete link or
+/// routed frame, so keepalives, handshakes and overlay routing all work
+/// unchanged through the tunnel.
+///
+/// Wire layout: kind (1) + checksum (4) + src/relay/dst ring ids (20
+/// each) + hops (1), then the inner frame.  The checksum skips the hops
+/// byte — the relay agent increments it in place, exactly like the
+/// mutable tail of a routed frame.
+struct RelayFrame {
+  static constexpr std::size_t kHeaderBytes = 66;
+
+  Address src;
+  Address relay;
+  Address dst;
+  std::uint8_t hops = 0;
+
+  /// The wrapped inner frame (view into the parsed-from buffer).
+  [[nodiscard]] BytesView payload() const {
+    return frame_.view().subspan(kHeaderBytes);
+  }
+  /// The buffer this frame was parsed from (forwarded verbatim).
+  [[nodiscard]] SharedBytes frame() const { return frame_; }
+
+  /// Build the full wire frame around `inner` (a serialized link or
+  /// routed frame).
+  [[nodiscard]] static Bytes wrap(const Address& src, const Address& relay,
+                                  const Address& dst, BytesView inner);
+
+  /// Increment the hops byte of a parsed relay frame in place (COW when
+  /// shared) and return the buffer to forward.  The checksum excludes
+  /// hops, so the origin's checksum stays valid.
+  [[nodiscard]] SharedBytes forwarded();
+
+  /// Zero-copy parse: payload() views into `frame`.
+  [[nodiscard]] static std::optional<RelayFrame> parse(SharedBytes frame);
+  /// Copying parse for callers holding only a borrowed span.
+  [[nodiscard]] static std::optional<RelayFrame> parse(BytesView frame);
+
+ private:
+  SharedBytes frame_;
 };
 
 /// Peek the outer frame kind without a full parse.

@@ -13,7 +13,13 @@ void ShortcutOverlord::on_traffic(const Address& peer, SimTime now) {
   e.last_update = now;
 
   if (!config_.enabled || e.score < config_.threshold) return;
-  if (now - e.last_attempt < config_.retry_cooldown) return;
+  SimDuration cooldown = config_.retry_cooldown;
+  if (hooks_.retry_cooldown_hint) {
+    SimDuration hint = hooks_.retry_cooldown_hint(peer);
+    if (hint > 0) cooldown = hint;
+  }
+  if (now - e.last_attempt < cooldown) return;
+  if (hooks_.is_quarantined && hooks_.is_quarantined(peer)) return;
   if (hooks_.has_connection(peer) || hooks_.is_linking(peer)) return;
   if (hooks_.shortcut_count() >=
       static_cast<std::size_t>(config_.max_shortcuts)) {

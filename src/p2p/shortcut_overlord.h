@@ -47,6 +47,15 @@ class ShortcutOverlord {
     std::function<std::size_t()> shortcut_count;
     /// Fire a CTM requesting a shortcut connection.
     std::function<void(const Address&)> request_shortcut;
+    /// Flap quarantine gate: true suppresses a shortcut request to this
+    /// peer (the score keeps integrating; the attempt fires once the
+    /// quarantine lapses).  Optional.
+    std::function<bool(const Address&)> is_quarantined;
+    /// Adaptive spacing between attempts to this peer (0 = use
+    /// config.retry_cooldown).  Derived from the peer's measured RTT so
+    /// a nearby peer retries quickly and a distant one is not spammed.
+    /// Optional.
+    std::function<SimDuration(const Address&)> retry_cooldown_hint;
   };
 
   ShortcutOverlord(Config config, Hooks hooks)

@@ -347,6 +347,107 @@ TEST(LinkingEngine, PublicUriOrderedFirst) {
   EXPECT_EQ(pair.established_a.size(), 1u);
 }
 
+// ------------------------------------------- RTT estimator + relay merges
+
+TEST(Connection, RttEstimatorFollowsRfc6298) {
+  Connection c;
+  EXPECT_EQ(c.rto(100, 1000), 1000);  // no sample: max_rto
+  c.rtt_sample(80);
+  EXPECT_EQ(c.srtt, 80);
+  EXPECT_EQ(c.rttvar, 40);
+  // Second sample: rttvar = (3*40 + |80-120|)/4 = 40, srtt = (7*80+120)/8.
+  c.rtt_sample(120);
+  EXPECT_EQ(c.rttvar, 40);
+  EXPECT_EQ(c.srtt, 85);
+  // Negative samples (clock weirdness) are ignored.
+  c.rtt_sample(-5);
+  EXPECT_EQ(c.srtt, 85);
+}
+
+TEST(Connection, RtoClampsToBounds) {
+  Connection c;
+  c.rtt_sample(10);  // srtt 10, rttvar 5 -> raw rto 30
+  EXPECT_EQ(c.rto(100, 1000), 100);   // clamped up
+  EXPECT_EQ(c.rto(1, 20), 20);        // clamped down
+  EXPECT_EQ(c.rto(1, 1000), 30);      // in range
+}
+
+TEST(ConnectionTable, RelayRefreshNeverClobbersDirectEndpoint) {
+  ConnectionTable table(Address{100});
+  table.add(make_conn(200, ConnectionType::kStructuredNear));
+
+  Connection relay = make_conn(200, ConnectionType::kRelay);
+  relay.remote = net::Endpoint{net::Ipv4Addr(9, 9, 9, 9), 9};  // agent
+  relay.relay = Address{300};
+  table.add(relay);
+
+  const Connection* c = table.find(Address{200});
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->is_relay());
+  EXPECT_EQ(c->remote, (net::Endpoint{net::Ipv4Addr(1, 1, 1, 1), 1}));
+  EXPECT_EQ(c->type, ConnectionType::kStructuredNear);
+}
+
+TEST(ConnectionTable, DirectAddSupersedesRelayTunnel) {
+  ConnectionTable table(Address{100});
+  Connection relay = make_conn(200, ConnectionType::kRelay);
+  relay.remote = net::Endpoint{net::Ipv4Addr(9, 9, 9, 9), 9};
+  relay.relay = Address{300};
+  table.add(relay);
+  ASSERT_TRUE(table.find(Address{200})->is_relay());
+
+  // The relay->direct upgrade: a direct near add replaces the tunnel.
+  table.add(make_conn(200, ConnectionType::kStructuredNear));
+  const Connection* c = table.find(Address{200});
+  EXPECT_FALSE(c->is_relay());
+  EXPECT_EQ(c->relay, Address{});
+  EXPECT_EQ(c->remote, (net::Endpoint{net::Ipv4Addr(1, 1, 1, 1), 1}));
+  EXPECT_EQ(c->type, ConnectionType::kStructuredNear);
+}
+
+TEST(ConnectionTable, EstimatorSurvivesRefresh) {
+  ConnectionTable table(Address{100});
+  table.add(make_conn(200, ConnectionType::kLeaf));
+  table.find(Address{200})->rtt_sample(500);
+  // A role upgrade (refresh through add) must not reset the estimator.
+  table.add(make_conn(200, ConnectionType::kStructuredNear));
+  EXPECT_EQ(table.find(Address{200})->srtt, 500);
+}
+
+TEST(ConnectionTable, RelayRanksAboveLeafBelowShortcut) {
+  ConnectionTable table(Address{100});
+  table.add(make_conn(200, ConnectionType::kLeaf));
+  table.add(make_conn(200, ConnectionType::kRelay));
+  EXPECT_EQ(table.find(Address{200})->type, ConnectionType::kRelay);
+  table.add(make_conn(200, ConnectionType::kShortcut));
+  EXPECT_EQ(table.find(Address{200})->type, ConnectionType::kShortcut);
+}
+
+TEST(LinkingEngine, SimultaneousInitiatorsUnderLossConverge) {
+  LinkPair pair;
+  // 30% loss on the only path: retransmissions and the race-break have
+  // to grind through it, but both sides must still converge.
+  pair.network.set_same_site(
+      net::LinkModel{5 * kMillisecond, kMillisecond, 0.30});
+  // Both sides re-initiate whenever their attempt dies, the way the
+  // node's maintenance tick does.
+  for (int tick = 0; tick < 24; ++tick) {
+    if (pair.established_a.empty() && !pair.ea->attempting(pair.addr_b)) {
+      pair.ea->start(pair.addr_b, ConnectionType::kStructuredNear,
+                     {pair.uri_of(*pair.host_b)});
+    }
+    if (pair.established_b.empty() && !pair.eb->attempting(pair.addr_a)) {
+      pair.eb->start(pair.addr_a, ConnectionType::kStructuredNear,
+                     {pair.uri_of(*pair.host_a)});
+    }
+    pair.sim.run_for(5 * kSecond);
+  }
+  EXPECT_FALSE(pair.established_a.empty());
+  EXPECT_FALSE(pair.established_b.empty());
+  EXPECT_FALSE(pair.ea->attempting(pair.addr_b));
+  EXPECT_FALSE(pair.eb->attempting(pair.addr_a));
+}
+
 TEST(LinkingEngine, MergesFreshUrisIntoActiveAttempt) {
   LinkPair pair;
   transport::Uri dead{transport::TransportKind::kUdp,

@@ -71,6 +71,12 @@ namespace {
   return rep.serialize();
 }
 
+[[nodiscard]] Bytes sample_relay() {
+  Bytes inner = sample_link();
+  return p2p::RelayFrame::wrap(RingId{0x8888}, RingId{0x9999},
+                               RingId{0xaaaa}, BytesView(inner));
+}
+
 [[nodiscard]] Bytes sample_ip_packet() {
   ipop::IpPacket p;
   p.proto = ipop::IpProto::kUdp;
@@ -107,6 +113,8 @@ const std::pair<const char*, ParseFn> kParsers[] = {
      [](BytesView b) { return p2p::CtmRequest::parse(b).has_value(); }},
     {"ctm_reply",
      [](BytesView b) { return p2p::CtmReply::parse(b).has_value(); }},
+    {"relay",
+     [](BytesView b) { return p2p::RelayFrame::parse(b).has_value(); }},
     {"ip_packet",
      [](BytesView b) { return ipop::IpPacket::parse(b).has_value(); }},
     {"icmp_echo",
@@ -116,8 +124,9 @@ const std::pair<const char*, ParseFn> kParsers[] = {
 };
 
 [[nodiscard]] std::vector<Bytes> sample_frames() {
-  return {sample_routed(),     sample_link(),      sample_ctm_request(),
-          sample_ctm_reply(),  sample_ip_packet(), sample_segment()};
+  return {sample_routed(),    sample_link(),      sample_ctm_request(),
+          sample_ctm_reply(), sample_relay(),     sample_ip_packet(),
+          sample_segment()};
 }
 
 /// Every prefix of every valid frame, through every parser.  A strict
@@ -199,6 +208,30 @@ TEST(ParseFuzz, ChecksumRejectsTamperedFrames) {
     EXPECT_FALSE(p2p::LinkFrame::parse(BytesView(mutant)).has_value())
         << "byte " << byte;
   }
+
+  // Relay frames: every checksummed byte (ring ids + tunneled payload)
+  // is guarded, while the hops byte — rewritten in place by the relay
+  // agent — is deliberately outside the checksum.
+  Bytes relay = sample_relay();
+  for (std::size_t byte = 5; byte < relay.size(); byte += 7) {
+    if (byte == 65) continue;  // hops: mutable, tested below
+    Bytes mutant = relay;
+    mutant[byte] ^= 0x04;
+    EXPECT_FALSE(p2p::RelayFrame::parse(BytesView(mutant)).has_value())
+        << "byte " << byte;
+  }
+  Bytes forwarded = relay;
+  forwarded[65] += 1;  // the relay agent's in-place hop increment
+  auto parsed = p2p::RelayFrame::parse(BytesView(forwarded));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->hops, 1);
+  // A header-only relay frame (no tunneled payload) is nonsense.
+  EXPECT_FALSE(
+      p2p::RelayFrame::parse(
+          BytesView(relay.data(), p2p::RelayFrame::kHeaderBytes))
+          .has_value());
+  // The inner payload of a valid tunnel parses as the wrapped link frame.
+  EXPECT_TRUE(p2p::LinkFrame::parse(parsed->payload()).has_value());
 }
 
 /// Seeded bit-flip storms over every frame type, every parser.  The

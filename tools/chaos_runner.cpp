@@ -10,6 +10,16 @@
 // Usage:
 //   chaos_runner [--seed=N] [--schedule="kind@ms+ms:args;..."]
 //                [--nodes=N] [--events=N] [--trace=out.jsonl]
+//                [--profile=random|composite]
+//
+// --profile=composite grows the topology with two NAT domains (two
+// hosts each) and replaces the random plan with the fixed worst-case
+// stack the adaptive-maintenance work targets: a WAN storm, a site
+// partition outliving the keepalive horizon (ring split + merge), and
+// NAT reboots that wipe every mapping.  Seeds still vary link jitter
+// and loss, so an 8-seed matrix covers distinct interleavings.  An
+// explicit --schedule overrides the plan but keeps the NAT topology,
+// which is what the printed reproducer line relies on.
 
 #include <cinttypes>
 #include <cstdio>
@@ -36,12 +46,13 @@ struct Options {
   int nodes = 12;
   int events = 10;
   std::string trace_path;
+  bool composite = false;
 };
 
 /// The soak topology: public hosts spread round-robin over three WAN
 /// sites, all bootstrapping off node 0 (which faults never touch).
 struct SoakNet {
-  SoakNet(std::uint64_t seed, int node_count)
+  SoakNet(std::uint64_t seed, int node_count, bool with_nat)
       : sim(seed), network(sim) {
     network.set_default_wan(
         net::LinkModel{30 * kMillisecond, 2 * kMillisecond, 0.002});
@@ -63,6 +74,36 @@ struct SoakNet {
       }
       nodes.push_back(std::make_unique<p2p::Node>(sim, network, host, cfg));
     }
+    if (with_nat) {
+      // Two NAT domains with two hosts each: targets for kNatReboot, and
+      // — the hairpin-less one — a source of un-linkable pairs that must
+      // fall back to relay tunnels.
+      for (int d = 0; d < 2; ++d) {
+        net::NatBox::Config nat;
+        nat.type = net::NatType::kPortRestricted;
+        nat.hairpin = (d == 1);
+        net::DomainId dom = network.add_nat_domain(
+            "nat" + std::to_string(d), net::Network::kInternet,
+            sites[static_cast<std::size_t>(d)],
+            net::Ipv4Addr(60, static_cast<std::uint8_t>(1 + d), 0, 1), nat);
+        nat_domains.push_back(dom);
+        for (int i = 0; i < 2; ++i) {
+          auto& host = network.add_host(
+              net::Ipv4Addr(192, 168, static_cast<std::uint8_t>(d),
+                            static_cast<std::uint8_t>(10 + i)),
+              dom, sites[static_cast<std::size_t>(d)],
+              net::Host::Config{"nat" + std::to_string(d) + "-host" +
+                                std::to_string(i)});
+          p2p::NodeConfig cfg;
+          cfg.port = 17000;
+          cfg.bootstrap = {transport::Uri{
+              transport::TransportKind::kUdp,
+              net::Endpoint{nodes[0]->host().ip(), 17000}}};
+          nodes.push_back(
+              std::make_unique<p2p::Node>(sim, network, host, cfg));
+        }
+      }
+    }
     network.faults().set_crash_handler([this](net::HostId host, bool down) {
       for (auto& n : nodes) {
         if (n->host().id() != host) continue;
@@ -83,14 +124,46 @@ struct SoakNet {
   sim::Simulator sim;
   net::Network network;
   std::vector<net::SiteId> sites;
+  std::vector<net::DomainId> nat_domains;
   std::vector<std::unique_ptr<p2p::Node>> nodes;
 };
+
+/// The composite worst case: a congestion storm, a partition long
+/// enough to split the ring into self-consistent fragments (forcing the
+/// bootstrap re-probe merge path), and mapping-wiping NAT reboots — the
+/// storm still blowing when the partition lands.
+net::FaultPlan composite_plan(const SoakNet& soak) {
+  net::FaultPlan plan;
+  net::FaultSpec storm;
+  storm.kind = net::FaultKind::kStorm;
+  storm.at = 3 * kMinute + 30 * kSecond;
+  storm.duration = 3 * kMinute;
+  storm.rate = 0.25;
+  storm.magnitude = 60 * kMillisecond;
+  plan.events.push_back(storm);
+
+  net::FaultSpec part;
+  part.kind = net::FaultKind::kPartition;
+  part.at = 4 * kMinute + 30 * kSecond;
+  part.duration = 90 * kSecond;  // outlives adaptive keepalive detection
+  part.sites = {soak.sites[0]};
+  plan.events.push_back(part);
+
+  for (std::size_t d = 0; d < soak.nat_domains.size(); ++d) {
+    net::FaultSpec reboot;
+    reboot.kind = net::FaultKind::kNatReboot;
+    reboot.at = 7 * kMinute + static_cast<SimTime>(d) * kMinute;
+    reboot.domain = soak.nat_domains[d];
+    plan.events.push_back(reboot);
+  }
+  return plan;
+}
 
 int run(const Options& opt) {
   // Declared before the overlay: node destructors still emit trace
   // events, so the sink must outlive SoakNet.
   std::unique_ptr<FileTraceSink> sink;
-  SoakNet soak(opt.seed, opt.nodes);
+  SoakNet soak(opt.seed, opt.nodes, opt.composite);
 
   net::FaultPlan plan;
   if (!opt.schedule.empty()) {
@@ -101,6 +174,8 @@ int run(const Options& opt) {
       return 2;
     }
     plan = std::move(*parsed);
+  } else if (opt.composite) {
+    plan = composite_plan(soak);
   } else {
     net::FaultPlan::RandomParams params;
     params.events = opt.events;
@@ -114,9 +189,12 @@ int run(const Options& opt) {
     }
     plan = net::FaultPlan::random(opt.seed, params);
   }
+  // --profile must ride along in the reproducer: it shapes the topology
+  // (NAT domains) that the schedule's domain ids refer to.
   const std::string reproducer =
-      "chaos_runner --seed=" + std::to_string(opt.seed) + " --schedule=\"" +
-      plan.describe() + "\"";
+      "chaos_runner --seed=" + std::to_string(opt.seed) +
+      (opt.composite ? std::string(" --profile=composite") : std::string()) +
+      " --schedule=\"" + plan.describe() + "\"";
 
   if (!opt.trace_path.empty()) {
     sink = std::make_unique<FileTraceSink>(opt.trace_path);
@@ -199,10 +277,19 @@ int main(int argc, char** argv) {
       opt.events = std::atoi(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       opt.trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      if (std::strcmp(argv[i] + 10, "composite") == 0) {
+        opt.composite = true;
+      } else if (std::strcmp(argv[i] + 10, "random") != 0) {
+        std::fprintf(stderr, "chaos_runner: unknown --profile: %s\n",
+                     argv[i] + 10);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: chaos_runner [--seed=N] [--schedule=\"...\"] "
-                   "[--nodes=N] [--events=N] [--trace=out.jsonl]\n");
+                   "[--nodes=N] [--events=N] [--trace=out.jsonl] "
+                   "[--profile=random|composite]\n");
       return 2;
     }
   }

@@ -15,8 +15,14 @@
 // repair activity: the fault timeline, fault -> detection (conn.lost)
 // latency, and detection -> relink (conn.added) latency distributions.
 //
+// With --health it summarizes the adaptive-maintenance machinery: the
+// per-peer SRTT each node's estimator converged to (conn.rtt), the
+// quarantine episodes flapping peers earned (quarantine.begin), and the
+// relay lifecycle — tunnels established, relay -> direct upgrade
+// latency (relay.upgraded), probe failures, and bootstrap re-probes.
+//
 // Usage: trace_report <trace.jsonl> [--path=<pkt>] [--faults]
-//                     [--cdf-bins=N]
+//                     [--health] [--cdf-bins=N]
 
 #include <cinttypes>
 #include <cstdint>
@@ -109,12 +115,15 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   std::optional<std::uint64_t> follow_pkt;
   bool faults_view = false;
+  bool health_view = false;
   std::size_t cdf_bins = 20;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--path=", 7) == 0) {
       follow_pkt = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults_view = true;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health_view = true;
     } else if (std::strncmp(argv[i], "--cdf-bins=", 11) == 0) {
       cdf_bins = std::strtoul(argv[i] + 11, nullptr, 10);
       if (cdf_bins == 0) cdf_bins = 20;
@@ -125,7 +134,7 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: trace_report <trace.jsonl> [--path=<pkt>] "
-                 "[--faults] [--cdf-bins=N]\n");
+                 "[--faults] [--health] [--cdf-bins=N]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -161,6 +170,26 @@ int main(int argc, char** argv) {
   std::vector<double> detect_latency;
   std::vector<double> relink_latency;
   std::map<std::string, double> pending_relink;  // node|ctype -> t lost
+
+  // --health state, keyed "node->peer".
+  struct PeerRtt {
+    std::uint64_t samples = 0;
+    double last_srtt_ms = 0.0;
+    double max_srtt_ms = 0.0;
+  };
+  struct QuarantineEpisode {
+    double at = 0.0;
+    std::string edge;
+    double level = 0.0;
+    double duration_s = 0.0;
+  };
+  std::map<std::string, PeerRtt> peer_rtt;
+  std::vector<QuarantineEpisode> quarantine_episodes;
+  std::vector<double> relay_setup_latency;    // relay.established elapsed_s
+  std::vector<double> relay_upgrade_latency;  // relay.upgraded lifetime_s
+  std::uint64_t relay_probe_failures = 0;
+  std::uint64_t relay_exhausted = 0;
+  std::uint64_t bootstrap_reprobes = 0;
 
   std::string line;
   while (std::getline(in, line)) {
@@ -203,6 +232,43 @@ int main(int argc, char** argv) {
     } else if (*ev == "net.drop") {
       if (auto reason = raw_value(line, "reason")) {
         ++net_drops[std::string(*reason)];
+      }
+    }
+
+    if (health_view && t && node) {
+      std::string edge = std::string(*node);
+      if (auto peer = raw_value(line, "peer")) {
+        edge += "->";
+        edge += *peer;
+      }
+      if (*ev == "conn.rtt") {
+        PeerRtt& r = peer_rtt[edge];
+        ++r.samples;
+        if (auto srtt = num_value(line, "srtt_ms")) {
+          r.last_srtt_ms = *srtt;
+          r.max_srtt_ms = std::max(r.max_srtt_ms, *srtt);
+        }
+      } else if (*ev == "quarantine.begin") {
+        QuarantineEpisode q;
+        q.at = *t;
+        q.edge = edge;
+        if (auto level = num_value(line, "level")) q.level = *level;
+        if (auto dur = num_value(line, "duration_s")) q.duration_s = *dur;
+        quarantine_episodes.push_back(std::move(q));
+      } else if (*ev == "relay.established") {
+        if (auto e = num_value(line, "elapsed_s")) {
+          relay_setup_latency.push_back(*e);
+        }
+      } else if (*ev == "relay.upgraded") {
+        if (auto life = num_value(line, "relay_lifetime_s")) {
+          relay_upgrade_latency.push_back(*life);
+        }
+      } else if (*ev == "relay.probe_failed") {
+        ++relay_probe_failures;
+      } else if (*ev == "relay.exhausted") {
+        ++relay_exhausted;
+      } else if (*ev == "bootstrap.reprobe") {
+        ++bootstrap_reprobes;
       }
     }
 
@@ -312,6 +378,47 @@ int main(int argc, char** argv) {
       std::printf("  (%zu lost connections never relinked)\n",
                   pending_relink.size());
     }
+  }
+
+  if (health_view) {
+    std::printf("\n== per-peer RTT estimators (%zu edges) ==\n",
+                peer_rtt.size());
+    if (peer_rtt.empty()) std::printf("  (no conn.rtt samples)\n");
+    for (const auto& [edge, r] : peer_rtt) {
+      std::printf("  %-24s srtt %8.2fms  (max %8.2fms, %" PRIu64
+                  " samples)\n",
+                  edge.c_str(), r.last_srtt_ms, r.max_srtt_ms, r.samples);
+    }
+    std::vector<double> srtts;
+    for (const auto& [edge, r] : peer_rtt) srtts.push_back(r.last_srtt_ms);
+    double srtt_hi = 1.0;
+    for (double v : srtts) srtt_hi = std::max(srtt_hi, v);
+    print_distribution("final per-peer SRTT", std::move(srtts), 0.0, srtt_hi,
+                       cdf_bins, "ms");
+
+    std::printf("\n== quarantine episodes (%zu) ==\n",
+                quarantine_episodes.size());
+    for (const auto& q : quarantine_episodes) {
+      std::printf("  %9.3fs  %-24s level %.0f  for %6.1fs\n", q.at,
+                  q.edge.c_str(), q.level, q.duration_s);
+    }
+
+    std::printf("\n== relay lifecycle ==\n");
+    std::printf("  tunnels established   %zu\n", relay_setup_latency.size());
+    std::printf("  upgraded to direct    %zu\n",
+                relay_upgrade_latency.size());
+    std::printf("  probe failures        %" PRIu64 "\n",
+                relay_probe_failures);
+    std::printf("  attempts exhausted    %" PRIu64 "\n", relay_exhausted);
+    std::printf("  bootstrap re-probes   %" PRIu64 "\n", bootstrap_reprobes);
+    double setup_hi = 1.0;
+    for (double v : relay_setup_latency) setup_hi = std::max(setup_hi, v);
+    print_distribution("relay tunnel setup latency", relay_setup_latency,
+                       0.0, setup_hi, cdf_bins, "s");
+    double up_hi = 1.0;
+    for (double v : relay_upgrade_latency) up_hi = std::max(up_hi, v);
+    print_distribution("relay -> direct upgrade latency (tunnel lifetime)",
+                       relay_upgrade_latency, 0.0, up_hi, cdf_bins, "s");
   }
   return 0;
 }
