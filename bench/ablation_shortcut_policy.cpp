@@ -13,6 +13,7 @@
 
 #include "bench_flags.h"
 #include "common/stats.h"
+#include "p2p/shortcut_overlord.h"
 #include "wow/testbed.h"
 
 namespace {

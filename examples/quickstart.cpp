@@ -48,7 +48,8 @@ int main() {
     p2p::NodeConfig cfg;
     cfg.port = 17000;
     if (i > 0) cfg.bootstrap = bootstrap;
-    routers.push_back(std::make_unique<p2p::Node>(sim, network, host, cfg));
+    routers.push_back(std::make_unique<p2p::Node>(
+        p2p::NodeDeps::sim(sim, network, host), cfg));
     bootstrap.push_back(transport::Uri{
         transport::TransportKind::kUdp, net::Endpoint{host.ip(), 17000}});
   }

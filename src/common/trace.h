@@ -128,8 +128,16 @@ class Tracer {
                 std::uint64_t span,
                 std::initializer_list<TraceField> fields = {});
 
+  /// Monotonic id for packet-level tracing.  Consumed unconditionally by
+  /// the data plane (it is one increment) so that enabling a trace sink
+  /// cannot change any id and therefore any wire byte.
+  [[nodiscard]] std::uint64_t next_trace_id() { return next_trace_id_++; }
+
  private:
   TraceSink* sink_ = nullptr;
+  /// Packet trace ids; unlike span ids these advance unconditionally so
+  /// sink attachment never changes wire bytes.
+  std::uint64_t next_trace_id_ = 1;
   /// Span ids live only in trace output; consuming them lazily (only
   /// while a sink is attached) cannot affect the simulation.
   std::uint64_t next_span_ = 1;

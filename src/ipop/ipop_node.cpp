@@ -22,7 +22,8 @@ IpopNode::IpopNode(sim::Simulator& simulator, net::Network& network,
                    net::Host& host, Config config)
     : sim_(simulator), config_(config) {
   config_.p2p.address = address_for_vip(config_.vip);
-  node_ = std::make_unique<p2p::Node>(simulator, network, host, config_.p2p);
+  node_ = std::make_unique<p2p::Node>(
+      p2p::NodeDeps::sim(simulator, network, host), config_.p2p);
   node_->set_data_handler(
       [this](const p2p::Address& src, BytesView payload) {
         on_overlay_data(src, payload);

@@ -1,0 +1,86 @@
+#include "net/sim_edge.h"
+
+#include "net/host.h"
+#include "net/network.h"
+
+namespace wow::net {
+
+void SimEdge::send(SharedBytes payload) {
+  if (closed_) return;
+  factory_.send_to(remote_, std::move(payload));
+}
+
+void SimEdge::close() {
+  if (closed_) return;
+  closed_ = true;
+  factory_.drop_edge(remote_);  // deletes *this
+}
+
+transport::Uri SimEdge::local_uri() const { return factory_.local_uri(); }
+
+SimEdgeFactory::SimEdgeFactory(Network& network, Host& host)
+    : network_(network), host_(&host) {}
+
+void SimEdgeFactory::bind(std::uint16_t port) {
+  if (open_) close();
+  adverts_.forget();
+  port_ = port;
+  if (sent_ == nullptr) {
+    // One shared fleet-wide counter (pointer stays valid: the registry
+    // never relocates entries).
+    sent_ = &network_.simulator().metrics().counter(
+        "transport_datagrams_sent", MetricLabels{"", "transport"});
+  }
+  host_->bind(port_, [this](const Endpoint& src, std::uint16_t,
+                            SharedBytes payload) {
+    on_datagram(src, std::move(payload));
+  });
+  open_ = true;
+}
+
+void SimEdgeFactory::close() {
+  if (!open_) return;
+  host_->unbind(port_);
+  open_ = false;
+}
+
+void SimEdgeFactory::send_to(const Endpoint& dst, SharedBytes payload) {
+  if (!open_) return;
+  sent_->inc();
+  network_.send(*host_, port_, dst, std::move(payload));
+}
+
+void SimEdgeFactory::on_datagram(const Endpoint& src, SharedBytes payload) {
+  if (!edges_.empty()) {
+    auto it = edges_.find(src);
+    if (it != edges_.end() && it->second->receiver_) {
+      it->second->receiver_(std::move(payload));
+      return;
+    }
+  }
+  deliver(src, std::move(payload));
+}
+
+p2p::Edge& SimEdgeFactory::edge_to(const Endpoint& remote) {
+  auto it = edges_.find(remote);
+  if (it == edges_.end()) {
+    it = edges_.emplace(remote, std::make_unique<SimEdge>(*this, remote))
+             .first;
+  }
+  return *it->second;
+}
+
+transport::Uri SimEdgeFactory::local_uri() const {
+  return transport::Uri{transport::TransportKind::kUdp,
+                        Endpoint{host_->ip(), port_}};
+}
+
+std::vector<transport::Uri> SimEdgeFactory::local_uris() const {
+  return adverts_.all(local_uri());
+}
+
+bool SimEdgeFactory::learn_public_uri(const transport::Uri& uri) {
+  return adverts_.learn(uri, local_uri());
+}
+
+}  // namespace wow::net

@@ -1,0 +1,50 @@
+#include "p2p/bootstrap_overlord.h"
+
+namespace wow::p2p {
+
+void BootstrapOverlord::maintain_leaf() {
+  if (!table_.empty() || config_.bootstrap.empty()) return;
+  if (hooks_.link_attempting(Address{})) return;  // leaf attempt in flight
+  const auto& pool = config_.bootstrap;
+  const transport::Uri& uri =
+      pool[static_cast<std::size_t>(rng_.uniform(
+          0, static_cast<std::int64_t>(pool.size()) - 1))];
+  if (uri.endpoint == edges_.local_uri().endpoint) return;
+  hooks_.link_start(Address{}, ConnectionType::kLeaf, {uri});
+}
+
+void BootstrapOverlord::maintain_bootstrap() {
+  // A fragment that repaired into its own self-consistent ring looks
+  // healthy to every overlord, so the only way to rediscover the rest
+  // of the overlay is the well-known bootstrap list.  Keep a leaf link
+  // to it alive; when the link lands in a different fragment it is the
+  // bridge join CTMs merge across.
+  if (config_.bootstrap_reprobe_interval <= 0) return;
+  if (table_.empty() || config_.bootstrap.empty()) return;
+  if (timers_.now() - last_bootstrap_probe_ <
+      config_.bootstrap_reprobe_interval) {
+    return;
+  }
+  if (hooks_.link_attempting(Address{})) return;
+  for (const transport::Uri& uri : config_.bootstrap) {
+    if (uri.endpoint == edges_.local_uri().endpoint) return;
+  }
+  bool covered = false;
+  table_.for_each([&](const Connection& c) {
+    if (c.is_relay()) return;
+    for (const transport::Uri& uri : config_.bootstrap) {
+      if (c.remote == uri.endpoint) covered = true;
+    }
+  });
+  last_bootstrap_probe_ = timers_.now();
+  if (covered) return;
+  const auto& pool = config_.bootstrap;
+  const transport::Uri& uri =
+      pool[static_cast<std::size_t>(rng_.uniform(
+          0, static_cast<std::int64_t>(pool.size()) - 1))];
+  tracer_.event(timers_.now(), "node", trace_node_, "bootstrap.reprobe",
+                {{"uri", uri.to_string()}});
+  hooks_.link_start(Address{}, ConnectionType::kLeaf, {uri});
+}
+
+}  // namespace wow::p2p

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/trace.h"
+#include "p2p/connection_table.h"
+#include "p2p/edge.h"
+#include "p2p/node_config.h"
+#include "p2p/packet.h"
+#include "sim/timer_service.h"
+
+namespace wow::p2p {
+
+/// Leaf/bootstrap overlord: the node's lifeline to the well-known
+/// bootstrap list.
+///
+/// Two duties.  While the table is empty, keep a leaf-link attempt
+/// going so a fresh (or migrated) node re-enters the overlay (§IV-C).
+/// Once in the ring, periodically re-probe the bootstrap list when no
+/// direct connection points at it — the ring-merge safety net: a
+/// partition that outlives the keepalive splits the overlay into
+/// fragments that each repair into a self-consistent ring, and only a
+/// fresh bridge to the well-known bootstrap lets join CTMs pull the
+/// rings back together.
+class BootstrapOverlord {
+ public:
+  struct Hooks {
+    /// Is a link attempt toward `peer` in flight?  (The zero address
+    /// keys leaf attempts.)
+    std::function<bool(const Address& peer)> link_attempting;
+    std::function<void(const Address& peer, ConnectionType type,
+                       const std::vector<transport::Uri>& uris)>
+        link_start;
+  };
+
+  BootstrapOverlord(sim::TimerService& timers, Rng& rng, Tracer& tracer,
+                    const NodeConfig& config, ConnectionTable& table,
+                    EdgeFactory& edges, const std::string& trace_node,
+                    Hooks hooks)
+      : timers_(timers), rng_(rng), tracer_(tracer), config_(config),
+        table_(table), edges_(edges), trace_node_(trace_node),
+        hooks_(std::move(hooks)) {}
+
+  BootstrapOverlord(const BootstrapOverlord&) = delete;
+  BootstrapOverlord& operator=(const BootstrapOverlord&) = delete;
+
+  /// start(): the re-probe clock starts from scratch.
+  void on_start() { last_bootstrap_probe_ = -(1LL << 60); }
+
+  /// Keep a leaf-link attempt going while the table is empty.
+  void maintain_leaf();
+  /// Ring-merge safety net: re-probe the bootstrap list when no direct
+  /// connection covers it.
+  void maintain_bootstrap();
+
+ private:
+  sim::TimerService& timers_;
+  Rng& rng_;
+  Tracer& tracer_;
+  const NodeConfig& config_;
+  ConnectionTable& table_;
+  EdgeFactory& edges_;
+  const std::string& trace_node_;
+  Hooks hooks_;
+
+  SimTime last_bootstrap_probe_ = -(1LL << 60);
+};
+
+}  // namespace wow::p2p

@@ -1,0 +1,351 @@
+#include "p2p/ctm_overlord.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "p2p/ring_math.h"
+
+namespace wow::p2p {
+
+void CtmOverlord::reset() {
+  pending_ctms_.clear();
+  ctm_srtt_ = 0;
+  ctm_rttvar_ = 0;
+}
+
+void CtmOverlord::initiate(const Address& target, ConnectionType type) {
+  if (!hooks_.running() || table_.empty()) return;
+  if (hooks_.is_quarantined(target)) return;
+  std::uint32_t token = next_ctm_token_++;
+
+  CtmRequest req;
+  req.con_type = type;
+  req.token = token;
+  req.uris = hooks_.local_uris();
+
+  RoutedPacket packet;
+  packet.src = table_.self();
+  packet.dst = target;
+  packet.ttl = config_.ttl;
+  packet.mode = DeliveryMode::kNearest;
+  packet.type = RoutedType::kCtmRequest;
+  packet.trace_id = tracer_.next_trace_id();
+  packet.set_payload(req.serialize());
+
+  std::uint64_t span = 0;
+  if (tracer_.enabled()) {
+    span = tracer_.begin_span(timers_.now(), "node", trace_node_,
+                              "ctm.request",
+                              {{"target", target.brief()},
+                               {"ctype", to_string(type)},
+                               {"token", unsigned(token)},
+                               {"pkt", packet.trace_id}});
+  }
+  pending_ctms_[token] =
+      PendingCtm{target, type, timers_.now(), span,
+                 /*retries_left=*/config_.adaptive_timers
+                     ? config_.ctm_max_retries
+                     : 0,
+                 /*retransmitted=*/false};
+  ++stats_.ctm_sent;
+  hooks_.route(std::move(packet));
+}
+
+void CtmOverlord::send_join() {
+  // Announce ourselves to our own ring position via forwarding agents:
+  // the packet lands on both endpoints of our gap, which then link to us
+  // (§IV-C).  When already in the ring this is the stabilization probe.
+  //
+  // Agents are the two table neighbors PLUS one random connection.  The
+  // random vantage point is essential: concurrent mass joins can build
+  // interleaved parallel successor chains, and an announce routed only
+  // through one's own (same-chain) neighbors is always consumed inside
+  // that chain.  Greedy descent from an unrelated node crosses into the
+  // other chain and merges them — the role the paper's leaf target
+  // plays for a fresh joiner.
+  const Connection* right = table_.right_neighbor();
+  const Connection* left = table_.left_neighbor();
+  if (right == nullptr) return;
+
+  const Connection* random_agent = nullptr;
+  std::vector<Address> addrs = table_.addresses();
+  if (!addrs.empty()) {
+    const Address& pick = addrs[static_cast<std::size_t>(rng_.uniform(
+        0, static_cast<std::int64_t>(addrs.size()) - 1))];
+    const Connection* c = table_.find(pick);
+    if (c != nullptr && c != right && c != left) random_agent = c;
+  }
+
+  const Connection* agents[3] = {right, left != right ? left : nullptr,
+                                 random_agent};
+  for (const Connection* agent : agents) {
+    if (agent == nullptr) continue;
+
+    std::uint32_t token = next_ctm_token_++;
+    CtmRequest req;
+    req.con_type = ConnectionType::kStructuredNear;
+    req.token = token;
+    req.forwarder = agent->addr;
+    req.uris = hooks_.local_uris();
+
+    RoutedPacket packet;
+    packet.src = table_.self();
+    packet.dst = table_.self();
+    packet.ttl = config_.ttl;
+    packet.mode = DeliveryMode::kNearest;
+    packet.type = RoutedType::kCtmRequest;
+    packet.trace_id = tracer_.next_trace_id();
+    packet.set_payload(req.serialize());
+
+    std::uint64_t span = 0;
+    if (tracer_.enabled()) {
+      span = tracer_.begin_span(timers_.now(), "node", trace_node_,
+                                "ctm.request",
+                                {{"target", table_.self().brief()},
+                                 {"ctype", "near"},
+                                 {"token", unsigned(token)},
+                                 {"agent", agent->addr.brief()},
+                                 {"pkt", packet.trace_id},
+                                 {"join", 1}});
+    }
+    pending_ctms_[token] =
+        PendingCtm{table_.self(), ConnectionType::kStructuredNear,
+                   timers_.now(), span};
+    ++stats_.ctm_sent;
+    hooks_.forward_to(*agent, std::move(packet));
+  }
+}
+
+void CtmOverlord::handle_request(const RoutedPacket& packet) {
+  if (packet.src == table_.self()) return;  // our own announcement
+  ++stats_.ctm_received;
+  auto req = CtmRequest::parse(packet.payload());
+  if (!req) {
+    hooks_.count_parse_reject();
+    return;
+  }
+  if (tracer_.enabled()) {
+    tracer_.event(timers_.now(), "node", trace_node_, "ctm.received",
+                  {{"src", packet.src.brief()},
+                   {"ctype", to_string(req->con_type)},
+                   {"token", unsigned(req->token)},
+                   {"pkt", packet.trace_id},
+                   {"hops", int(packet.hops)}});
+  }
+
+  // Already connected (e.g. a leaf link): record the stronger role the
+  // peer is asking for; no new handshake is needed.  A relay tunnel is
+  // NOT role-upgraded — it stays kRelay until a direct link replaces it
+  // (the handshake below doubles as the upgrade probe).
+  if (Connection* existing = table_.find(packet.src)) {
+    if (!existing->is_relay()) {
+      Connection upgraded = *existing;
+      upgraded.type = req->con_type;
+      table_.add(std::move(upgraded));
+      hooks_.update_routable();
+    }
+  }
+
+  CtmReply reply;
+  reply.con_type = req->con_type;
+  reply.token = req->token;
+  reply.uris = hooks_.local_uris();
+  // Hint the requester with our best-known bracket of ITS ring
+  // position.  The requester links to the hints, so its next
+  // announcement starts from a strictly tighter vantage point — the
+  // ring converges even from a mass simultaneous join, Chord-style.
+  const Connection* succ = table_.successor_of(packet.src);
+  const Connection* pred = table_.predecessor_of(packet.src);
+  if (succ != nullptr) {
+    reply.neighbors.push_back(NeighborHint{succ->addr, succ->uris});
+  }
+  if (pred != nullptr && pred != succ) {
+    reply.neighbors.push_back(NeighborHint{pred->addr, pred->uris});
+  }
+
+  RoutedPacket out;
+  out.src = table_.self();
+  out.dst = packet.src;
+  out.via = req->forwarder;
+  out.ttl = config_.ttl;
+  out.mode = DeliveryMode::kExact;
+  out.type = RoutedType::kCtmReply;
+  out.trace_id = tracer_.next_trace_id();
+  out.set_payload(reply.serialize());
+  hooks_.route(std::move(out));
+
+  // The CTM target initiates linking right away (§IV-B step 2b): its
+  // outbound packets punch the NAT hole for the initiator's attempt.
+  hooks_.link_start(packet.src, req->con_type, req->uris);
+}
+
+void CtmOverlord::handle_reply(const RoutedPacket& packet) {
+  auto reply = CtmReply::parse(packet.payload());
+  if (!reply) {
+    hooks_.count_parse_reject();
+    return;
+  }
+  auto pending = pending_ctms_.find(reply->token);
+  if (pending == pending_ctms_.end()) return;
+  ConnectionType type = pending->second.type;
+  SimDuration rtt = timers_.now() - pending->second.sent;
+  if (pending->second.span != 0) {
+    tracer_.end_span(
+        timers_.now(), "node", trace_node_, "ctm.reply",
+        pending->second.span,
+        {{"responder", packet.src.brief()},
+         {"rtt_s", to_seconds(rtt)},
+         {"hops", int(packet.hops)},
+         {"neighbors", int(reply->neighbors.size())}});
+  }
+  // The request→reply round-trip calibrates the CTM timeout.  Karn:
+  // a reply to a retransmitted request is ambiguous, skip it.
+  if (!pending->second.retransmitted) {
+    if (ctm_srtt_ == 0) {
+      ctm_srtt_ = rtt;
+      ctm_rttvar_ = rtt / 2;
+    } else {
+      SimDuration err = rtt > ctm_srtt_ ? rtt - ctm_srtt_ : ctm_srtt_ - rtt;
+      ctm_rttvar_ = (3 * ctm_rttvar_ + err) / 4;
+      ctm_srtt_ = (7 * ctm_srtt_ + rtt) / 8;
+    }
+  }
+  pending_ctms_.erase(pending);
+
+  if (Connection* existing = table_.find(packet.src)) {
+    if (!existing->is_relay()) {
+      Connection upgraded = *existing;
+      upgraded.type = type;
+      table_.add(std::move(upgraded));
+      hooks_.update_routable();
+    }
+  }
+  hooks_.link_start(packet.src, type, reply->uris);
+
+  // A join reply carries the responder's neighbor hints: link to the
+  // far side of our gap too.
+  if (type == ConnectionType::kStructuredNear) {
+    for (const NeighborHint& hint : reply->neighbors) {
+      if (hint.addr == table_.self()) continue;
+      hooks_.link_start(hint.addr, ConnectionType::kStructuredNear,
+                        hint.uris);
+    }
+  }
+}
+
+void CtmOverlord::maintain_near() {
+  if (table_.empty()) return;
+  SimTime now = timers_.now();
+  // Announce aggressively while joining OR while the neighborhood is
+  // still in flux (a fresh near link means the hint-ratchet has not yet
+  // converged on the true ring position); relax to the slow cadence
+  // once things are quiet.
+  bool unsettled = !hooks_.routable() || now < fast_stabilize_until_;
+  SimDuration interval =
+      unsettled ? 5 * kSecond : config_.stabilize_period;
+  if (now - last_stabilize_ >= interval) {
+    last_stabilize_ = now;
+    send_join();
+  }
+}
+
+void CtmOverlord::maintain_far() {
+  if (!hooks_.routable()) return;
+  if (static_cast<int>(table_.count(ConnectionType::kStructuredFar)) >=
+      config_.far_target) {
+    return;
+  }
+  initiate(pick_far_target(), ConnectionType::kStructuredFar);
+}
+
+void CtmOverlord::sweep() {
+  // CTM requests whose replies never came: retransmit while the retry
+  // budget lasts (adaptive timeout), then count the timeout and drop.
+  SimDuration timeout = ctm_timeout();
+  for (auto it = pending_ctms_.begin(); it != pending_ctms_.end();) {
+    if (timers_.now() - it->second.sent <= timeout) {
+      ++it;
+      continue;
+    }
+    if (it->second.retries_left > 0) {
+      retry(it->first, it->second);
+      ++it;
+      continue;
+    }
+    ++stats_.ctm_timeouts;
+    if (it->second.span != 0) {
+      tracer_.end_span(timers_.now(), "node", trace_node_, "ctm.expired",
+                       it->second.span,
+                       {{"target", it->second.target.brief()}});
+    }
+    it = pending_ctms_.erase(it);
+  }
+}
+
+void CtmOverlord::retry(std::uint32_t token, PendingCtm& pending) {
+  --pending.retries_left;
+  pending.retransmitted = true;
+  pending.sent = timers_.now();
+  ++stats_.ctm_retries;
+
+  CtmRequest req;
+  req.con_type = pending.type;
+  req.token = token;
+  req.uris = hooks_.local_uris();
+
+  RoutedPacket packet;
+  packet.src = table_.self();
+  packet.dst = pending.target;
+  packet.ttl = config_.ttl;
+  packet.mode = DeliveryMode::kNearest;
+  packet.type = RoutedType::kCtmRequest;
+  packet.trace_id = tracer_.next_trace_id();
+  packet.set_payload(req.serialize());
+
+  if (pending.span != 0) {
+    tracer_.event(timers_.now(), "node", trace_node_, "ctm.retry",
+                  {{"target", pending.target.brief()},
+                   {"token", unsigned(token)},
+                   {"retries_left", pending.retries_left},
+                   {"pkt", packet.trace_id}},
+                  pending.span);
+  }
+  ++stats_.ctm_sent;
+  hooks_.route(std::move(packet));
+}
+
+SimDuration CtmOverlord::ctm_timeout() const {
+  if (!config_.adaptive_timers) return config_.ctm_rto_max;
+  if (ctm_srtt_ == 0) return config_.ctm_rto_initial;
+  return std::clamp(ctm_srtt_ + 4 * ctm_rttvar_, config_.ctm_rto_min,
+                    config_.ctm_rto_max);
+}
+
+double CtmOverlord::estimate_network_size() const {
+  const Connection* right = table_.right_neighbor();
+  const Connection* left = table_.left_neighbor();
+  if (right == nullptr) return 1.0;
+  double gap_sum = 0.0;
+  int gaps = 0;
+  gap_sum += table_.self().clockwise_distance(right->addr).to_double();
+  ++gaps;
+  if (left != nullptr && left != right) {
+    gap_sum += left->addr.clockwise_distance(table_.self()).to_double();
+    ++gaps;
+  }
+  double mean_gap = gap_sum / gaps;
+  double ring = RingId::max().to_double();
+  return std::max(1.0, ring / std::max(mean_gap, 1.0));
+}
+
+Address CtmOverlord::pick_far_target() {
+  // Symphony-style harmonic sampling [37]: pick a clockwise offset that
+  // is an n^(u-1) fraction of the ring, so far links concentrate near
+  // but still reach across the whole ring.
+  double n = estimate_network_size();
+  double u = rng_.uniform01();
+  double fraction = std::pow(std::max(n, 2.0), u - 1.0);
+  return table_.self() + fraction_of_ring(fraction);
+}
+
+}  // namespace wow::p2p

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/trace.h"
+#include "p2p/connection_table.h"
+#include "p2p/node_config.h"
+#include "p2p/node_stats.h"
+#include "p2p/packet.h"
+#include "sim/timer_service.h"
+
+namespace wow::p2p {
+
+/// Connect-To-Me service (§IV-B) plus the near/far acquisition policy
+/// that drives it.
+///
+/// Owns the pending-CTM ledger (tokens, adaptive retry budget, the
+/// node-level CTM round-trip estimator), the join/stabilization
+/// announce (§IV-C), and the structured-near / structured-far overlords
+/// — everything that decides WHICH ring connections to acquire.  The
+/// actual packet movement and link handshakes stay behind the hooks.
+class CtmOverlord {
+ public:
+  struct Hooks {
+    std::function<bool()> running;
+    /// Near coverage on both ring sides (Node::routable).
+    std::function<bool()> routable;
+    /// Greedy-route a packet from this node.
+    std::function<void(RoutedPacket packet)> route;
+    /// Forward a packet through a specific connection (join announces
+    /// are source-routed through their agent).
+    std::function<void(const Connection& next, RoutedPacket packet)>
+        forward_to;
+    std::function<std::vector<transport::Uri>()> local_uris;
+    /// Begin a link handshake toward `peer` over its advertised URIs.
+    std::function<void(const Address& peer, ConnectionType type,
+                       const std::vector<transport::Uri>& uris)>
+        link_start;
+    std::function<bool(const Address& peer)> is_quarantined;
+    /// Re-check first-routable after a role upgrade touched the table.
+    std::function<void()> update_routable;
+    std::function<void()> count_parse_reject;
+  };
+
+  CtmOverlord(sim::TimerService& timers, Rng& rng, Tracer& tracer,
+              const NodeConfig& config, ConnectionTable& table,
+              NodeStats& stats, const std::string& trace_node, Hooks hooks)
+      : timers_(timers), rng_(rng), tracer_(tracer), config_(config),
+        table_(table), stats_(stats), trace_node_(trace_node),
+        hooks_(std::move(hooks)) {}
+
+  CtmOverlord(const CtmOverlord&) = delete;
+  CtmOverlord& operator=(const CtmOverlord&) = delete;
+
+  /// start(): stabilization fires immediately on the first tick.
+  void on_start() { last_stabilize_ = -(1LL << 60); }
+  /// stop(): drop every pending request and the RTT estimator.
+  void reset();
+
+  /// Ask for a connection to a (known) address now.
+  void initiate(const Address& target, ConnectionType type);
+  /// Announce ourselves to our own ring position via forwarding agents.
+  void send_join();
+
+  void handle_request(const RoutedPacket& packet);
+  void handle_reply(const RoutedPacket& packet);
+
+  /// Ring stabilization cadence (fast while the neighborhood is in
+  /// flux, slow once quiet).
+  void maintain_near();
+  /// Keep `far_target` structured-far links via harmonic sampling.
+  void maintain_far();
+  /// Retry / expire pending CTMs (from the maintenance tick).
+  void sweep();
+
+  /// A near/leaf/relay connection came or went: announce aggressively
+  /// for a minute so the hint-ratchet reconverges.
+  void note_neighborhood_change() {
+    fast_stabilize_until_ = timers_.now() + kMinute;
+  }
+
+  /// Current CTM request timeout (adaptive clamp, or ctm_rto_max fixed).
+  [[nodiscard]] SimDuration ctm_timeout() const;
+  /// CTM requests awaiting a reply or retry; bounded by the sweep.
+  [[nodiscard]] std::size_t pending_count() const {
+    return pending_ctms_.size();
+  }
+
+ private:
+  struct PendingCtm {
+    Address target;
+    ConnectionType type;
+    SimTime sent;
+    /// Trace correlation id of the request→reply lifecycle span (0 when
+    /// no sink is attached; never read by protocol logic).
+    std::uint64_t span = 0;
+    /// Retransmissions left after an adaptive timeout (join CTMs get 0:
+    /// stabilization re-announces them anyway).
+    int retries_left = 0;
+    /// Karn filter: a reply to a retransmitted request is ambiguous and
+    /// must not feed the CTM RTT estimator.
+    bool retransmitted = false;
+  };
+
+  /// Retransmit a pending CTM that timed out.
+  void retry(std::uint32_t token, PendingCtm& pending);
+  [[nodiscard]] double estimate_network_size() const;
+  [[nodiscard]] Address pick_far_target();
+
+  sim::TimerService& timers_;
+  Rng& rng_;
+  Tracer& tracer_;
+  const NodeConfig& config_;
+  ConnectionTable& table_;
+  NodeStats& stats_;
+  const std::string& trace_node_;
+  Hooks hooks_;
+
+  std::map<std::uint32_t, PendingCtm> pending_ctms_;
+  std::uint32_t next_ctm_token_ = 1;
+  /// CTM round-trip estimator (request → reply over the overlay), node
+  /// level: CTM latency is dominated by multi-hop routing, not by any
+  /// single peer's link.
+  SimDuration ctm_srtt_ = 0;
+  SimDuration ctm_rttvar_ = 0;
+  SimTime last_stabilize_ = -(1LL << 60);
+  /// While now < this, the ring neighborhood changed recently and
+  /// stabilization announces run at the fast cadence.
+  SimTime fast_stabilize_until_ = 0;
+};
+
+}  // namespace wow::p2p

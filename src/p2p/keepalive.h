@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "common/ring_id.h"
+#include "common/time.h"
+#include "common/trace.h"
+#include "p2p/connection_table.h"
+#include "p2p/node_config.h"
+#include "p2p/node_stats.h"
+#include "p2p/packet.h"
+#include "sim/timer_service.h"
+
+namespace wow::p2p {
+
+/// Keepalive + peer-health service (§IV-B, PR 4's adaptive layer).
+///
+/// Owns the per-connection probe episodes (ping/pong with Karn-filtered
+/// RTT sampling), the durable per-peer health memory (RTT estimate that
+/// warm-starts re-established connections, flap history), and the flap
+/// quarantine policy.  Talks to the rest of the node only through the
+/// connection table it shares and the two hooks below.
+class KeepaliveManager {
+ public:
+  struct Hooks {
+    /// Send a link frame over `c` (direct, or wrapped through its relay
+    /// agent — the owner knows how).
+    std::function<void(const Connection& c, const LinkFrame& frame)>
+        send_link_frame;
+    /// A connection exceeded its probe budget; drop it (no Close).
+    std::function<void(const Address& peer, DisconnectCause cause)>
+        drop_connection;
+  };
+
+  KeepaliveManager(sim::TimerService& timers, Tracer& tracer, Logger& logger,
+                   const NodeConfig& config, ConnectionTable& table,
+                   NodeStats& stats, const std::string& trace_node,
+                   const std::string& log_component, Hooks hooks)
+      : timers_(timers), tracer_(tracer), logger_(logger), config_(config),
+        table_(table), stats_(stats), trace_node_(trace_node),
+        log_component_(log_component), hooks_(std::move(hooks)) {}
+
+  ~KeepaliveManager() { stop(); }
+  KeepaliveManager(const KeepaliveManager&) = delete;
+  KeepaliveManager& operator=(const KeepaliveManager&) = delete;
+
+  /// Arm the periodic sweep, first firing after `first_delay` (the
+  /// owner jitters it so a fleet doesn't tick in lockstep).
+  void start(SimDuration first_delay);
+  /// Cancel the sweep and clear every probe episode and health record.
+  void stop();
+
+  /// A pong arrived for `frame.sender`: close the probe episode and,
+  /// when Karn's rule allows, feed the RTT estimators.
+  void on_pong(const LinkFrame& frame);
+
+  /// The owner dropped a connection: forget its probe episode.  (Flap
+  /// accounting is a separate, later call — note_flap — so the owner
+  /// controls event ordering.)
+  void erase_ping_state(const Address& peer) { ping_states_.erase(peer); }
+
+  /// Fold a clean RTT sample into the peer's durable health record (and
+  /// count it); the live connection's estimator is updated separately.
+  void note_rtt(const Address& peer, SimDuration sample);
+
+  /// Record a connection loss for flap accounting; may begin a
+  /// quarantine episode.  `lifetime` is how long the link demonstrably
+  /// worked (last_heard - established).
+  void note_flap(const Address& peer, SimDuration lifetime);
+
+  /// Warm-start a fresh connection's RTT estimator from the peer's
+  /// durable health record.
+  void seed_estimator(Connection& c) const;
+
+  /// Drop health records untouched for three flap windows (and past
+  /// their quarantine) whose peer is no longer connected.
+  void decay_health();
+
+  /// True while active attempts toward `peer` are suppressed after
+  /// repeated flaps.
+  [[nodiscard]] bool is_quarantined(const Address& peer) const;
+  /// When the current quarantine lapses (0 = not quarantined).
+  [[nodiscard]] SimTime quarantine_until(const Address& peer) const;
+  /// Smoothed RTT toward a peer (0 = no clean sample yet).
+  [[nodiscard]] SimDuration srtt_of(const Address& peer) const;
+  /// SRTT + 4*RTTVAR for the peer, from the live connection or the
+  /// durable health record; 0 when adaptive timers are off or no sample
+  /// exists.
+  [[nodiscard]] SimDuration peer_rto_hint(const Address& peer) const;
+
+  /// Cooldown gate for relay→direct upgrade probes (stored with the
+  /// peer's health so it survives the tunnel itself).
+  [[nodiscard]] SimTime next_direct_probe(const Address& peer) const;
+  void set_next_direct_probe(const Address& peer, SimTime when) {
+    peer_health_[peer].next_direct_probe = when;
+  }
+
+  /// Probe episodes currently tracked; bounded by the number of held
+  /// connections (regression guard for the churn leak).
+  [[nodiscard]] std::size_t ping_state_count() const {
+    return ping_states_.size();
+  }
+
+ private:
+  /// One keepalive probe episode for an idle connection.  Erased when
+  /// the connection turns non-idle, answers, or is dropped — so the map
+  /// stays bounded by the table size no matter how often peers churn.
+  struct PingState {
+    int outstanding = 0;
+    SimTime last_sent = 0;
+    std::uint32_t token = 0;
+    /// Karn: only a pong answering a sole un-retransmitted probe is an
+    /// unambiguous RTT sample.
+    bool clean = false;
+  };
+
+  /// Per-peer health memory, surviving the connection itself: the RTT
+  /// estimate seeds re-link attempts after a drop, and the flap history
+  /// drives quarantine.
+  struct PeerHealth {
+    SimDuration srtt = 0;
+    SimDuration rttvar = 0;
+    int flaps = 0;
+    SimTime first_flap = 0;  // anchor of the current flap window
+    int quarantine_level = 0;
+    SimTime quarantine_until = 0;
+    /// Cooldown for relay→direct upgrade probes.
+    SimTime next_direct_probe = 0;
+    SimTime last_update = 0;
+  };
+
+  void sweep();
+
+  sim::TimerService& timers_;
+  Tracer& tracer_;
+  Logger& logger_;
+  const NodeConfig& config_;
+  ConnectionTable& table_;
+  NodeStats& stats_;
+  const std::string& trace_node_;
+  const std::string& log_component_;
+  Hooks hooks_;
+
+  /// Keepalive probe episodes, one per currently-idle connection.
+  std::map<RingId, PingState> ping_states_;
+  std::uint32_t next_ping_token_ = 1;
+  /// Durable per-peer health (RTT memory, flap/quarantine state).
+  std::unordered_map<Address, PeerHealth, RingIdHash> peer_health_;
+  sim::TimerHandle timer_;
+  bool running_ = false;
+};
+
+}  // namespace wow::p2p

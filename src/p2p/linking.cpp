@@ -51,7 +51,7 @@ void LinkingEngine::start(const Address& target, ConnectionType type,
       if (promoted) {
         existing->retries_left = config_.max_retries;
         existing->rto = existing->initial_rto;
-        sim_.cancel(existing->timer);
+        timers_.cancel(existing->timer);
         send_request(*existing);
       }
       return;
@@ -78,10 +78,10 @@ void LinkingEngine::start(const Address& target, ConnectionType type,
     }
   }
   attempt.rto = attempt.initial_rto;
-  attempt.started = sim_.now();
-  if (sim_.trace().enabled()) {
-    attempt.span = sim_.trace().begin_span(
-        sim_.now(), "linking", self_.brief(), "link.attempt",
+  attempt.started = timers_.now();
+  if (tracer_.enabled()) {
+    attempt.span = tracer_.begin_span(
+        timers_.now(), "linking", self_.brief(), "link.attempt",
         {{"target", attempt.target.brief()},
          {"ctype", to_string(attempt.type)},
          {"token", unsigned(token)},
@@ -92,15 +92,15 @@ void LinkingEngine::start(const Address& target, ConnectionType type,
 }
 
 void LinkingEngine::trace_attempt(const Attempt& attempt, const char* event) {
-  if (!sim_.trace().enabled()) return;
-  sim_.trace().event(sim_.now(), "linking", self_.brief(), event,
-                     {{"target", attempt.target.brief()},
-                      {"uri", attempt.uris[attempt.uri_index].to_string()},
-                      {"uri_index", int(attempt.uri_index)},
-                      {"rto_ms", to_millis(attempt.rto)},
-                      {"retries_left", attempt.retries_left},
-                      {"restarts", attempt.restarts}},
-                     attempt.span);
+  if (!tracer_.enabled()) return;
+  tracer_.event(timers_.now(), "linking", self_.brief(), event,
+                {{"target", attempt.target.brief()},
+                 {"uri", attempt.uris[attempt.uri_index].to_string()},
+                 {"uri_index", int(attempt.uri_index)},
+                 {"rto_ms", to_millis(attempt.rto)},
+                 {"retries_left", attempt.retries_left},
+                 {"restarts", attempt.restarts}},
+                attempt.span);
 }
 
 void LinkingEngine::send_request(Attempt& attempt) {
@@ -110,13 +110,13 @@ void LinkingEngine::send_request(Attempt& attempt) {
   frame.sender = self_;
   frame.con_type = attempt.type;
   frame.token = attempt.token;
-  frame.uris = transport_.local_uris();
-  transport_.send_to(attempt.uris[attempt.uri_index], frame.serialize());
+  frame.uris = edges_.local_uris();
+  edges_.send_to(attempt.uris[attempt.uri_index], frame.serialize());
   attempt.clean = attempt.last_send == 0;  // only the very first send
-  attempt.last_send = sim_.now();
+  attempt.last_send = timers_.now();
 
   std::uint32_t token = attempt.token;
-  attempt.timer = sim_.schedule(attempt.rto, [this, token] {
+  attempt.timer = timers_.schedule(attempt.rto, [this, token] {
     on_timeout(token);
   });
 }
@@ -146,12 +146,12 @@ void LinkingEngine::on_timeout(std::uint32_t token) {
   Address target = attempt->target;
   ConnectionType type = attempt->type;
   if (attempt->span != 0) {
-    sim_.trace().end_span(sim_.now(), "linking", self_.brief(), "link.failed",
-                          attempt->span,
-                          {{"target", target.brief()},
-                           {"reason", "uris_exhausted"},
-                           {"elapsed_s",
-                            to_seconds(sim_.now() - attempt->started)}});
+    tracer_.end_span(timers_.now(), "linking", self_.brief(), "link.failed",
+                     attempt->span,
+                     {{"target", target.brief()},
+                      {"reason", "uris_exhausted"},
+                      {"elapsed_s",
+                       to_seconds(timers_.now() - attempt->started)}});
   }
   finish(token);
   if (callbacks_.on_failed) callbacks_.on_failed(target, type);
@@ -159,7 +159,7 @@ void LinkingEngine::on_timeout(std::uint32_t token) {
 
 void LinkingEngine::schedule_restart(Attempt& attempt) {
   attempt.in_restart_wait = true;
-  sim_.cancel(attempt.timer);
+  timers_.cancel(attempt.timer);
   ++attempt.restarts;
   if (attempt.restarts > config_.max_restarts) {
     ++stats_.failures;
@@ -167,12 +167,12 @@ void LinkingEngine::schedule_restart(Attempt& attempt) {
     ConnectionType type = attempt.type;
     std::uint32_t token = attempt.token;
     if (attempt.span != 0) {
-      sim_.trace().end_span(sim_.now(), "linking", self_.brief(),
-                            "link.failed", attempt.span,
-                            {{"target", target.brief()},
-                             {"reason", "restarts_exhausted"},
-                             {"elapsed_s",
-                              to_seconds(sim_.now() - attempt.started)}});
+      tracer_.end_span(timers_.now(), "linking", self_.brief(),
+                       "link.failed", attempt.span,
+                       {{"target", target.brief()},
+                        {"reason", "restarts_exhausted"},
+                        {"elapsed_s",
+                         to_seconds(timers_.now() - attempt.started)}});
     }
     finish(token);
     if (callbacks_.on_failed) callbacks_.on_failed(target, type);
@@ -182,16 +182,16 @@ void LinkingEngine::schedule_restart(Attempt& attempt) {
   for (int i = 1; i < attempt.restarts; ++i) {
     wait = std::min(wait * 2, config_.restart_backoff_max);
   }
-  wait += sim_.rng().jitter(wait);  // jitter breaks repeated symmetry
-  if (sim_.trace().enabled()) {
-    sim_.trace().event(sim_.now(), "linking", self_.brief(), "link.restart",
-                       {{"target", attempt.target.brief()},
-                        {"wait_ms", to_millis(wait)},
-                        {"restarts", attempt.restarts}},
-                       attempt.span);
+  wait += rng_.jitter(wait);  // jitter breaks repeated symmetry
+  if (tracer_.enabled()) {
+    tracer_.event(timers_.now(), "linking", self_.brief(), "link.restart",
+                  {{"target", attempt.target.brief()},
+                   {"wait_ms", to_millis(wait)},
+                   {"restarts", attempt.restarts}},
+                  attempt.span);
   }
   std::uint32_t token = attempt.token;
-  attempt.timer = sim_.schedule(wait, [this, token] {
+  attempt.timer = timers_.schedule(wait, [this, token] {
     Attempt* a = by_token(token);
     if (a == nullptr) return;
     // The peer's attempt may have completed while we were waiting.
@@ -236,7 +236,7 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
                 seen);
             ours->retries_left = config_.max_retries;
             ours->rto = ours->initial_rto;
-            sim_.cancel(ours->timer);
+            timers_.cancel(ours->timer);
             send_request(*ours);
           }
           LinkFrame err;
@@ -244,23 +244,23 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
           err.sender = self_;
           err.con_type = frame.con_type;
           err.token = frame.token;
-          transport_.send_to(from, err.serialize());
+          edges_.send_to(from, err.serialize());
           ++stats_.race_errors_sent;
-          if (sim_.trace().enabled()) {
-            sim_.trace().event(sim_.now(), "linking", self_.brief(),
-                               "link.race_veto",
-                               {{"peer", frame.sender.brief()}}, ours->span);
+          if (tracer_.enabled()) {
+            tracer_.event(timers_.now(), "linking", self_.brief(),
+                          "link.race_veto",
+                          {{"peer", frame.sender.brief()}}, ours->span);
           }
           return;
         }
         // We yield: abandon our attempt and answer the request below.
         ++stats_.race_aborts;
         if (ours->span != 0) {
-          sim_.trace().end_span(sim_.now(), "linking", self_.brief(),
-                                "link.race_abort", ours->span,
-                                {{"peer", frame.sender.brief()},
-                                 {"elapsed_s",
-                                  to_seconds(sim_.now() - ours->started)}});
+          tracer_.end_span(timers_.now(), "linking", self_.brief(),
+                           "link.race_abort", ours->span,
+                           {{"peer", frame.sender.brief()},
+                            {"elapsed_s",
+                             to_seconds(timers_.now() - ours->started)}});
         }
         finish(ours->token);
       }
@@ -278,8 +278,8 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
       reply.con_type = frame.con_type;
       reply.token = frame.token;
       reply.observed = from;
-      reply.uris = transport_.local_uris();
-      transport_.send_to(from, reply.serialize());
+      reply.uris = edges_.local_uris();
+      edges_.send_to(from, reply.serialize());
       callbacks_.on_established(frame.sender, frame.uris, from,
                                 frame.con_type);
       return;
@@ -296,17 +296,17 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
       ++stats_.established_active;
       if (attempt->clean && callbacks_.on_rtt_sample) {
         callbacks_.on_rtt_sample(frame.sender,
-                                 sim_.now() - attempt->last_send);
+                                 timers_.now() - attempt->last_send);
       }
       net::Endpoint remote = attempt->uris[attempt->uri_index].endpoint;
       ConnectionType type = attempt->type;
       if (attempt->span != 0) {
-        sim_.trace().end_span(
-            sim_.now(), "linking", self_.brief(), "link.established",
+        tracer_.end_span(
+            timers_.now(), "linking", self_.brief(), "link.established",
             attempt->span,
             {{"peer", frame.sender.brief()},
              {"uri", attempt->uris[attempt->uri_index].to_string()},
-             {"elapsed_s", to_seconds(sim_.now() - attempt->started)}});
+             {"elapsed_s", to_seconds(timers_.now() - attempt->started)}});
       }
       finish(frame.token);
       callbacks_.on_established(frame.sender, frame.uris, remote, type);
@@ -321,10 +321,10 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
       }
       if (attempt == nullptr || attempt->in_restart_wait) return;
       ++stats_.race_aborts;
-      if (sim_.trace().enabled()) {
-        sim_.trace().event(sim_.now(), "linking", self_.brief(),
-                           "link.race_error",
-                           {{"peer", frame.sender.brief()}}, attempt->span);
+      if (tracer_.enabled()) {
+        tracer_.event(timers_.now(), "linking", self_.brief(),
+                      "link.race_error",
+                      {{"peer", frame.sender.brief()}}, attempt->span);
       }
       schedule_restart(*attempt);
       return;
@@ -361,12 +361,12 @@ LinkingEngine::Attempt* LinkingEngine::by_target(const Address& target) {
 void LinkingEngine::finish(std::uint32_t token) {
   auto it = attempts_.find(token);
   if (it == attempts_.end()) return;
-  sim_.cancel(it->second.timer);
+  timers_.cancel(it->second.timer);
   attempts_.erase(it);
 }
 
 void LinkingEngine::abort_all() {
-  for (auto& [token, attempt] : attempts_) sim_.cancel(attempt.timer);
+  for (auto& [token, attempt] : attempts_) timers_.cancel(attempt.timer);
   attempts_.clear();
 }
 

@@ -3,40 +3,17 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <optional>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/time.h"
+#include "common/trace.h"
+#include "p2p/edge.h"
+#include "p2p/link_config.h"
 #include "p2p/packet.h"
-#include "sim/simulator.h"
-#include "transport/transport.h"
+#include "sim/timer_service.h"
 
 namespace wow::p2p {
-
-/// Timing knobs of the linking handshake (§IV-B, §IV-D).
-///
-/// Defaults reproduce the paper's "conservative" Brunet settings
-/// (footnote 2): a dead URI costs initial_rto * (2^(max_retries+1) - 1)
-/// ≈ 2.5 * 63 ≈ 157 s before the next URI is tried — which is exactly
-/// why UFL-UFL shortcut setup takes ~200 s in Figure 4.
-struct LinkConfig {
-  SimDuration initial_rto = 2500 * kMillisecond;
-  /// Floor for the adaptive per-attempt RTO (Callbacks::rto_hint); a
-  /// measured 2 ms LAN RTT must not shrink the handshake timer into
-  /// spurious-retransmit territory.  The hint is clamped to
-  /// [min_rto, initial_rto] — adaptation only ever speeds linking up.
-  SimDuration min_rto = 250 * kMillisecond;
-  double backoff = 2.0;
-  int max_retries = 5;  // retransmissions per URI after the first send
-  /// After a race abort (mutual link-error), wait this long (doubling,
-  /// with jitter) before checking/retrying.
-  SimDuration restart_backoff = 2 * kSecond;
-  SimDuration restart_backoff_max = 60 * kSecond;
-  int max_restarts = 8;
-  /// Paper's implementation tries the NAT-assigned public URI before the
-  /// private URI (§V-B).  Flipping this is the ordering ablation.
-  bool public_uri_first = true;
-};
 
 /// Outcome handed to the attempt's completion callback.
 enum class LinkResult { kEstablished, kFailed };
@@ -48,7 +25,9 @@ enum class LinkResult { kEstablished, kFailed };
 ///
 /// The engine owns only handshake state; established connections are
 /// reported upward through the callbacks and live in the Node's
-/// ConnectionTable.
+/// ConnectionTable.  It talks to the world through narrow seams only:
+/// a TimerService for clocks/timers and an EdgeFactory for datagrams —
+/// nothing here knows about the simulator.
 class LinkingEngine {
  public:
   struct Callbacks {
@@ -77,10 +56,11 @@ class LinkingEngine {
     std::function<bool(const Address& peer)> is_quarantined;
   };
 
-  LinkingEngine(sim::Simulator& simulator, transport::Transport& transport,
-                Address self, LinkConfig config, Callbacks callbacks)
-      : sim_(simulator), transport_(transport), self_(self),
-        config_(config), callbacks_(std::move(callbacks)) {}
+  LinkingEngine(sim::TimerService& timers, Rng& rng, Tracer& tracer,
+                EdgeFactory& edges, Address self, LinkConfig config,
+                Callbacks callbacks)
+      : timers_(timers), rng_(rng), tracer_(tracer), edges_(edges),
+        self_(self), config_(config), callbacks_(std::move(callbacks)) {}
 
   ~LinkingEngine() { abort_all(); }
   LinkingEngine(const LinkingEngine&) = delete;
@@ -157,8 +137,10 @@ class LinkingEngine {
   [[nodiscard]] std::vector<transport::Uri> order_uris(
       std::vector<transport::Uri> uris) const;
 
-  sim::Simulator& sim_;
-  transport::Transport& transport_;
+  sim::TimerService& timers_;
+  Rng& rng_;
+  Tracer& tracer_;
+  EdgeFactory& edges_;
   Address self_;
   LinkConfig config_;
   Callbacks callbacks_;

@@ -1,202 +1,91 @@
 #include "p2p/node.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "p2p/bootstrap_overlord.h"
+#include "p2p/ctm_overlord.h"
+#include "p2p/keepalive.h"
+#include "p2p/relay_agent.h"
+#include "p2p/ring_math.h"
+#include "p2p/shortcut_overlord.h"
 
 namespace wow::p2p {
 
-namespace {
-
-/// 2^159: boundary between "clockwise side" and "counter-clockwise side"
-/// of the ring relative to a node.
-[[nodiscard]] RingId ring_half() {
-  std::array<std::uint32_t, RingId::kLimbs> limbs{};
-  limbs[RingId::kLimbs - 1] = 0x80000000u;
-  return RingId{limbs};
-}
-
-/// Ring offset that is `fraction` (in [0,1)) of the whole ring.
-[[nodiscard]] RingId fraction_of_ring(double fraction) {
-  fraction = std::clamp(fraction, 0.0, 0.999999999);
-  std::array<std::uint32_t, RingId::kLimbs> limbs{};
-  double v = fraction;
-  for (int i = RingId::kLimbs - 1; i >= 0; --i) {
-    v *= 4294967296.0;
-    double whole = std::floor(v);
-    limbs[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(whole);
-    v -= whole;
-  }
-  return RingId{limbs};
-}
-
-}  // namespace
-
-const char* to_string(DisconnectCause cause) {
-  switch (cause) {
-    case DisconnectCause::kKeepaliveTimeout: return "keepalive_timeout";
-    case DisconnectCause::kCloseFrame: return "close_frame";
-    case DisconnectCause::kLinkError: return "link_error";
-    case DisconnectCause::kRelayDown: return "relay_down";
-    case DisconnectCause::kCount: break;
-  }
-  return "unknown";
-}
-
-Node::Node(sim::Simulator& simulator, net::Network& network, net::Host& host,
-           NodeConfig config)
-    : sim_(simulator), network_(network), host_(host),
-      config_(std::move(config)), table_(config_.address) {
+Node::Node(NodeDeps deps, NodeConfig config)
+    : timers_(*deps.timers), rng_(*deps.rng), logger_(*deps.logger),
+      metrics_(*deps.metrics), tracer_(*deps.tracer),
+      edges_(std::move(deps.edges)), config_(std::move(config)),
+      table_(config_.address) {
   if (config_.address == Address{}) {
-    config_.address = sim_.rng().ring_id();
+    config_.address = rng_.ring_id();
     table_ = ConnectionTable(config_.address);
   }
 
   trace_node_ = config_.address.brief();
   log_component_ = "node/" + trace_node_;
   register_metrics();
-  shortcuts_ = std::make_unique<ShortcutOverlord>(
-      config_.shortcut,
-      ShortcutOverlord::Hooks{
-          [this](const Address& a) { return table_.contains(a); },
-          [this](const Address& a) { return linking_ && linking_->attempting(a); },
-          [this] { return shortcut_connection_count(); },
-          [this](const Address& a) { initiate_ctm(a, ConnectionType::kShortcut); },
-          [this](const Address& a) { return is_quarantined(a); },
-          [this](const Address& a) -> SimDuration {
-            // Adaptive spacing: a shortcut attempt is a CTM plus a link
-            // handshake, each a few round-trips — 8 RTOs is a generous
-            // bound, and the fixed cooldown stays the ceiling.
-            SimDuration hint = peer_rto_hint(a);
-            if (hint == 0) return SimDuration{0};
-            return std::clamp(8 * hint, 2 * kSecond,
-                              config_.shortcut.retry_cooldown);
-          },
-      });
-}
-
-void Node::log(LogLevel level, const std::string& message) const {
-  sim_.logger().log(level, sim_.now(), log_component_, message);
-}
-
-void Node::register_metrics() {
-  MetricsRegistry& reg = sim_.metrics();
-  MetricLabels labels{trace_node_, "node"};
-  auto add = [&](const char* name, auto fn) {
-    metric_ids_.push_back(reg.add_gauge(name, labels, std::move(fn)));
-  };
-  // Stats fields are exposed as callback gauges instead of counters so
-  // the hot paths keep their plain ++stats_ increments.
-  add("node_data_sent", [this] { return double(stats_.data_sent); });
-  add("node_data_delivered",
-      [this] { return double(stats_.data_delivered); });
-  add("node_data_forwarded",
-      [this] { return double(stats_.data_forwarded); });
-  add("node_dropped_no_connection",
-      [this] { return double(stats_.dropped_no_connection); });
-  add("node_dropped_no_route",
-      [this] { return double(stats_.dropped_no_route); });
-  add("node_dropped_ttl", [this] { return double(stats_.dropped_ttl); });
-  add("node_ctm_sent", [this] { return double(stats_.ctm_sent); });
-  add("node_ctm_received", [this] { return double(stats_.ctm_received); });
-  add("node_connections_added",
-      [this] { return double(stats_.connections_added); });
-  add("node_connections_lost",
-      [this] { return double(stats_.connections_lost); });
-  for (std::size_t i = 0;
-       i < static_cast<std::size_t>(DisconnectCause::kCount); ++i) {
-    std::string name = std::string("node_lost_") +
-                       to_string(static_cast<DisconnectCause>(i));
-    metric_ids_.push_back(reg.add_gauge(
-        name, labels,
-        [this, i] { return double(stats_.lost_by_cause[i]); }));
-  }
-  add("node_pings_sent", [this] { return double(stats_.pings_sent); });
-  add("node_rtt_samples", [this] { return double(stats_.rtt_samples); });
-  add("node_ctm_retries", [this] { return double(stats_.ctm_retries); });
-  add("node_ctm_timeouts", [this] { return double(stats_.ctm_timeouts); });
-  add("node_quarantines", [this] { return double(stats_.quarantines); });
-  add("node_relays_established",
-      [this] { return double(stats_.relays_established); });
-  add("node_relays_upgraded",
-      [this] { return double(stats_.relays_upgraded); });
-  add("node_relay_forwarded",
-      [this] { return double(stats_.relay_forwarded); });
-  add("node_delivered_hops",
-      [this] { return double(stats_.delivered_hops); });
-  add("node_parse_rejects", [this] { return double(stats_.parse_rejects); });
-  add("node_connections", [this] { return double(table_.size()); });
-  add("node_routable", [this] { return routable() ? 1.0 : 0.0; });
-
-  MetricLabels link_labels{trace_node_, "linking"};
-  auto add_link = [&](const char* name, auto fn) {
-    metric_ids_.push_back(reg.add_gauge(name, link_labels, std::move(fn)));
-  };
-  // linking_ is rebuilt on every start(); going through the pointer
-  // keeps the gauges valid across restarts (0 while stopped).
-  add_link("link_attempts_started", [this] {
-    return linking_ ? double(linking_->stats().attempts_started) : 0.0;
-  });
-  add_link("link_established_active", [this] {
-    return linking_ ? double(linking_->stats().established_active) : 0.0;
-  });
-  add_link("link_established_passive", [this] {
-    return linking_ ? double(linking_->stats().established_passive) : 0.0;
-  });
-  add_link("link_uri_failovers", [this] {
-    return linking_ ? double(linking_->stats().uri_failovers) : 0.0;
-  });
-  add_link("link_race_aborts", [this] {
-    return linking_ ? double(linking_->stats().race_aborts) : 0.0;
-  });
-  add_link("link_failures", [this] {
-    return linking_ ? double(linking_->stats().failures) : 0.0;
-  });
-}
-
-void Node::trace_packet(const char* event, const RoutedPacket& packet,
-                        const char* reason) const {
-  Tracer& tracer = sim_.trace();
-  if (!tracer.enabled()) return;
-  if (reason != nullptr) {
-    tracer.event(sim_.now(), "node", trace_node_, event,
-                 {{"pkt", packet.trace_id},
-                  {"src", packet.src.brief()},
-                  {"dst", packet.dst.brief()},
-                  {"type", int(packet.type)},
-                  {"hops", int(packet.hops)},
-                  {"ttl", int(packet.ttl)},
-                  {"reason", reason}});
-  } else {
-    tracer.event(sim_.now(), "node", trace_node_, event,
-                 {{"pkt", packet.trace_id},
-                  {"src", packet.src.brief()},
-                  {"dst", packet.dst.brief()},
-                  {"type", int(packet.type)},
-                  {"hops", int(packet.hops)},
-                  {"ttl", int(packet.ttl)}});
-  }
+  build_services();
+  register_handlers();
 }
 
 Node::~Node() {
   if (running_) stop();
-  for (MetricId id : metric_ids_) sim_.metrics().remove(id);
+  for (MetricId id : metric_ids_) metrics_.remove(id);
 }
+
+// build_services() and register_handlers() — the composition root's
+// wiring — live in node_services.cpp.
+
+// --- diagnostics -------------------------------------------------------------
+
+void Node::log(LogLevel level, const std::string& message) const {
+  logger_.log(level, timers_.now(), log_component_, message);
+}
+
+void Node::trace_packet(const char* event, const RoutedPacket& packet,
+                        const char* reason) const {
+  if (!tracer_.enabled()) return;
+  if (reason != nullptr) {
+    tracer_.event(timers_.now(), "node", trace_node_, event,
+                  {{"pkt", packet.trace_id},
+                   {"src", packet.src.brief()},
+                   {"dst", packet.dst.brief()},
+                   {"type", int(packet.type)},
+                   {"hops", int(packet.hops)},
+                   {"ttl", int(packet.ttl)},
+                   {"reason", reason}});
+  } else {
+    tracer_.event(timers_.now(), "node", trace_node_, event,
+                  {{"pkt", packet.trace_id},
+                   {"src", packet.src.brief()},
+                   {"dst", packet.dst.brief()},
+                   {"type", int(packet.type)},
+                   {"hops", int(packet.hops)},
+                   {"ttl", int(packet.ttl)}});
+  }
+}
+
+void Node::count_parse_reject() {
+  ++stats_.parse_rejects;
+  if (parse_reject_ == nullptr) {
+    parse_reject_ =
+        &metrics_.counter("parse_reject", MetricLabels{"", "node"});
+  }
+  parse_reject_->inc();
+}
+
+// --- life cycle --------------------------------------------------------------
 
 void Node::start() {
   if (running_) return;
-  if (!transport_) {
-    transport_ = std::make_unique<transport::Transport>(network_, host_,
-                                                        config_.port);
-  } else if (!transport_->open()) {
-    transport_->reopen();
-  }
-  transport_->set_receiver(
+  if (!edges_->is_open()) edges_->bind(config_.port);
+  edges_->set_receiver(
       [this](const net::Endpoint& from, SharedBytes payload) {
         on_datagram(from, std::move(payload));
       });
 
   linking_ = std::make_unique<LinkingEngine>(
-      sim_, *transport_, config_.address, config_.link,
+      timers_, rng_, tracer_, *edges_, config_.address, config_.link,
       LinkingEngine::Callbacks{
           [this](const Address& peer, const std::vector<transport::Uri>& uris,
                  const net::Endpoint& remote, ConnectionType type) {
@@ -206,7 +95,7 @@ void Node::start() {
             on_link_failed(peer, type);
           },
           [this](const transport::Uri& uri) {
-            if (transport_->learn_public_uri(uri)) refresh_connections();
+            if (edges_->learn_public_uri(uri)) refresh_connections();
           },
           // "Has a connection" means a DIRECT one: a relay tunnel must
           // not block the upgrade probes that would replace it.
@@ -214,52 +103,50 @@ void Node::start() {
             const Connection* c = table_.find(peer);
             return c != nullptr && !c->is_relay();
           },
-          [this](const Address& peer) { return peer_rto_hint(peer); },
-          [this](const Address& peer, SimDuration sample) {
-            note_rtt(peer, sample);
+          [this](const Address& peer) {
+            return keepalive_->peer_rto_hint(peer);
           },
-          [this](const Address& peer) { return is_quarantined(peer); },
+          [this](const Address& peer, SimDuration sample) {
+            keepalive_->note_rtt(peer, sample);
+          },
+          [this](const Address& peer) {
+            return keepalive_->is_quarantined(peer);
+          },
       });
 
   running_ = true;
   routable_since_.reset();
-  last_stabilize_ = -(1LL << 60);
-  last_bootstrap_probe_ = -(1LL << 60);
-  if (sim_.trace().enabled()) {
-    sim_.trace().event(sim_.now(), "node", trace_node_, "node.start",
-                       {{"port", int(config_.port)},
-                        {"bootstrap", int(config_.bootstrap.size())}});
+  ctm_->on_start();
+  bootstrap_->on_start();
+  if (tracer_.enabled()) {
+    tracer_.event(timers_.now(), "node", trace_node_, "node.start",
+                  {{"port", int(config_.port)},
+                   {"bootstrap", int(config_.bootstrap.size())}});
   }
 
   // Jittered overlord timers so a testbed of nodes doesn't tick in
   // lockstep.
-  maintenance_timer_ = sim_.schedule(
-      sim_.rng().jitter(config_.maintenance_period), [this] { maintenance(); });
-  keepalive_timer_ = sim_.schedule(
-      config_.ping_interval / 2 + sim_.rng().jitter(config_.ping_interval / 2),
-      [this] { keepalive_sweep(); });
+  maintenance_timer_ = timers_.schedule(
+      rng_.jitter(config_.maintenance_period), [this] { maintenance(); });
+  keepalive_->start(config_.ping_interval / 2 +
+                    rng_.jitter(config_.ping_interval / 2));
 }
 
 void Node::stop() {
   if (!running_) return;
   running_ = false;
-  if (sim_.trace().enabled()) {
-    sim_.trace().event(sim_.now(), "node", trace_node_, "node.stop",
-                       {{"connections", int(table_.size())}});
+  if (tracer_.enabled()) {
+    tracer_.event(timers_.now(), "node", trace_node_, "node.stop",
+                  {{"connections", int(table_.size())}});
   }
-  sim_.cancel(maintenance_timer_);
-  sim_.cancel(keepalive_timer_);
+  timers_.cancel(maintenance_timer_);
+  keepalive_->stop();
   if (linking_) linking_->abort_all();
-  for (auto& [peer, attempt] : relay_attempts_) sim_.cancel(attempt.timer);
-  relay_attempts_.clear();
+  relays_->abort_all();
   table_.clear();
-  pending_ctms_.clear();
-  ping_states_.clear();
-  peer_health_.clear();
-  ctm_srtt_ = 0;
-  ctm_rttvar_ = 0;
+  ctm_->reset();
   shortcuts_->reset();
-  transport_->close();
+  edges_->close();
 }
 
 void Node::stop_gracefully() {
@@ -279,16 +166,7 @@ void Node::restart() {
   start();
 }
 
-// --- frame plumbing --------------------------------------------------------
-
-void Node::count_parse_reject() {
-  ++stats_.parse_rejects;
-  if (parse_reject_ == nullptr) {
-    parse_reject_ =
-        &sim_.metrics().counter("parse_reject", MetricLabels{"", "node"});
-  }
-  parse_reject_->inc();
-}
+// --- frame plumbing ----------------------------------------------------------
 
 void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
   if (!running_) return;
@@ -302,38 +180,20 @@ void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
   // Relay tunnels are excluded: their `remote` is the AGENT's endpoint,
   // so the agent's own traffic would falsely credit the tunneled peer —
   // a relay connection is only credited when an inner frame from the
-  // peer arrives through the tunnel (handle_relay).
+  // peer arrives through the tunnel (RelayAgent::handle_frame).
   table_.for_each([&](const Connection& c) {
     if (c.remote == from && !c.is_relay()) {
       // for_each hands out const refs; go through find() to mutate.
       Connection* live = table_.find(c.addr);
-      live->last_heard = sim_.now();
+      live->last_heard = timers_.now();
     }
   });
 
-  if (*kind == FrameKind::kRouted) {
-    // Zero-copy: the packet adopts the frame buffer; forwarding rewrites
-    // its mutable header fields in place instead of re-serializing.
-    auto packet = RoutedPacket::parse(std::move(payload));
-    if (packet) {
-      handle_routed(std::move(*packet), from);
-    } else {
-      count_parse_reject();
-    }
-  } else if (*kind == FrameKind::kRelay) {
-    auto relay = RelayFrame::parse(std::move(payload));
-    if (relay) {
-      handle_relay(std::move(*relay), from);
-    } else {
-      count_parse_reject();
-    }
-  } else {
-    auto frame = LinkFrame::parse(payload.view());
-    if (frame) {
-      handle_link(*frame, from);
-    } else {
-      count_parse_reject();
-    }
+  if (!frames_.dispatch(static_cast<std::uint8_t>(*kind),
+                        std::move(payload), from)) {
+    // Valid kind byte but no service claimed it: count and drop, never
+    // crash (the registry is the announce table of §III).
+    count_parse_reject();
   }
 }
 
@@ -349,7 +209,7 @@ void Node::handle_link(const LinkFrame& frame, const net::Endpoint& from) {
         close.type = LinkType::kClose;
         close.sender = config_.address;
         close.con_type = frame.con_type;
-        transport_->send_to(from, close.serialize());
+        edges_->send_to(from, close.serialize());
         return;
       }
       LinkFrame pong;
@@ -357,32 +217,14 @@ void Node::handle_link(const LinkFrame& frame, const net::Endpoint& from) {
       pong.sender = config_.address;
       pong.con_type = frame.con_type;
       pong.token = frame.token;
-      transport_->send_to(from, pong.serialize());
+      edges_->send_to(from, pong.serialize());
       return;
     }
-    case LinkType::kPong: {
-      // Liveness was recorded in on_datagram; here the probe round-trip
+    case LinkType::kPong:
+      // Liveness was recorded in on_datagram; the probe round-trip
       // feeds the RTT estimator — only when Karn's rule allows it.
-      auto it = ping_states_.find(frame.sender);
-      if (it != ping_states_.end()) {
-        if (it->second.clean && it->second.token == frame.token) {
-          if (Connection* c = table_.find(frame.sender)) {
-            SimDuration sample = sim_.now() - it->second.last_sent;
-            c->rtt_sample(sample);
-            note_rtt(frame.sender, sample);
-            if (sim_.trace().enabled()) {
-              sim_.trace().event(sim_.now(), "node", trace_node_,
-                                 "conn.rtt",
-                                 {{"peer", frame.sender.brief()},
-                                  {"sample_ms", to_millis(sample)},
-                                  {"srtt_ms", to_millis(c->srtt)}});
-            }
-          }
-        }
-        ping_states_.erase(it);
-      }
+      keepalive_->on_pong(frame);
       return;
-    }
     case LinkType::kClose:
       drop_connection(frame.sender, /*send_close=*/false,
                       DisconnectCause::kCloseFrame);
@@ -397,143 +239,18 @@ void Node::handle_link(const LinkFrame& frame, const net::Endpoint& from) {
 
 void Node::send_link_frame(const Connection& c, const LinkFrame& frame) {
   if (!c.is_relay()) {
-    transport_->send_to(c.remote, frame.serialize());
+    edges_->send_to(c.remote, frame.serialize());
     return;
   }
-  transport_->send_to(c.remote, RelayFrame::wrap(config_.address, c.relay,
-                                                 c.addr, frame.serialize()));
-}
-
-void Node::handle_relay(RelayFrame relay, const net::Endpoint& from) {
-  if (relay.dst != config_.address) {
-    // We are the agent.  Forward exactly once, and only over a direct
-    // connection — tunnels never chain.
-    if (relay.hops != 0) return;
-    const Connection* next = table_.find(relay.dst);
-    if (next == nullptr || next->is_relay()) {
-      if (sim_.trace().enabled()) {
-        sim_.trace().event(sim_.now(), "node", trace_node_, "relay.refuse",
-                           {{"src", relay.src.brief()},
-                            {"dst", relay.dst.brief()}});
-      }
-      return;
-    }
-    ++stats_.relay_forwarded;
-    transport_->send_to(next->remote, relay.forwarded());
-    return;
-  }
-
-  // We are the tunnel endpoint: an inner frame from relay.src reached us
-  // through the agent — that is this connection's liveness signal.
-  if (Connection* c = table_.find(relay.src)) {
-    if (c->is_relay()) c->last_heard = sim_.now();
-  }
-
-  BytesView inner = relay.payload();
-  auto kind = frame_kind(inner);
-  if (!kind) {
-    count_parse_reject();
-    return;
-  }
-  if (*kind == FrameKind::kRouted) {
-    auto packet = RoutedPacket::parse(inner);
-    if (packet) {
-      handle_routed(std::move(*packet), from);
-    } else {
-      count_parse_reject();
-    }
-  } else if (*kind == FrameKind::kLink) {
-    auto frame = LinkFrame::parse(inner);
-    if (frame) {
-      handle_relay_link(*frame, relay);
-    } else {
-      count_parse_reject();
-    }
-  }
-  // A nested relay frame is never legal; drop it silently (the hops
-  // check above already stops multi-hop tunneling on the agent side).
-}
-
-void Node::handle_relay_link(const LinkFrame& frame, const RelayFrame& outer) {
-  switch (frame.type) {
-    case LinkType::kRequest: {
-      if (frame.con_type != ConnectionType::kRelay) return;
-      // Tunnel handshake: the initiator could not reach us directly and
-      // asks to converse through outer.relay.  Accept if we can reach
-      // that agent directly ourselves (it is a mutual neighbor).
-      const Connection* agent = table_.find(outer.relay);
-      if (agent == nullptr || agent->is_relay()) return;
-      add_relay_connection(frame.sender, outer.relay, agent->remote,
-                           frame.uris);
-      LinkFrame reply;
-      reply.type = LinkType::kReply;
-      reply.sender = config_.address;
-      reply.con_type = ConnectionType::kRelay;
-      reply.token = frame.token;
-      reply.uris = transport_->local_uris();
-      transport_->send_to(agent->remote,
-                          RelayFrame::wrap(config_.address, outer.relay,
-                                           frame.sender, reply.serialize()));
-      return;
-    }
-    case LinkType::kReply: {
-      if (frame.con_type != ConnectionType::kRelay) return;
-      auto it = relay_attempts_.find(frame.sender);
-      if (it == relay_attempts_.end() || it->second.token != frame.token) {
-        return;  // late duplicate, or an attempt we already finished
-      }
-      const Address& agent = it->second.candidates[it->second.index];
-      const Connection* agent_conn = table_.find(agent);
-      if (agent_conn == nullptr || agent_conn->is_relay()) return;
-      add_relay_connection(frame.sender, agent, agent_conn->remote,
-                           frame.uris);
-      finish_relay_attempt(frame.sender, "relay.established");
-      return;
-    }
-    case LinkType::kPing: {
-      Connection* c = table_.find(frame.sender);
-      if (c == nullptr) {
-        // §V-E as for direct pings: a tunnel ping for a connection we no
-        // longer hold gets a Close so the peer re-establishes.
-        const Connection* agent = table_.find(outer.relay);
-        if (agent == nullptr || agent->is_relay()) return;
-        LinkFrame close;
-        close.type = LinkType::kClose;
-        close.sender = config_.address;
-        close.con_type = frame.con_type;
-        transport_->send_to(agent->remote,
-                            RelayFrame::wrap(config_.address, outer.relay,
-                                             frame.sender,
-                                             close.serialize()));
-        return;
-      }
-      LinkFrame pong;
-      pong.type = LinkType::kPong;
-      pong.sender = config_.address;
-      pong.con_type = frame.con_type;
-      pong.token = frame.token;
-      send_link_frame(*c, pong);
-      return;
-    }
-    case LinkType::kPong:
-      // Same RTT-sampling path as a direct pong; the source endpoint is
-      // irrelevant (liveness was credited in handle_relay).
-      handle_link(frame, net::Endpoint{});
-      return;
-    case LinkType::kClose:
-      drop_connection(frame.sender, /*send_close=*/false,
-                      DisconnectCause::kCloseFrame);
-      return;
-    case LinkType::kError:
-      return;  // races cannot happen on tunnels (token-matched)
-  }
+  edges_->send_to(c.remote, RelayFrame::wrap(config_.address, c.relay,
+                                             c.addr, frame.serialize()));
 }
 
 void Node::handle_routed(RoutedPacket packet, const net::Endpoint&) {
   route(std::move(packet));
 }
 
-// --- routing ---------------------------------------------------------------
+// --- routing -----------------------------------------------------------------
 
 void Node::route(RoutedPacket packet) {
   if (packet.bounced) {
@@ -584,23 +301,23 @@ void Node::forward_to(const Connection& next, RoutedPacket packet) {
   --packet.ttl;
   ++packet.hops;
   if (packet.src != config_.address) ++stats_.data_forwarded;
-  if (sim_.trace().enabled()) {
-    sim_.trace().event(sim_.now(), "node", trace_node_, "packet.forward",
-                       {{"pkt", packet.trace_id},
-                        {"next", next.addr.brief()},
-                        {"dst", packet.dst.brief()},
-                        {"hops", int(packet.hops)},
-                        {"ttl", int(packet.ttl)}});
+  if (tracer_.enabled()) {
+    tracer_.event(timers_.now(), "node", trace_node_, "packet.forward",
+                  {{"pkt", packet.trace_id},
+                   {"next", next.addr.brief()},
+                   {"dst", packet.dst.brief()},
+                   {"hops", int(packet.hops)},
+                   {"ttl", int(packet.ttl)}});
   }
   if (next.is_relay()) {
     // The tunnel carries complete inner frames; wrap the routed frame
     // and hand it to the agent.
-    transport_->send_to(next.remote,
-                        RelayFrame::wrap(config_.address, next.relay,
-                                         next.addr, packet.wire().view()));
+    edges_->send_to(next.remote,
+                    RelayFrame::wrap(config_.address, next.relay,
+                                     next.addr, packet.wire().view()));
     return;
   }
-  transport_->send_to(next.remote, packet.wire());
+  edges_->send_to(next.remote, packet.wire());
 }
 
 void Node::maybe_bounce(const RoutedPacket& packet) {
@@ -623,254 +340,33 @@ void Node::maybe_bounce(const RoutedPacket& packet) {
 }
 
 void Node::deliver_local(const RoutedPacket& packet) {
-  switch (packet.type) {
-    case RoutedType::kData:
-      if (packet.dst != config_.address) {
-        ++stats_.dropped_no_route;
-        trace_packet("packet.drop", packet, "wrong_consumer");
-        return;
-      }
-      ++stats_.data_delivered;
-      stats_.delivered_hops += packet.hops;
-      trace_packet("packet.deliver", packet, nullptr);
-      shortcuts_->on_traffic(packet.src, sim_.now());
-      if (data_handler_) data_handler_(packet.src, packet.payload());
-      return;
-    case RoutedType::kCtmRequest:
-      handle_ctm_request(packet);
-      return;
-    case RoutedType::kCtmReply:
-      if (packet.dst == config_.address) handle_ctm_reply(packet);
-      return;
-  }
-}
-
-// --- CTM protocol ------------------------------------------------------------
-
-void Node::initiate_ctm(const Address& target, ConnectionType type) {
-  if (!running_ || table_.empty()) return;
-  if (is_quarantined(target)) return;
-  std::uint32_t token = next_ctm_token_++;
-
-  CtmRequest req;
-  req.con_type = type;
-  req.token = token;
-  req.uris = transport_->local_uris();
-
-  RoutedPacket packet;
-  packet.src = config_.address;
-  packet.dst = target;
-  packet.ttl = config_.ttl;
-  packet.mode = DeliveryMode::kNearest;
-  packet.type = RoutedType::kCtmRequest;
-  packet.trace_id = sim_.next_trace_id();
-  packet.set_payload(req.serialize());
-
-  std::uint64_t span = 0;
-  if (sim_.trace().enabled()) {
-    span = sim_.trace().begin_span(sim_.now(), "node", trace_node_,
-                                   "ctm.request",
-                                   {{"target", target.brief()},
-                                    {"ctype", to_string(type)},
-                                    {"token", unsigned(token)},
-                                    {"pkt", packet.trace_id}});
-  }
-  pending_ctms_[token] =
-      PendingCtm{target, type, sim_.now(), span,
-                 /*retries_left=*/config_.adaptive_timers
-                     ? config_.ctm_max_retries
-                     : 0,
-                 /*retransmitted=*/false};
-  ++stats_.ctm_sent;
-  route(std::move(packet));
-}
-
-void Node::send_join_ctm() {
-  // Announce ourselves to our own ring position via forwarding agents:
-  // the packet lands on both endpoints of our gap, which then link to us
-  // (§IV-C).  When already in the ring this is the stabilization probe.
-  //
-  // Agents are the two table neighbors PLUS one random connection.  The
-  // random vantage point is essential: concurrent mass joins can build
-  // interleaved parallel successor chains, and an announce routed only
-  // through one's own (same-chain) neighbors is always consumed inside
-  // that chain.  Greedy descent from an unrelated node crosses into the
-  // other chain and merges them — the role the paper's leaf target
-  // plays for a fresh joiner.
-  const Connection* right = table_.right_neighbor();
-  const Connection* left = table_.left_neighbor();
-  if (right == nullptr) return;
-
-  const Connection* random_agent = nullptr;
-  std::vector<Address> addrs = table_.addresses();
-  if (!addrs.empty()) {
-    const Address& pick = addrs[static_cast<std::size_t>(sim_.rng().uniform(
-        0, static_cast<std::int64_t>(addrs.size()) - 1))];
-    const Connection* c = table_.find(pick);
-    if (c != nullptr && c != right && c != left) random_agent = c;
-  }
-
-  const Connection* agents[3] = {right, left != right ? left : nullptr,
-                                 random_agent};
-  for (const Connection* agent : agents) {
-    if (agent == nullptr) continue;
-
-    std::uint32_t token = next_ctm_token_++;
-    CtmRequest req;
-    req.con_type = ConnectionType::kStructuredNear;
-    req.token = token;
-    req.forwarder = agent->addr;
-    req.uris = transport_->local_uris();
-
-    RoutedPacket packet;
-    packet.src = config_.address;
-    packet.dst = config_.address;
-    packet.ttl = config_.ttl;
-    packet.mode = DeliveryMode::kNearest;
-    packet.type = RoutedType::kCtmRequest;
-    packet.trace_id = sim_.next_trace_id();
-    packet.set_payload(req.serialize());
-
-    std::uint64_t span = 0;
-    if (sim_.trace().enabled()) {
-      span = sim_.trace().begin_span(sim_.now(), "node", trace_node_,
-                                     "ctm.request",
-                                     {{"target", config_.address.brief()},
-                                      {"ctype", "near"},
-                                      {"token", unsigned(token)},
-                                      {"agent", agent->addr.brief()},
-                                      {"pkt", packet.trace_id},
-                                      {"join", 1}});
-    }
-    pending_ctms_[token] =
-        PendingCtm{config_.address, ConnectionType::kStructuredNear,
-                   sim_.now(), span};
-    ++stats_.ctm_sent;
-    forward_to(*agent, std::move(packet));
-  }
-}
-
-void Node::handle_ctm_request(const RoutedPacket& packet) {
-  if (packet.src == config_.address) return;  // our own announcement
-  ++stats_.ctm_received;
-  auto req = CtmRequest::parse(packet.payload());
-  if (!req) {
+  if (!routed_.dispatch(static_cast<std::uint8_t>(packet.type), packet)) {
+    // Unknown payload type: the wire parser already rejects these, so
+    // this only fires for an unregistered-but-valid type — same policy,
+    // count and drop.
     count_parse_reject();
+  }
+}
+
+void Node::deliver_data(const RoutedPacket& packet) {
+  if (packet.dst != config_.address) {
+    ++stats_.dropped_no_route;
+    trace_packet("packet.drop", packet, "wrong_consumer");
     return;
   }
-  if (sim_.trace().enabled()) {
-    sim_.trace().event(sim_.now(), "node", trace_node_, "ctm.received",
-                       {{"src", packet.src.brief()},
-                        {"ctype", to_string(req->con_type)},
-                        {"token", unsigned(req->token)},
-                        {"pkt", packet.trace_id},
-                        {"hops", int(packet.hops)}});
-  }
-
-  // Already connected (e.g. a leaf link): record the stronger role the
-  // peer is asking for; no new handshake is needed.  A relay tunnel is
-  // NOT role-upgraded — it stays kRelay until a direct link replaces it
-  // (the handshake below doubles as the upgrade probe).
-  if (Connection* existing = table_.find(packet.src)) {
-    if (!existing->is_relay()) {
-      Connection upgraded = *existing;
-      upgraded.type = req->con_type;
-      table_.add(std::move(upgraded));
-      update_routable();
-    }
-  }
-
-  CtmReply reply;
-  reply.con_type = req->con_type;
-  reply.token = req->token;
-  reply.uris = transport_->local_uris();
-  // Hint the requester with our best-known bracket of ITS ring
-  // position.  The requester links to the hints, so its next
-  // announcement starts from a strictly tighter vantage point — the
-  // ring converges even from a mass simultaneous join, Chord-style.
-  const Connection* succ = table_.successor_of(packet.src);
-  const Connection* pred = table_.predecessor_of(packet.src);
-  if (succ != nullptr) {
-    reply.neighbors.push_back(NeighborHint{succ->addr, succ->uris});
-  }
-  if (pred != nullptr && pred != succ) {
-    reply.neighbors.push_back(NeighborHint{pred->addr, pred->uris});
-  }
-
-  RoutedPacket out;
-  out.src = config_.address;
-  out.dst = packet.src;
-  out.via = req->forwarder;
-  out.ttl = config_.ttl;
-  out.mode = DeliveryMode::kExact;
-  out.type = RoutedType::kCtmReply;
-  out.trace_id = sim_.next_trace_id();
-  out.set_payload(reply.serialize());
-  route(std::move(out));
-
-  // The CTM target initiates linking right away (§IV-B step 2b): its
-  // outbound packets punch the NAT hole for the initiator's attempt.
-  linking_->start(packet.src, req->con_type, req->uris);
+  ++stats_.data_delivered;
+  stats_.delivered_hops += packet.hops;
+  trace_packet("packet.deliver", packet, nullptr);
+  shortcuts_->on_traffic(packet.src, timers_.now());
+  if (data_handler_) data_handler_(packet.src, packet.payload());
 }
 
-void Node::handle_ctm_reply(const RoutedPacket& packet) {
-  auto reply = CtmReply::parse(packet.payload());
-  if (!reply) {
-    count_parse_reject();
-    return;
-  }
-  auto pending = pending_ctms_.find(reply->token);
-  if (pending == pending_ctms_.end()) return;
-  ConnectionType type = pending->second.type;
-  SimDuration rtt = sim_.now() - pending->second.sent;
-  if (pending->second.span != 0) {
-    sim_.trace().end_span(
-        sim_.now(), "node", trace_node_, "ctm.reply", pending->second.span,
-        {{"responder", packet.src.brief()},
-         {"rtt_s", to_seconds(rtt)},
-         {"hops", int(packet.hops)},
-         {"neighbors", int(reply->neighbors.size())}});
-  }
-  // The request→reply round-trip calibrates the CTM timeout.  Karn:
-  // a reply to a retransmitted request is ambiguous, skip it.
-  if (!pending->second.retransmitted) {
-    if (ctm_srtt_ == 0) {
-      ctm_srtt_ = rtt;
-      ctm_rttvar_ = rtt / 2;
-    } else {
-      SimDuration err = rtt > ctm_srtt_ ? rtt - ctm_srtt_ : ctm_srtt_ - rtt;
-      ctm_rttvar_ = (3 * ctm_rttvar_ + err) / 4;
-      ctm_srtt_ = (7 * ctm_srtt_ + rtt) / 8;
-    }
-  }
-  pending_ctms_.erase(pending);
-
-  if (Connection* existing = table_.find(packet.src)) {
-    if (!existing->is_relay()) {
-      Connection upgraded = *existing;
-      upgraded.type = type;
-      table_.add(std::move(upgraded));
-      update_routable();
-    }
-  }
-  linking_->start(packet.src, type, reply->uris);
-
-  // A join reply carries the responder's neighbor hints: link to the
-  // far side of our gap too.
-  if (type == ConnectionType::kStructuredNear) {
-    for (const NeighborHint& hint : reply->neighbors) {
-      if (hint.addr == config_.address) continue;
-      linking_->start(hint.addr, ConnectionType::kStructuredNear, hint.uris);
-    }
-  }
-}
-
-// --- data plane -------------------------------------------------------------
+// --- data plane --------------------------------------------------------------
 
 void Node::send_data(const Address& dst, Bytes payload) {
   ++stats_.data_sent;
   if (!running_ || dst == config_.address) return;
-  shortcuts_->on_traffic(dst, sim_.now());
+  shortcuts_->on_traffic(dst, timers_.now());
   RoutedPacket packet;
   packet.src = config_.address;
   packet.dst = dst;
@@ -879,7 +375,7 @@ void Node::send_data(const Address& dst, Bytes payload) {
   packet.type = RoutedType::kData;
   // The id is drawn unconditionally (one counter increment) so that
   // attaching a trace sink never changes wire bytes or event order.
-  packet.trace_id = sim_.next_trace_id();
+  packet.trace_id = tracer_.next_trace_id();
   packet.set_payload(std::move(payload));
   if (table_.empty()) {
     ++stats_.dropped_no_connection;
@@ -890,7 +386,11 @@ void Node::send_data(const Address& dst, Bytes payload) {
   route(std::move(packet));
 }
 
-// --- connection lifecycle -----------------------------------------------------
+void Node::initiate_ctm(const Address& target, ConnectionType type) {
+  ctm_->initiate(target, type);
+}
+
+// --- connection lifecycle ----------------------------------------------------
 
 void Node::on_link_established(const Address& peer,
                                const std::vector<transport::Uri>& uris,
@@ -903,54 +403,50 @@ void Node::on_link_established(const Address& peer,
   if (const Connection* prev = table_.find(peer)) {
     if (prev->is_relay()) relay_since = prev->established;
   }
-  if (relay_attempts_.count(peer) != 0) {
+  if (relays_->attempting(peer)) {
     // The direct path came up while a tunnel handshake was in flight;
     // the tunnel is moot.
-    finish_relay_attempt(peer, "relay.moot");
+    relays_->finish_attempt(peer, "relay.moot");
   }
   Connection c;
   c.addr = peer;
   c.type = type;
   c.remote = remote;
   c.uris = uris;
-  c.established = sim_.now();
-  c.last_heard = sim_.now();
+  c.established = timers_.now();
+  c.last_heard = timers_.now();
   // Warm-start the estimator from the peer's durable health record (a
   // re-established connection keeps its RTT history).
-  auto health = peer_health_.find(peer);
-  if (health != peer_health_.end()) {
-    c.srtt = health->second.srtt;
-    c.rttvar = health->second.rttvar;
-  }
+  keepalive_->seed_estimator(c);
   bool added = table_.add(std::move(c));
   if (relay_since >= 0) {
     if (Connection* now_direct = table_.find(peer);
         now_direct != nullptr && !now_direct->is_relay()) {
       ++stats_.relays_upgraded;
-      WOW_LOG(sim_.logger(), LogLevel::kInfo, sim_.now(), log_component_,
+      WOW_LOG(logger_, LogLevel::kInfo, timers_.now(), log_component_,
               "relay to " + peer.brief() + " upgraded to direct link");
-      if (sim_.trace().enabled()) {
-        sim_.trace().event(
-            sim_.now(), "node", trace_node_, "relay.upgraded",
+      if (tracer_.enabled()) {
+        tracer_.event(
+            timers_.now(), "node", trace_node_, "relay.upgraded",
             {{"peer", peer.brief()},
-             {"relay_lifetime_s", to_seconds(sim_.now() - relay_since)}});
+             {"relay_lifetime_s", to_seconds(timers_.now() - relay_since)}});
       }
     }
   }
   if (added) {
     ++stats_.connections_added;
-    WOW_LOG(sim_.logger(), LogLevel::kDebug, sim_.now(), log_component_,
+    WOW_LOG(logger_, LogLevel::kDebug, timers_.now(), log_component_,
             std::string("+conn ") + to_string(type) + " " + peer.brief() +
                 " via " + remote.to_string());
-    if (sim_.trace().enabled()) {
-      sim_.trace().event(sim_.now(), "node", trace_node_, "conn.added",
-                         {{"peer", peer.brief()},
-                          {"ctype", to_string(type)},
-                          {"remote", remote.to_string()}});
+    if (tracer_.enabled()) {
+      tracer_.event(timers_.now(), "node", trace_node_, "conn.added",
+                    {{"peer", peer.brief()},
+                     {"ctype", to_string(type)},
+                     {"remote", remote.to_string()}});
     }
     if (type == ConnectionType::kStructuredNear ||
         type == ConnectionType::kLeaf) {
-      fast_stabilize_until_ = sim_.now() + kMinute;
+      ctm_->note_neighborhood_change();
     }
     if (connection_handler_) connection_handler_(*table_.find(peer));
   }
@@ -963,16 +459,16 @@ void Node::on_link_failed(const Address& peer, ConnectionType type) {
   if (existing != nullptr && existing->is_relay()) {
     // An upgrade probe exhausted every URI: the pair is still mutually
     // unreachable.  Keep the tunnel, back off the next probe.
-    peer_health_[peer].next_direct_probe =
-        sim_.now() + config_.relay_probe_interval;
-    if (sim_.trace().enabled()) {
-      sim_.trace().event(sim_.now(), "node", trace_node_,
-                         "relay.probe_failed", {{"peer", peer.brief()}});
+    keepalive_->set_next_direct_probe(
+        peer, timers_.now() + config_.relay_probe_interval);
+    if (tracer_.enabled()) {
+      tracer_.event(timers_.now(), "node", trace_node_,
+                    "relay.probe_failed", {{"peer", peer.brief()}});
     }
     return;
   }
   if (existing != nullptr) {
-    if (sim_.now() - existing->last_heard <= config_.ping_interval) {
+    if (timers_.now() - existing->last_heard <= config_.ping_interval) {
       // The peer linked to us passively while our attempt was failing;
       // the connection is demonstrably alive — nothing to heal.
       return;
@@ -987,7 +483,7 @@ void Node::on_link_failed(const Address& peer, ConnectionType type) {
   // role justifies the tunnel overhead (far/shortcut links are optional
   // accelerators, and leaf bootstrap is retried by its overlord).
   if (type != ConnectionType::kStructuredNear) return;
-  start_relay_attempt(peer);
+  relays_->start_attempt(peer);
 }
 
 void Node::refresh_connections() {
@@ -1006,8 +502,8 @@ void Node::refresh_connections() {
     req.sender = config_.address;
     req.con_type = c.type;
     req.token = 0;
-    req.uris = transport_->local_uris();
-    transport_->send_to(c.remote, req.serialize());
+    req.uris = edges_->local_uris();
+    edges_->send_to(c.remote, req.serialize());
   });
 }
 
@@ -1028,22 +524,22 @@ void Node::drop_connection(const Address& peer, bool send_close,
   // every real flap would look long-lived.
   SimDuration lifetime = c->last_heard - c->established;
   table_.remove(peer);
-  ping_states_.erase(peer);
+  keepalive_->erase_ping_state(peer);
   if (type == ConnectionType::kStructuredNear ||
       type == ConnectionType::kRelay) {
-    fast_stabilize_until_ = sim_.now() + kMinute;
+    ctm_->note_neighborhood_change();
   }
   ++stats_.connections_lost;
   ++stats_.lost_by_cause[static_cast<std::size_t>(cause)];
-  note_flap(peer, lifetime);
-  WOW_LOG(sim_.logger(), LogLevel::kDebug, sim_.now(), log_component_,
+  keepalive_->note_flap(peer, lifetime);
+  WOW_LOG(logger_, LogLevel::kDebug, timers_.now(), log_component_,
           std::string("-conn ") + to_string(type) + " " + peer.brief() +
               " (" + to_string(cause) + ")");
-  if (sim_.trace().enabled()) {
-    sim_.trace().event(sim_.now(), "node", trace_node_, "conn.lost",
-                       {{"peer", peer.brief()},
-                        {"ctype", to_string(type)},
-                        {"cause", to_string(cause)}});
+  if (tracer_.enabled()) {
+    tracer_.event(timers_.now(), "node", trace_node_, "conn.lost",
+                  {{"peer", peer.brief()},
+                   {"ctype", to_string(type)},
+                   {"cause", to_string(cause)}});
   }
   if (disconnection_handler_) disconnection_handler_(peer, type);
 
@@ -1083,532 +579,55 @@ bool Node::routable() const {
 
 void Node::update_routable() {
   if (!routable_since_ && routable()) {
-    routable_since_ = sim_.now();
+    routable_since_ = timers_.now();
     log(LogLevel::kInfo, "fully routable");
-    if (sim_.trace().enabled()) {
-      sim_.trace().event(sim_.now(), "node", trace_node_, "node.routable",
-                         {{"connections", int(table_.size())}});
+    if (tracer_.enabled()) {
+      tracer_.event(timers_.now(), "node", trace_node_, "node.routable",
+                    {{"connections", int(table_.size())}});
     }
   }
-}
-
-// --- overlords ---------------------------------------------------------------
-
-void Node::maintenance() {
-  if (!running_) return;
-  maintain_leaf();
-  maintain_bootstrap();
-  maintain_near();
-  maintain_far();
-  maintain_relays();
-  shortcuts_->sweep(sim_.now());
-
-  // CTM requests whose replies never came: retransmit while the retry
-  // budget lasts (adaptive timeout), then count the timeout and drop.
-  SimDuration timeout = ctm_timeout();
-  for (auto it = pending_ctms_.begin(); it != pending_ctms_.end();) {
-    if (sim_.now() - it->second.sent <= timeout) {
-      ++it;
-      continue;
-    }
-    if (it->second.retries_left > 0) {
-      retry_ctm(it->first, it->second);
-      ++it;
-      continue;
-    }
-    ++stats_.ctm_timeouts;
-    if (it->second.span != 0) {
-      sim_.trace().end_span(sim_.now(), "node", trace_node_, "ctm.expired",
-                            it->second.span,
-                            {{"target", it->second.target.brief()}});
-    }
-    it = pending_ctms_.erase(it);
-  }
-
-  // Durable peer-health records decay: an entry untouched for three
-  // flap windows (and past its quarantine) has nothing left to say.
-  for (auto it = peer_health_.begin(); it != peer_health_.end();) {
-    if (sim_.now() - it->second.last_update > 3 * config_.flap_window &&
-        sim_.now() >= it->second.quarantine_until &&
-        table_.find(it->first) == nullptr) {
-      it = peer_health_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
-  SimDuration period = config_.maintenance_period;
-  maintenance_timer_ = sim_.schedule(
-      period / 2 + sim_.rng().jitter(period), [this] { maintenance(); });
-}
-
-void Node::retry_ctm(std::uint32_t token, PendingCtm& pending) {
-  --pending.retries_left;
-  pending.retransmitted = true;
-  pending.sent = sim_.now();
-  ++stats_.ctm_retries;
-
-  CtmRequest req;
-  req.con_type = pending.type;
-  req.token = token;
-  req.uris = transport_->local_uris();
-
-  RoutedPacket packet;
-  packet.src = config_.address;
-  packet.dst = pending.target;
-  packet.ttl = config_.ttl;
-  packet.mode = DeliveryMode::kNearest;
-  packet.type = RoutedType::kCtmRequest;
-  packet.trace_id = sim_.next_trace_id();
-  packet.set_payload(req.serialize());
-
-  if (pending.span != 0) {
-    sim_.trace().event(sim_.now(), "node", trace_node_, "ctm.retry",
-                       {{"target", pending.target.brief()},
-                        {"token", unsigned(token)},
-                        {"retries_left", pending.retries_left},
-                        {"pkt", packet.trace_id}},
-                       pending.span);
-  }
-  ++stats_.ctm_sent;
-  route(std::move(packet));
-}
-
-void Node::maintain_relays() {
-  if (!config_.relay_enabled || !running_) return;
-  SimTime now = sim_.now();
-  std::vector<const Connection*> due;
-  table_.for_each([&](const Connection& c) {
-    if (!c.is_relay() || c.uris.empty()) return;
-    if (linking_->attempting(c.addr)) return;
-    auto it = peer_health_.find(c.addr);
-    if (it != peer_health_.end() && now < it->second.next_direct_probe) {
-      return;
-    }
-    due.push_back(&c);
-  });
-  for (const Connection* c : due) {
-    peer_health_[c->addr].next_direct_probe =
-        now + config_.relay_probe_interval;
-    if (sim_.trace().enabled()) {
-      sim_.trace().event(now, "node", trace_node_, "relay.probe",
-                         {{"peer", c->addr.brief()}});
-    }
-    // A plain active handshake over the peer's direct URIs: success
-    // lands in on_link_established (the upgrade), exhaustion lands in
-    // on_link_failed (keep tunnel, back off).
-    linking_->start(c->addr, ConnectionType::kStructuredNear, c->uris);
-  }
-}
-
-void Node::maintain_leaf() {
-  if (!table_.empty() || config_.bootstrap.empty()) return;
-  if (linking_->attempting(Address{})) return;  // leaf attempt in flight
-  const auto& pool = config_.bootstrap;
-  const transport::Uri& uri =
-      pool[static_cast<std::size_t>(sim_.rng().uniform(
-          0, static_cast<std::int64_t>(pool.size()) - 1))];
-  if (uri.endpoint == transport_->private_uri().endpoint) return;
-  linking_->start(Address{}, ConnectionType::kLeaf, {uri});
-}
-
-void Node::maintain_bootstrap() {
-  // Ring-merge safety net: a fragment that repaired into its own
-  // self-consistent ring looks healthy to every overlord, so the only
-  // way to rediscover the rest of the overlay is the well-known
-  // bootstrap list.  Keep a leaf link to it alive; when the link lands
-  // in a different fragment it is the bridge join CTMs merge across.
-  if (config_.bootstrap_reprobe_interval <= 0) return;
-  if (table_.empty() || config_.bootstrap.empty()) return;
-  if (sim_.now() - last_bootstrap_probe_ <
-      config_.bootstrap_reprobe_interval) {
-    return;
-  }
-  if (linking_->attempting(Address{})) return;
-  for (const transport::Uri& uri : config_.bootstrap) {
-    if (uri.endpoint == transport_->private_uri().endpoint) return;
-  }
-  bool covered = false;
-  table_.for_each([&](const Connection& c) {
-    if (c.is_relay()) return;
-    for (const transport::Uri& uri : config_.bootstrap) {
-      if (c.remote == uri.endpoint) covered = true;
-    }
-  });
-  last_bootstrap_probe_ = sim_.now();
-  if (covered) return;
-  const auto& pool = config_.bootstrap;
-  const transport::Uri& uri =
-      pool[static_cast<std::size_t>(sim_.rng().uniform(
-          0, static_cast<std::int64_t>(pool.size()) - 1))];
-  sim_.trace().event(sim_.now(), "node", trace_node_, "bootstrap.reprobe",
-                     {{"uri", uri.to_string()}});
-  linking_->start(Address{}, ConnectionType::kLeaf, {uri});
-}
-
-void Node::maintain_near() {
-  if (table_.empty()) return;
-  SimTime now = sim_.now();
-  // Announce aggressively while joining OR while the neighborhood is
-  // still in flux (a fresh near link means the hint-ratchet has not yet
-  // converged on the true ring position); relax to the slow cadence
-  // once things are quiet.
-  bool unsettled = !routable() || now < fast_stabilize_until_;
-  SimDuration interval =
-      unsettled ? 5 * kSecond : config_.stabilize_period;
-  if (now - last_stabilize_ >= interval) {
-    last_stabilize_ = now;
-    send_join_ctm();
-  }
-}
-
-void Node::maintain_far() {
-  if (!routable()) return;
-  if (static_cast<int>(table_.count(ConnectionType::kStructuredFar)) >=
-      config_.far_target) {
-    return;
-  }
-  initiate_ctm(pick_far_target(), ConnectionType::kStructuredFar);
-}
-
-double Node::estimate_network_size() const {
-  const Connection* right = table_.right_neighbor();
-  const Connection* left = table_.left_neighbor();
-  if (right == nullptr) return 1.0;
-  double gap_sum = 0.0;
-  int gaps = 0;
-  gap_sum += config_.address.clockwise_distance(right->addr).to_double();
-  ++gaps;
-  if (left != nullptr && left != right) {
-    gap_sum += left->addr.clockwise_distance(config_.address).to_double();
-    ++gaps;
-  }
-  double mean_gap = gap_sum / gaps;
-  double ring = RingId::max().to_double();
-  return std::max(1.0, ring / std::max(mean_gap, 1.0));
-}
-
-Address Node::pick_far_target() {
-  // Symphony-style harmonic sampling [37]: pick a clockwise offset that
-  // is an n^(u-1) fraction of the ring, so far links concentrate near
-  // but still reach across the whole ring.
-  double n = estimate_network_size();
-  double u = sim_.rng().uniform01();
-  double fraction = std::pow(std::max(n, 2.0), u - 1.0);
-  return config_.address + fraction_of_ring(fraction);
 }
 
 std::size_t Node::shortcut_connection_count() const {
   return table_.count(ConnectionType::kShortcut);
 }
 
-void Node::keepalive_sweep() {
+// --- overlord tick -----------------------------------------------------------
+
+void Node::maintenance() {
   if (!running_) return;
-  SimTime now = sim_.now();
-  // Fixed mode reschedules at the seed cadence (interval/2), which also
-  // spaces the probes; adaptive mode wakes when the next probe or idle
-  // threshold is due, clamped so a noisy estimator can't spin the timer.
-  SimDuration next_wake = config_.ping_interval / 2;
-  std::vector<Address> dead;
-  table_.for_each([&](const Connection& c) {
-    SimDuration idle = now - c.last_heard;
-    if (idle < config_.ping_interval) {
-      // Not idle: any probe episode is over.  Erasing here (plus on
-      // drop) is what keeps the map bounded by the table size.
-      ping_states_.erase(c.addr);
-      if (config_.adaptive_timers) {
-        next_wake = std::min(next_wake, config_.ping_interval - idle);
-      }
-      return;
-    }
-    PingState& ps = ping_states_[c.addr];
-    if (ps.outstanding >= config_.ping_retries) {
-      dead.push_back(c.addr);
-      return;
-    }
-    // Probe spacing: fixed mode inherits the sweep cadence; adaptive
-    // mode uses the connection's RTO with exponential (Karn) backoff
-    // per unanswered probe, never slower than the fixed schedule.
-    SimDuration spacing = config_.ping_interval / 2;
-    if (config_.adaptive_timers && c.srtt != 0) {
-      spacing = c.rto(config_.ping_rto_min, config_.ping_interval / 2);
-      for (int i = 0; i < ps.outstanding; ++i) {
-        spacing = std::min(spacing * 2, config_.ping_interval / 2);
-      }
-    }
-    if (ps.outstanding > 0 && now - ps.last_sent < spacing) {
-      if (config_.adaptive_timers) {
-        next_wake = std::min(next_wake, ps.last_sent + spacing - now);
-      }
-      return;
-    }
-    ps.token = next_ping_token_++;
-    ps.clean = ps.outstanding == 0;  // Karn: only an unrepeated probe
-    ps.last_sent = now;
-    ++ps.outstanding;
-    LinkFrame ping;
-    ping.type = LinkType::kPing;
-    ping.sender = config_.address;
-    ping.con_type = c.type;
-    ping.token = ps.token;
-    send_link_frame(c, ping);
-    ++stats_.pings_sent;
-    if (config_.adaptive_timers) next_wake = std::min(next_wake, spacing);
-  });
-  for (const Address& a : dead) {
-    drop_connection(a, /*send_close=*/false,
-                    DisconnectCause::kKeepaliveTimeout);
-  }
+  bootstrap_->maintain_leaf();
+  bootstrap_->maintain_bootstrap();
+  ctm_->maintain_near();
+  ctm_->maintain_far();
+  relays_->maintain();
+  shortcuts_->sweep(timers_.now());
+  ctm_->sweep();
+  keepalive_->decay_health();
 
-  if (config_.adaptive_timers) {
-    next_wake = std::clamp(next_wake, 50 * kMillisecond,
-                           config_.ping_interval / 2);
-  } else {
-    next_wake = config_.ping_interval / 2;
-  }
-  keepalive_timer_ =
-      sim_.schedule(next_wake, [this] { keepalive_sweep(); });
+  SimDuration period = config_.maintenance_period;
+  maintenance_timer_ = timers_.schedule(
+      period / 2 + rng_.jitter(period), [this] { maintenance(); });
 }
 
-// --- adaptive self-healing ---------------------------------------------------
+// --- adaptive self-healing introspection -------------------------------------
 
-void Node::note_rtt(const Address& peer, SimDuration sample) {
-  if (sample < 0) return;
-  ++stats_.rtt_samples;
-  PeerHealth& h = peer_health_[peer];
-  if (h.srtt == 0) {
-    h.srtt = sample;
-    h.rttvar = sample / 2;
-  } else {
-    SimDuration err = sample > h.srtt ? sample - h.srtt : h.srtt - sample;
-    h.rttvar = (3 * h.rttvar + err) / 4;
-    h.srtt = (7 * h.srtt + sample) / 8;
-  }
-  h.last_update = sim_.now();
+std::size_t Node::ping_state_count() const {
+  return keepalive_->ping_state_count();
 }
 
-void Node::note_flap(const Address& peer, SimDuration lifetime) {
-  if (!config_.quarantine_enabled) return;
-  SimTime now = sim_.now();
-  if (lifetime >= config_.flap_lifetime) {
-    // A connection that held for a while proves the path works; decay
-    // one quarantine level so an old episode is eventually forgiven.
-    auto it = peer_health_.find(peer);
-    if (it != peer_health_.end() && it->second.quarantine_level > 0) {
-      --it->second.quarantine_level;
-      it->second.last_update = now;
-    }
-    return;
-  }
-  PeerHealth& h = peer_health_[peer];
-  if (h.flaps == 0 || now - h.first_flap > config_.flap_window) {
-    h.flaps = 0;
-    h.first_flap = now;
-  }
-  ++h.flaps;
-  h.last_update = now;
-  if (h.flaps < config_.flap_threshold) return;
-  // Enough flaps inside the window: quarantine, doubling per episode.
-  SimDuration duration = config_.quarantine_base;
-  for (int i = 0; i < h.quarantine_level; ++i) {
-    duration = std::min(duration * 2, config_.quarantine_max);
-  }
-  ++h.quarantine_level;
-  h.quarantine_until = now + duration;
-  h.flaps = 0;  // fresh window once the quarantine lapses
-  ++stats_.quarantines;
-  WOW_LOG(sim_.logger(), LogLevel::kInfo, now, log_component_,
-          "quarantined " + peer.brief() + " for " +
-              std::to_string(to_seconds(duration)) + "s (level " +
-              std::to_string(h.quarantine_level) + ")");
-  if (sim_.trace().enabled()) {
-    sim_.trace().event(now, "node", trace_node_, "quarantine.begin",
-                       {{"peer", peer.brief()},
-                        {"level", h.quarantine_level},
-                        {"duration_s", to_seconds(duration)}});
-  }
-}
+std::size_t Node::pending_ctm_count() const { return ctm_->pending_count(); }
 
 bool Node::is_quarantined(const Address& peer) const {
-  auto it = peer_health_.find(peer);
-  return it != peer_health_.end() &&
-         sim_.now() < it->second.quarantine_until;
+  return keepalive_->is_quarantined(peer);
 }
 
 SimTime Node::quarantine_until(const Address& peer) const {
-  auto it = peer_health_.find(peer);
-  return it == peer_health_.end() ? 0 : it->second.quarantine_until;
+  return keepalive_->quarantine_until(peer);
 }
 
 SimDuration Node::srtt_of(const Address& peer) const {
-  if (const Connection* c = table_.find(peer); c != nullptr && c->srtt != 0) {
-    return c->srtt;
-  }
-  auto it = peer_health_.find(peer);
-  return it == peer_health_.end() ? 0 : it->second.srtt;
-}
-
-SimDuration Node::peer_rto_hint(const Address& peer) const {
-  if (!config_.adaptive_timers) return 0;
-  if (const Connection* c = table_.find(peer); c != nullptr && c->srtt != 0) {
-    return c->srtt + 4 * c->rttvar;
-  }
-  auto it = peer_health_.find(peer);
-  if (it != peer_health_.end() && it->second.srtt != 0) {
-    return it->second.srtt + 4 * it->second.rttvar;
-  }
-  return 0;
-}
-
-SimDuration Node::ctm_timeout() const {
-  if (!config_.adaptive_timers) return config_.ctm_rto_max;
-  if (ctm_srtt_ == 0) return config_.ctm_rto_initial;
-  return std::clamp(ctm_srtt_ + 4 * ctm_rttvar_, config_.ctm_rto_min,
-                    config_.ctm_rto_max);
-}
-
-// --- relay fallback ----------------------------------------------------------
-
-void Node::start_relay_attempt(const Address& peer) {
-  if (relay_attempts_.count(peer) != 0) return;
-  // Candidate agents: peers WE hold a direct connection to, nearest to
-  // the unreachable peer on the ring first — the likeliest to be its
-  // neighbor too, i.e. a mutual neighbor that can hand frames across.
-  std::vector<const Connection*> direct;
-  table_.for_each([&](const Connection& c) {
-    if (!c.is_relay() && c.addr != peer) direct.push_back(&c);
-  });
-  if (direct.empty()) return;
-  std::stable_sort(direct.begin(), direct.end(),
-                   [&](const Connection* a, const Connection* b) {
-                     return a->addr.ring_distance(peer) <
-                            b->addr.ring_distance(peer);
-                   });
-  RelayAttempt attempt;
-  for (const Connection* c : direct) {
-    attempt.candidates.push_back(c->addr);
-    if (static_cast<int>(attempt.candidates.size()) >=
-        config_.relay_max_candidates) {
-      break;
-    }
-  }
-  attempt.token = next_relay_token_++;
-  attempt.started = sim_.now();
-  if (sim_.trace().enabled()) {
-    attempt.span = sim_.trace().begin_span(
-        sim_.now(), "node", trace_node_, "relay.attempt",
-        {{"peer", peer.brief()},
-         {"candidates", int(attempt.candidates.size())}});
-  }
-  relay_attempts_.emplace(peer, std::move(attempt));
-  send_relay_request(peer);
-}
-
-void Node::send_relay_request(const Address& peer) {
-  auto it = relay_attempts_.find(peer);
-  if (it == relay_attempts_.end()) return;
-  RelayAttempt& attempt = it->second;
-  if (attempt.index >= attempt.candidates.size()) {
-    finish_relay_attempt(peer, "relay.exhausted");
-    return;
-  }
-  const Address& agent = attempt.candidates[attempt.index];
-  const Connection* agent_conn = table_.find(agent);
-  if (agent_conn == nullptr || agent_conn->is_relay()) {
-    // The candidate vanished since we enumerated it; try the next.
-    ++attempt.index;
-    send_relay_request(peer);
-    return;
-  }
-  if (sim_.trace().enabled()) {
-    sim_.trace().event(sim_.now(), "node", trace_node_, "relay.tx",
-                       {{"peer", peer.brief()},
-                        {"agent", agent.brief()},
-                        {"candidate", int(attempt.index)}},
-                       attempt.span);
-  }
-  LinkFrame req;
-  req.type = LinkType::kRequest;
-  req.sender = config_.address;
-  req.con_type = ConnectionType::kRelay;
-  req.token = attempt.token;
-  req.uris = transport_->local_uris();
-  transport_->send_to(agent_conn->remote,
-                      RelayFrame::wrap(config_.address, agent, peer,
-                                       req.serialize()));
-  // One shot per agent: either the tunneled reply lands, or the timer
-  // advances to the next candidate.  The request timeout shrinks with a
-  // measured agent RTT (the tunnel leg we cannot measure is bounded by
-  // the same WAN scale).
-  SimDuration wait = config_.relay_request_timeout;
-  if (config_.adaptive_timers) {
-    SimDuration hint = peer_rto_hint(agent);
-    if (hint > 0) {
-      wait = std::clamp(4 * hint, kSecond, config_.relay_request_timeout);
-    }
-  }
-  attempt.timer =
-      sim_.schedule(wait, [this, peer] { on_relay_timeout(peer); });
-}
-
-void Node::on_relay_timeout(const Address& peer) {
-  auto it = relay_attempts_.find(peer);
-  if (it == relay_attempts_.end()) return;
-  ++it->second.index;
-  send_relay_request(peer);
-}
-
-void Node::finish_relay_attempt(const Address& peer, const char* outcome) {
-  auto it = relay_attempts_.find(peer);
-  if (it == relay_attempts_.end()) return;
-  sim_.cancel(it->second.timer);
-  if (it->second.span != 0) {
-    sim_.trace().end_span(
-        sim_.now(), "node", trace_node_, outcome, it->second.span,
-        {{"peer", peer.brief()},
-         {"elapsed_s", to_seconds(sim_.now() - it->second.started)}});
-  }
-  relay_attempts_.erase(it);
-}
-
-void Node::add_relay_connection(const Address& peer, const Address& agent,
-                                const net::Endpoint& agent_endpoint,
-                                const std::vector<transport::Uri>& uris) {
-  Connection c;
-  c.addr = peer;
-  c.type = ConnectionType::kRelay;
-  c.remote = agent_endpoint;
-  c.relay = agent;
-  c.uris = uris;
-  c.established = sim_.now();
-  c.last_heard = sim_.now();
-  auto health = peer_health_.find(peer);
-  if (health != peer_health_.end()) {
-    c.srtt = health->second.srtt;
-    c.rttvar = health->second.rttvar;
-  }
-  bool added = table_.add(std::move(c));
-  if (!added) {
-    // The table either refreshed an existing relay entry or protected a
-    // direct connection (the merge never downgrades); nothing to count.
-    update_routable();
-    return;
-  }
-  ++stats_.connections_added;
-  ++stats_.relays_established;
-  peer_health_[peer].next_direct_probe =
-      sim_.now() + config_.relay_probe_interval;
-  WOW_LOG(sim_.logger(), LogLevel::kInfo, sim_.now(), log_component_,
-          "+conn relay " + peer.brief() + " via agent " + agent.brief());
-  if (sim_.trace().enabled()) {
-    sim_.trace().event(sim_.now(), "node", trace_node_, "conn.added",
-                       {{"peer", peer.brief()},
-                        {"ctype", "relay"},
-                        {"agent", agent.brief()},
-                        {"remote", agent_endpoint.to_string()}});
-  }
-  if (connection_handler_) connection_handler_(*table_.find(peer));
-  update_routable();
+  return keepalive_->srtt_of(peer);
 }
 
 }  // namespace wow::p2p

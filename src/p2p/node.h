@@ -1,125 +1,49 @@
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/log.h"
+#include "common/metrics.h"
 #include "common/time.h"
-#include "net/network.h"
 #include "p2p/connection_table.h"
+#include "p2p/dispatch.h"
 #include "p2p/linking.h"
+#include "p2p/node_config.h"
+#include "p2p/node_deps.h"
+#include "p2p/node_stats.h"
 #include "p2p/packet.h"
-#include "p2p/shortcut_overlord.h"
-#include "sim/simulator.h"
-#include "transport/transport.h"
+#include "sim/timer_service.h"
 
 namespace wow::p2p {
 
-/// Configuration of a Brunet P2P node.
-struct NodeConfig {
-  /// Ring address; the zero address means "draw a random one at start".
-  Address address;
-  std::uint16_t port = 17000;
-  /// URIs of nodes already in the network (§IV-C).  Empty for the very
-  /// first node.
-  std::vector<transport::Uri> bootstrap;
+class BootstrapOverlord;
+class CtmOverlord;
+class KeepaliveManager;
+class RelayAgent;
+class ShortcutOverlord;
 
-  /// Structured-near connections maintained per ring side.
-  int near_per_side = 2;
-  /// Structured-far connections to maintain (the `k` of §IV-A).
-  int far_target = 4;
-  std::uint8_t ttl = 48;
-
-  LinkConfig link;
-  ShortcutOverlord::Config shortcut;
-
-  /// Keepalive (§IV-B): idle connections are pinged; after
-  /// `ping_retries` unanswered pings the connection state is discarded.
-  SimDuration ping_interval = 15 * kSecond;
-  int ping_retries = 3;
-
-  /// Adaptive self-healing.  When true, keepalive probe spacing, the
-  /// linking RTO seed, and the CTM retry timeout all derive from
-  /// measured per-peer RTT (Jacobson/Karn, as in the vtcp layer); when
-  /// false every timer runs on the fixed constants above — the ablation
-  /// baseline for the repair-latency experiment.
-  bool adaptive_timers = true;
-  /// Floor for the adaptive keepalive probe RTO; its ceiling is
-  /// ping_interval / 2 so adaptation only ever detects death faster
-  /// than the fixed schedule (the oracle's grace bound stays valid).
-  SimDuration ping_rto_min = 250 * kMillisecond;
-  /// CTM request timeout-with-retry: adaptive clamp bounds, the seed
-  /// used before any reply has been measured, and the retry budget.
-  /// Fixed mode expires at ctm_rto_max with no retries (seed behavior).
-  SimDuration ctm_rto_min = 2 * kSecond;
-  SimDuration ctm_rto_max = 2 * kMinute;
-  SimDuration ctm_rto_initial = 10 * kSecond;
-  int ctm_max_retries = 2;
-
-  /// Flap quarantine: a connection that lives < flap_lifetime counts as
-  /// a flap; flap_threshold flaps inside flap_window quarantine the
-  /// peer for quarantine_base * 2^episode (capped at quarantine_max),
-  /// during which no ACTIVE attempt (CTM, link, shortcut) targets it.
-  /// Passive accepts stay open so a one-sided quarantine converges.
-  bool quarantine_enabled = true;
-  SimDuration flap_lifetime = 30 * kSecond;
-  SimDuration flap_window = 5 * kMinute;
-  int flap_threshold = 3;
-  SimDuration quarantine_base = 15 * kSecond;
-  SimDuration quarantine_max = 2 * kMinute;
-
-  /// Relay fallback: when an active near-link attempt exhausts every
-  /// URI (non-hairpin NAT pair, §V-B), tunnel through a mutual
-  /// neighbor; probe for a direct link every relay_probe_interval.
-  bool relay_enabled = true;
-  SimDuration relay_probe_interval = 30 * kSecond;
-  /// Per-agent wait for the tunnel handshake before trying the next
-  /// candidate agent.
-  SimDuration relay_request_timeout = 5 * kSecond;
-  /// Candidate agents tried per relay attempt.
-  int relay_max_candidates = 3;
-
-  /// How often to re-probe the bootstrap list when no direct connection
-  /// points at a bootstrap endpoint.  This is the ring-merge safety net:
-  /// a partition that outlives the keepalive splits the overlay into
-  /// fragments that each repair into a self-consistent ring, and no
-  /// amount of near/far maintenance inside a fragment can see the other
-  /// one.  A fresh leaf link to the well-known bootstrap bridges the
-  /// fragments; join CTMs routed across the bridge then pull the rings
-  /// back together.  0 disables re-probing.
-  SimDuration bootstrap_reprobe_interval = kMinute;
-
-  /// Period of the maintenance tick driving the leaf/near/far overlords
-  /// (jittered per node to avoid lockstep).
-  SimDuration maintenance_period = 2 * kSecond;
-  /// Ring stabilization period: how often a node re-announces itself
-  /// with a self-addressed CTM once it is in the ring.
-  SimDuration stabilize_period = 30 * kSecond;
-};
-
-/// Why a connection was removed from the table.  `connections_lost` is
-/// broken down by this cause in Node::Stats and the metrics registry.
-enum class DisconnectCause : std::uint8_t {
-  kKeepaliveTimeout = 0,  // ping_retries unanswered probes
-  kCloseFrame,            // peer sent kClose (graceful stop, or §V-E
-                          // stale-ping rejection)
-  kLinkError,             // re-link to a held peer exhausted every URI
-  kRelayDown,             // relay agent died; the tunnel dies with it
-  kCount,                 // sentinel, keep last
-};
-
-[[nodiscard]] const char* to_string(DisconnectCause cause);
-
-/// A Brunet overlay node: structured ring member, greedy router, and
-/// host of the leaf/near/far/shortcut connection overlords.
+/// A Brunet overlay node: the composition root of the protocol-service
+/// stack, plus the one concern it keeps for itself — greedy ring
+/// routing (§IV-A).
 ///
-/// Life cycle: construct (bound to a simulated Host) -> start() ->
+/// Everything else lives in a service behind a narrow interface:
+///   - LinkingEngine      link handshakes (active attempts, races)
+///   - KeepaliveManager   probes, RTT memory, flap quarantine
+///   - CtmOverlord        CTM protocol + near/far acquisition policy
+///   - RelayAgent         §V-B tunnels and upgrade probes
+///   - BootstrapOverlord  leaf bootstrap + ring-merge re-probe
+///   - ShortcutOverlord   proximity shortcuts
+/// The node wires them together over shared state (ConnectionTable,
+/// NodeStats) and hook functions, and demuxes inbound frames through
+/// kind-indexed HandlerRegistry tables instead of switch statements.
+///
+/// Life cycle: construct (from a NodeDeps bundle) -> start() ->
 /// exchanges data via send_data()/set_data_handler().  stop() models
 /// killing the user-level IPOP process (abrupt; peers discover the death
 /// through keepalive timeouts); restart() rejoins the overlay with the
@@ -127,41 +51,7 @@ enum class DisconnectCause : std::uint8_t {
 /// §V-C.
 class Node {
  public:
-  struct Stats {
-    std::uint64_t data_sent = 0;
-    std::uint64_t data_delivered = 0;
-    std::uint64_t data_forwarded = 0;
-    std::uint64_t dropped_no_connection = 0;  // sender had no links at all
-    std::uint64_t dropped_no_route = 0;       // exact packet died mid-ring
-    std::uint64_t dropped_ttl = 0;
-    std::uint64_t ctm_sent = 0;
-    std::uint64_t ctm_received = 0;
-    std::uint64_t connections_added = 0;
-    std::uint64_t connections_lost = 0;
-    /// connections_lost broken down by why, indexed by DisconnectCause.
-    std::array<std::uint64_t,
-               static_cast<std::size_t>(DisconnectCause::kCount)>
-        lost_by_cause{};
-    std::uint64_t pings_sent = 0;
-    /// Clean (Karn-filtered) RTT samples folded into per-peer SRTT.
-    std::uint64_t rtt_samples = 0;
-    /// CTM requests retransmitted after an adaptive timeout.
-    std::uint64_t ctm_retries = 0;
-    /// CTM requests abandoned after the retry budget ran out.
-    std::uint64_t ctm_timeouts = 0;
-    /// Quarantine episodes begun after repeated flaps.
-    std::uint64_t quarantines = 0;
-    /// Relay tunnels established (either side).
-    std::uint64_t relays_established = 0;
-    /// Relay tunnels replaced by a direct link via an upgrade probe.
-    std::uint64_t relays_upgraded = 0;
-    /// Relay frames forwarded on behalf of a tunneled pair.
-    std::uint64_t relay_forwarded = 0;
-    /// Sum of hop counts over delivered data packets (avg = /delivered).
-    std::uint64_t delivered_hops = 0;
-    /// Frames/payloads that failed to parse (truncated or corrupted).
-    std::uint64_t parse_rejects = 0;
-  };
+  using Stats = NodeStats;
 
   /// Payload is a view into the delivered frame; copy it to keep it
   /// beyond the handler call.
@@ -171,8 +61,7 @@ class Node {
   using DisconnectionHandler =
       std::function<void(const Address&, ConnectionType)>;
 
-  Node(sim::Simulator& simulator, net::Network& network, net::Host& host,
-       NodeConfig config);
+  Node(NodeDeps deps, NodeConfig config);
   ~Node();
 
   Node(const Node&) = delete;
@@ -217,8 +106,8 @@ class Node {
     return linking_->stats();
   }
   [[nodiscard]] ShortcutOverlord& shortcut_overlord() { return *shortcuts_; }
-  [[nodiscard]] transport::Transport& transport() { return *transport_; }
-  [[nodiscard]] net::Host& host() { return host_; }
+  /// The node's transport seam (bound while running).
+  [[nodiscard]] EdgeFactory& edges() { return *edges_; }
 
   /// True once the node holds structured-near connections on both ring
   /// sides (or is one of fewer than three nodes).  "Fully routable" in
@@ -251,13 +140,9 @@ class Node {
 
   /// Keepalive probe episodes currently tracked; bounded by the number
   /// of held connections (regression guard for the churn leak).
-  [[nodiscard]] std::size_t ping_state_count() const {
-    return ping_states_.size();
-  }
+  [[nodiscard]] std::size_t ping_state_count() const;
   /// CTM requests awaiting a reply or retry; bounded by the sweep.
-  [[nodiscard]] std::size_t pending_ctm_count() const {
-    return pending_ctms_.size();
-  }
+  [[nodiscard]] std::size_t pending_ctm_count() const;
   /// True while active attempts toward `peer` are suppressed after
   /// repeated flaps.
   [[nodiscard]] bool is_quarantined(const Address& peer) const;
@@ -267,82 +152,23 @@ class Node {
   [[nodiscard]] SimDuration srtt_of(const Address& peer) const;
 
  private:
-  struct PendingCtm {
-    Address target;
-    ConnectionType type;
-    SimTime sent;
-    /// Trace correlation id of the request→reply lifecycle span (0 when
-    /// no sink is attached; never read by protocol logic).
-    std::uint64_t span = 0;
-    /// Retransmissions left after an adaptive timeout (join CTMs get 0:
-    /// stabilization re-announces them anyway).
-    int retries_left = 0;
-    /// Karn filter: a reply to a retransmitted request is ambiguous and
-    /// must not feed the CTM RTT estimator.
-    bool retransmitted = false;
-  };
-
-  /// One keepalive probe episode for an idle connection.  Erased when
-  /// the connection turns non-idle, answers, or is dropped — so the map
-  /// stays bounded by the table size no matter how often peers churn.
-  struct PingState {
-    int outstanding = 0;
-    SimTime last_sent = 0;
-    std::uint32_t token = 0;
-    /// Karn: only a pong answering a sole un-retransmitted probe is an
-    /// unambiguous RTT sample.
-    bool clean = false;
-  };
-
-  /// Per-peer health memory, surviving the connection itself: the RTT
-  /// estimate seeds re-link attempts after a drop, and the flap history
-  /// drives quarantine.
-  struct PeerHealth {
-    SimDuration srtt = 0;
-    SimDuration rttvar = 0;
-    int flaps = 0;
-    SimTime first_flap = 0;  // anchor of the current flap window
-    int quarantine_level = 0;
-    SimTime quarantine_until = 0;
-    /// Cooldown for relay→direct upgrade probes.
-    SimTime next_direct_probe = 0;
-    SimTime last_update = 0;
-  };
-
-  /// An in-flight relay tunnel handshake: candidate agents are tried in
-  /// sequence, nearest (on the ring) to the unreachable peer first.
-  struct RelayAttempt {
-    std::vector<Address> candidates;
-    std::size_t index = 0;
-    std::uint32_t token = 0;
-    sim::TimerHandle timer;
-    SimTime started = 0;
-    /// Trace span over the whole attempt (0 = no sink).
-    std::uint64_t span = 0;
-  };
-
   // frame plumbing
   void on_datagram(const net::Endpoint& from, SharedBytes payload);
   void handle_routed(RoutedPacket packet, const net::Endpoint& from);
   void handle_link(const LinkFrame& frame, const net::Endpoint& from);
-  /// A relay tunnel frame arrived: forward it (we are the agent) or
-  /// consume the inner frame (we are the tunnel endpoint).
-  void handle_relay(RelayFrame relay, const net::Endpoint& from);
-  /// Link-level frame that arrived wrapped in a relay tunnel.
-  void handle_relay_link(const LinkFrame& frame, const RelayFrame& outer);
   /// Send a link frame over `c`: direct, or wrapped through its agent.
   void send_link_frame(const Connection& c, const LinkFrame& frame);
+  /// Wire the frame-kind and routed-type dispatch tables (ctor).
+  void register_handlers();
+  /// Construct the protocol services and their hooks (ctor).
+  void build_services();
 
   // routing
   void route(RoutedPacket packet);
   void deliver_local(const RoutedPacket& packet);
+  void deliver_data(const RoutedPacket& packet);
   void maybe_bounce(const RoutedPacket& packet);
   void forward_to(const Connection& next, RoutedPacket packet);
-
-  // CTM protocol
-  void handle_ctm_request(const RoutedPacket& packet);
-  void handle_ctm_reply(const RoutedPacket& packet);
-  void send_join_ctm();
 
   // diagnostics
   void log(LogLevel level, const std::string& message) const;
@@ -363,82 +189,45 @@ class Node {
   void drop_connection(const Address& peer, bool send_close,
                        DisconnectCause cause);
   void update_routable();
-
-  // adaptive self-healing
-  /// Fold a clean RTT sample into the peer's durable health record (and
-  /// count it); the live connection's estimator is updated separately.
-  void note_rtt(const Address& peer, SimDuration sample);
-  /// Record a connection loss for flap accounting; may begin a
-  /// quarantine episode.  `established` is when the connection came up.
-  void note_flap(const Address& peer, SimDuration lifetime);
-  /// SRTT + 4*RTTVAR for the peer, from the live connection or the
-  /// durable health record; 0 when adaptive timers are off or no sample
-  /// exists.
-  [[nodiscard]] SimDuration peer_rto_hint(const Address& peer) const;
-  /// Current CTM request timeout (adaptive clamp, or ctm_rto_max fixed).
-  [[nodiscard]] SimDuration ctm_timeout() const;
-  /// Retransmit a pending CTM that timed out.
-  void retry_ctm(std::uint32_t token, PendingCtm& pending);
-
-  // relay fallback
-  void start_relay_attempt(const Address& peer);
-  void send_relay_request(const Address& peer);
-  void on_relay_timeout(const Address& peer);
-  void finish_relay_attempt(const Address& peer, const char* outcome);
-  /// Install a kRelay connection tunneled through `agent`.
-  void add_relay_connection(const Address& peer, const Address& agent,
-                            const net::Endpoint& agent_endpoint,
-                            const std::vector<transport::Uri>& uris);
-  /// Periodic relay→direct upgrade probes (from maintenance()).
-  void maintain_relays();
-
-  // overlord ticks
-  void maintenance();
-  void keepalive_sweep();
-  void maintain_leaf();
-  void maintain_bootstrap();
-  void maintain_near();
-  void maintain_far();
-  [[nodiscard]] double estimate_network_size() const;
-  [[nodiscard]] Address pick_far_target();
   [[nodiscard]] std::size_t shortcut_connection_count() const;
 
-  sim::Simulator& sim_;
-  net::Network& network_;
-  net::Host& host_;
+  // overlord tick
+  void maintenance();
+
+  // injected environment (see NodeDeps)
+  sim::TimerService& timers_;
+  Rng& rng_;
+  Logger& logger_;
+  MetricsRegistry& metrics_;
+  Tracer& tracer_;
+  std::unique_ptr<EdgeFactory> edges_;
+
   NodeConfig config_;
-  std::unique_ptr<transport::Transport> transport_;
   ConnectionTable table_;
-  std::unique_ptr<LinkingEngine> linking_;
+
+  // protocol services (construction order: keepalive before the
+  // services whose hooks consult it is immaterial — hooks fire later —
+  // but keep the dependency direction readable).
+  std::unique_ptr<KeepaliveManager> keepalive_;
+  std::unique_ptr<CtmOverlord> ctm_;
+  std::unique_ptr<RelayAgent> relays_;
+  std::unique_ptr<BootstrapOverlord> bootstrap_;
   std::unique_ptr<ShortcutOverlord> shortcuts_;
+  /// Rebuilt on every start(): an aborted engine carries no stale
+  /// attempt state into the next incarnation.
+  std::unique_ptr<LinkingEngine> linking_;
+
+  /// Dispatch layer: datagram frame kinds (FrameKind) and routed
+  /// payload types (RoutedType), both dense 1-based kind bytes.
+  HandlerRegistry<SharedBytes, const net::Endpoint&> frames_{
+      kFrameKindCount};
+  HandlerRegistry<const RoutedPacket&> routed_{kRoutedTypeCount};
 
   DataHandler data_handler_;
   ConnectionHandler connection_handler_;
   DisconnectionHandler disconnection_handler_;
 
-  std::map<std::uint32_t, PendingCtm> pending_ctms_;
-  std::uint32_t next_ctm_token_ = 1;
-  /// Keepalive probe episodes, one per currently-idle connection.
-  std::map<RingId, PingState> ping_states_;
-  std::uint32_t next_ping_token_ = 1;
-  /// Durable per-peer health (RTT memory, flap/quarantine state).
-  std::unordered_map<Address, PeerHealth, RingIdHash> peer_health_;
-  /// In-flight relay tunnel handshakes, keyed by the unreachable peer.
-  std::unordered_map<Address, RelayAttempt, RingIdHash> relay_attempts_;
-  std::uint32_t next_relay_token_ = 1;
-  /// CTM round-trip estimator (request → reply over the overlay), node
-  /// level: CTM latency is dominated by multi-hop routing, not by any
-  /// single peer's link.
-  SimDuration ctm_srtt_ = 0;
-  SimDuration ctm_rttvar_ = 0;
-
   sim::TimerHandle maintenance_timer_;
-  sim::TimerHandle keepalive_timer_;
-  SimTime last_stabilize_ = -(1LL << 60);
-  SimTime last_bootstrap_probe_ = -(1LL << 60);
-  /// While now < this, the ring neighborhood changed recently and
-  /// stabilization announces run at the fast cadence.
-  SimTime fast_stabilize_until_ = 0;
   std::optional<SimTime> routable_since_;
   bool running_ = false;
   Stats stats_;

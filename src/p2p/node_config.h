@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "p2p/link_config.h"
+#include "p2p/packet.h"
+#include "p2p/shortcut_config.h"
+#include "transport/uri.h"
+
+namespace wow::p2p {
+
+/// Configuration of a Brunet P2P node.
+struct NodeConfig {
+  /// Ring address; the zero address means "draw a random one at start".
+  Address address;
+  std::uint16_t port = 17000;
+  /// URIs of nodes already in the network (§IV-C).  Empty for the very
+  /// first node.
+  std::vector<transport::Uri> bootstrap;
+
+  /// Structured-near connections maintained per ring side.
+  int near_per_side = 2;
+  /// Structured-far connections to maintain (the `k` of §IV-A).
+  int far_target = 4;
+  std::uint8_t ttl = 48;
+
+  LinkConfig link;
+  ShortcutConfig shortcut;
+
+  /// Keepalive (§IV-B): idle connections are pinged; after
+  /// `ping_retries` unanswered pings the connection state is discarded.
+  SimDuration ping_interval = 15 * kSecond;
+  int ping_retries = 3;
+
+  /// Adaptive self-healing.  When true, keepalive probe spacing, the
+  /// linking RTO seed, and the CTM retry timeout all derive from
+  /// measured per-peer RTT (Jacobson/Karn, as in the vtcp layer); when
+  /// false every timer runs on the fixed constants above — the ablation
+  /// baseline for the repair-latency experiment.
+  bool adaptive_timers = true;
+  /// Floor for the adaptive keepalive probe RTO; its ceiling is
+  /// ping_interval / 2 so adaptation only ever detects death faster
+  /// than the fixed schedule (the oracle's grace bound stays valid).
+  SimDuration ping_rto_min = 250 * kMillisecond;
+  /// CTM request timeout-with-retry: adaptive clamp bounds, the seed
+  /// used before any reply has been measured, and the retry budget.
+  /// Fixed mode expires at ctm_rto_max with no retries (seed behavior).
+  SimDuration ctm_rto_min = 2 * kSecond;
+  SimDuration ctm_rto_max = 2 * kMinute;
+  SimDuration ctm_rto_initial = 10 * kSecond;
+  int ctm_max_retries = 2;
+
+  /// Flap quarantine: a connection that lives < flap_lifetime counts as
+  /// a flap; flap_threshold flaps inside flap_window quarantine the
+  /// peer for quarantine_base * 2^episode (capped at quarantine_max),
+  /// during which no ACTIVE attempt (CTM, link, shortcut) targets it.
+  /// Passive accepts stay open so a one-sided quarantine converges.
+  bool quarantine_enabled = true;
+  SimDuration flap_lifetime = 30 * kSecond;
+  SimDuration flap_window = 5 * kMinute;
+  int flap_threshold = 3;
+  SimDuration quarantine_base = 15 * kSecond;
+  SimDuration quarantine_max = 2 * kMinute;
+
+  /// Relay fallback: when an active near-link attempt exhausts every
+  /// URI (non-hairpin NAT pair, §V-B), tunnel through a mutual
+  /// neighbor; probe for a direct link every relay_probe_interval.
+  bool relay_enabled = true;
+  SimDuration relay_probe_interval = 30 * kSecond;
+  /// Per-agent wait for the tunnel handshake before trying the next
+  /// candidate agent.
+  SimDuration relay_request_timeout = 5 * kSecond;
+  /// Candidate agents tried per relay attempt.
+  int relay_max_candidates = 3;
+
+  /// How often to re-probe the bootstrap list when no direct connection
+  /// points at a bootstrap endpoint.  This is the ring-merge safety net:
+  /// a partition that outlives the keepalive splits the overlay into
+  /// fragments that each repair into a self-consistent ring, and no
+  /// amount of near/far maintenance inside a fragment can see the other
+  /// one.  A fresh leaf link to the well-known bootstrap bridges the
+  /// fragments; join CTMs routed across the bridge then pull the rings
+  /// back together.  0 disables re-probing.
+  SimDuration bootstrap_reprobe_interval = kMinute;
+
+  /// Period of the maintenance tick driving the leaf/near/far overlords
+  /// (jittered per node to avoid lockstep).
+  SimDuration maintenance_period = 2 * kSecond;
+  /// Ring stabilization period: how often a node re-announces itself
+  /// with a self-addressed CTM once it is in the ring.
+  SimDuration stabilize_period = 30 * kSecond;
+};
+
+}  // namespace wow::p2p

@@ -1,0 +1,20 @@
+#include "p2p/node_deps.h"
+
+#include "net/sim_edge.h"
+#include "sim/simulator.h"
+
+namespace wow::p2p {
+
+NodeDeps NodeDeps::sim(sim::Simulator& simulator, net::Network& network,
+                       net::Host& host) {
+  NodeDeps deps;
+  deps.timers = &simulator;
+  deps.rng = &simulator.rng();
+  deps.logger = &simulator.logger();
+  deps.metrics = &simulator.metrics();
+  deps.tracer = &simulator.trace();
+  deps.edges = std::make_unique<net::SimEdgeFactory>(network, host);
+  return deps;
+}
+
+}  // namespace wow::p2p

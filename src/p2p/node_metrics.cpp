@@ -1,0 +1,94 @@
+// Node observability: the DisconnectCause names and the callback-gauge
+// registration.  Split from node.cpp so the composition root stays
+// protocol wiring only.
+#include "p2p/node.h"
+
+namespace wow::p2p {
+
+const char* to_string(DisconnectCause cause) {
+  switch (cause) {
+    case DisconnectCause::kKeepaliveTimeout: return "keepalive_timeout";
+    case DisconnectCause::kCloseFrame: return "close_frame";
+    case DisconnectCause::kLinkError: return "link_error";
+    case DisconnectCause::kRelayDown: return "relay_down";
+    case DisconnectCause::kCount: break;
+  }
+  return "unknown";
+}
+
+void Node::register_metrics() {
+  MetricsRegistry& reg = metrics_;
+  MetricLabels labels{trace_node_, "node"};
+  auto add = [&](const char* name, auto fn) {
+    metric_ids_.push_back(reg.add_gauge(name, labels, std::move(fn)));
+  };
+  // Stats fields are exposed as callback gauges instead of counters so
+  // the hot paths keep their plain ++stats_ increments.
+  add("node_data_sent", [this] { return double(stats_.data_sent); });
+  add("node_data_delivered",
+      [this] { return double(stats_.data_delivered); });
+  add("node_data_forwarded",
+      [this] { return double(stats_.data_forwarded); });
+  add("node_dropped_no_connection",
+      [this] { return double(stats_.dropped_no_connection); });
+  add("node_dropped_no_route",
+      [this] { return double(stats_.dropped_no_route); });
+  add("node_dropped_ttl", [this] { return double(stats_.dropped_ttl); });
+  add("node_ctm_sent", [this] { return double(stats_.ctm_sent); });
+  add("node_ctm_received", [this] { return double(stats_.ctm_received); });
+  add("node_connections_added",
+      [this] { return double(stats_.connections_added); });
+  add("node_connections_lost",
+      [this] { return double(stats_.connections_lost); });
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(DisconnectCause::kCount); ++i) {
+    std::string name = std::string("node_lost_") +
+                       to_string(static_cast<DisconnectCause>(i));
+    metric_ids_.push_back(reg.add_gauge(
+        name, labels,
+        [this, i] { return double(stats_.lost_by_cause[i]); }));
+  }
+  add("node_pings_sent", [this] { return double(stats_.pings_sent); });
+  add("node_rtt_samples", [this] { return double(stats_.rtt_samples); });
+  add("node_ctm_retries", [this] { return double(stats_.ctm_retries); });
+  add("node_ctm_timeouts", [this] { return double(stats_.ctm_timeouts); });
+  add("node_quarantines", [this] { return double(stats_.quarantines); });
+  add("node_relays_established",
+      [this] { return double(stats_.relays_established); });
+  add("node_relays_upgraded",
+      [this] { return double(stats_.relays_upgraded); });
+  add("node_relay_forwarded",
+      [this] { return double(stats_.relay_forwarded); });
+  add("node_delivered_hops",
+      [this] { return double(stats_.delivered_hops); });
+  add("node_parse_rejects", [this] { return double(stats_.parse_rejects); });
+  add("node_connections", [this] { return double(table_.size()); });
+  add("node_routable", [this] { return routable() ? 1.0 : 0.0; });
+
+  MetricLabels link_labels{trace_node_, "linking"};
+  auto add_link = [&](const char* name, auto fn) {
+    metric_ids_.push_back(reg.add_gauge(name, link_labels, std::move(fn)));
+  };
+  // linking_ is rebuilt on every start(); going through the pointer
+  // keeps the gauges valid across restarts (0 while stopped).
+  add_link("link_attempts_started", [this] {
+    return linking_ ? double(linking_->stats().attempts_started) : 0.0;
+  });
+  add_link("link_established_active", [this] {
+    return linking_ ? double(linking_->stats().established_active) : 0.0;
+  });
+  add_link("link_established_passive", [this] {
+    return linking_ ? double(linking_->stats().established_passive) : 0.0;
+  });
+  add_link("link_uri_failovers", [this] {
+    return linking_ ? double(linking_->stats().uri_failovers) : 0.0;
+  });
+  add_link("link_race_aborts", [this] {
+    return linking_ ? double(linking_->stats().race_aborts) : 0.0;
+  });
+  add_link("link_failures", [this] {
+    return linking_ ? double(linking_->stats().failures) : 0.0;
+  });
+}
+
+}  // namespace wow::p2p

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace wow::p2p {
+
+/// Why a connection was removed from the table.  `connections_lost` is
+/// broken down by this cause in NodeStats and the metrics registry.
+enum class DisconnectCause : std::uint8_t {
+  kKeepaliveTimeout = 0,  // ping_retries unanswered probes
+  kCloseFrame,            // peer sent kClose (graceful stop, or §V-E
+                          // stale-ping rejection)
+  kLinkError,             // re-link to a held peer exhausted every URI
+  kRelayDown,             // relay agent died; the tunnel dies with it
+  kCount,                 // sentinel, keep last
+};
+
+[[nodiscard]] const char* to_string(DisconnectCause cause);
+
+/// One node's protocol counters.  Owned by the Node (the composition
+/// root) and shared by reference with the protocol services, so hot
+/// paths keep their plain ++stats increments wherever they live.
+struct NodeStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t dropped_no_connection = 0;  // sender had no links at all
+  std::uint64_t dropped_no_route = 0;       // exact packet died mid-ring
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t ctm_sent = 0;
+  std::uint64_t ctm_received = 0;
+  std::uint64_t connections_added = 0;
+  std::uint64_t connections_lost = 0;
+  /// connections_lost broken down by why, indexed by DisconnectCause.
+  std::array<std::uint64_t,
+             static_cast<std::size_t>(DisconnectCause::kCount)>
+      lost_by_cause{};
+  std::uint64_t pings_sent = 0;
+  /// Clean (Karn-filtered) RTT samples folded into per-peer SRTT.
+  std::uint64_t rtt_samples = 0;
+  /// CTM requests retransmitted after an adaptive timeout.
+  std::uint64_t ctm_retries = 0;
+  /// CTM requests abandoned after the retry budget ran out.
+  std::uint64_t ctm_timeouts = 0;
+  /// Quarantine episodes begun after repeated flaps.
+  std::uint64_t quarantines = 0;
+  /// Relay tunnels established (either side).
+  std::uint64_t relays_established = 0;
+  /// Relay tunnels replaced by a direct link via an upgrade probe.
+  std::uint64_t relays_upgraded = 0;
+  /// Relay frames forwarded on behalf of a tunneled pair.
+  std::uint64_t relay_forwarded = 0;
+  /// Sum of hop counts over delivered data packets (avg = /delivered).
+  std::uint64_t delivered_hops = 0;
+  /// Frames/payloads that failed to parse (truncated or corrupted).
+  std::uint64_t parse_rejects = 0;
+};
+
+}  // namespace wow::p2p

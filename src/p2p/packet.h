@@ -45,12 +45,19 @@ enum class FrameKind : std::uint8_t {
                 // to hand the wrapped inner frame to dst (one hop only)
 };
 
+/// Dispatch-table size for FrameKind (kinds are 1-based wire bytes, so
+/// the table has one unused slot at 0).
+inline constexpr std::size_t kFrameKindCount = 4;
+
 /// Payload types carried inside a routed packet.
 enum class RoutedType : std::uint8_t {
   kData = 1,        // tunnelled virtual-network traffic (IPOP)
   kCtmRequest = 2,  // Connect-To-Me request (§IV-B)
   kCtmReply = 3,    // Connect-To-Me reply
 };
+
+/// Dispatch-table size for RoutedType (1-based, slot 0 unused).
+inline constexpr std::size_t kRoutedTypeCount = 4;
 
 /// Delivery semantics of a routed packet.
 enum class DeliveryMode : std::uint8_t {

@@ -1,0 +1,299 @@
+#include "p2p/relay_agent.h"
+
+#include <algorithm>
+
+namespace wow::p2p {
+
+void RelayAgent::handle_frame(RelayFrame relay, const net::Endpoint& from) {
+  if (relay.dst != table_.self()) {
+    // We are the agent.  Forward exactly once, and only over a direct
+    // connection — tunnels never chain.
+    if (relay.hops != 0) return;
+    const Connection* next = table_.find(relay.dst);
+    if (next == nullptr || next->is_relay()) {
+      if (tracer_.enabled()) {
+        tracer_.event(timers_.now(), "node", trace_node_, "relay.refuse",
+                      {{"src", relay.src.brief()},
+                       {"dst", relay.dst.brief()}});
+      }
+      return;
+    }
+    ++stats_.relay_forwarded;
+    edges_.send_to(next->remote, relay.forwarded());
+    return;
+  }
+
+  // We are the tunnel endpoint: an inner frame from relay.src reached us
+  // through the agent — that is this connection's liveness signal.
+  if (Connection* c = table_.find(relay.src)) {
+    if (c->is_relay()) c->last_heard = timers_.now();
+  }
+
+  BytesView inner = relay.payload();
+  auto kind = frame_kind(inner);
+  if (!kind) {
+    hooks_.count_parse_reject();
+    return;
+  }
+  if (*kind == FrameKind::kRouted) {
+    auto packet = RoutedPacket::parse(inner);
+    if (packet) {
+      hooks_.on_routed(std::move(*packet), from);
+    } else {
+      hooks_.count_parse_reject();
+    }
+  } else if (*kind == FrameKind::kLink) {
+    auto frame = LinkFrame::parse(inner);
+    if (frame) {
+      handle_relay_link(*frame, relay);
+    } else {
+      hooks_.count_parse_reject();
+    }
+  }
+  // A nested relay frame is never legal; drop it silently (the hops
+  // check above already stops multi-hop tunneling on the agent side).
+}
+
+void RelayAgent::handle_relay_link(const LinkFrame& frame,
+                                   const RelayFrame& outer) {
+  switch (frame.type) {
+    case LinkType::kRequest: {
+      if (frame.con_type != ConnectionType::kRelay) return;
+      // Tunnel handshake: the initiator could not reach us directly and
+      // asks to converse through outer.relay.  Accept if we can reach
+      // that agent directly ourselves (it is a mutual neighbor).
+      const Connection* agent = table_.find(outer.relay);
+      if (agent == nullptr || agent->is_relay()) return;
+      add_relay_connection(frame.sender, outer.relay, agent->remote,
+                           frame.uris);
+      LinkFrame reply;
+      reply.type = LinkType::kReply;
+      reply.sender = table_.self();
+      reply.con_type = ConnectionType::kRelay;
+      reply.token = frame.token;
+      reply.uris = hooks_.local_uris();
+      edges_.send_to(agent->remote,
+                     RelayFrame::wrap(table_.self(), outer.relay,
+                                      frame.sender, reply.serialize()));
+      return;
+    }
+    case LinkType::kReply: {
+      if (frame.con_type != ConnectionType::kRelay) return;
+      auto it = relay_attempts_.find(frame.sender);
+      if (it == relay_attempts_.end() || it->second.token != frame.token) {
+        return;  // late duplicate, or an attempt we already finished
+      }
+      const Address& agent = it->second.candidates[it->second.index];
+      const Connection* agent_conn = table_.find(agent);
+      if (agent_conn == nullptr || agent_conn->is_relay()) return;
+      add_relay_connection(frame.sender, agent, agent_conn->remote,
+                           frame.uris);
+      finish_attempt(frame.sender, "relay.established");
+      return;
+    }
+    case LinkType::kPing: {
+      Connection* c = table_.find(frame.sender);
+      if (c == nullptr) {
+        // §V-E as for direct pings: a tunnel ping for a connection we no
+        // longer hold gets a Close so the peer re-establishes.
+        const Connection* agent = table_.find(outer.relay);
+        if (agent == nullptr || agent->is_relay()) return;
+        LinkFrame close;
+        close.type = LinkType::kClose;
+        close.sender = table_.self();
+        close.con_type = frame.con_type;
+        edges_.send_to(agent->remote,
+                       RelayFrame::wrap(table_.self(), outer.relay,
+                                        frame.sender, close.serialize()));
+        return;
+      }
+      LinkFrame pong;
+      pong.type = LinkType::kPong;
+      pong.sender = table_.self();
+      pong.con_type = frame.con_type;
+      pong.token = frame.token;
+      hooks_.send_link_frame(*c, pong);
+      return;
+    }
+    case LinkType::kPong:
+      // Same RTT-sampling path as a direct pong; the source endpoint is
+      // irrelevant (liveness was credited in handle_frame).
+      hooks_.on_link_frame(frame, net::Endpoint{});
+      return;
+    case LinkType::kClose:
+      hooks_.drop_connection(frame.sender, DisconnectCause::kCloseFrame);
+      return;
+    case LinkType::kError:
+      return;  // races cannot happen on tunnels (token-matched)
+  }
+}
+
+void RelayAgent::start_attempt(const Address& peer) {
+  if (relay_attempts_.count(peer) != 0) return;
+  // Candidate agents: peers WE hold a direct connection to, nearest to
+  // the unreachable peer on the ring first — the likeliest to be its
+  // neighbor too, i.e. a mutual neighbor that can hand frames across.
+  std::vector<const Connection*> direct;
+  table_.for_each([&](const Connection& c) {
+    if (!c.is_relay() && c.addr != peer) direct.push_back(&c);
+  });
+  if (direct.empty()) return;
+  std::stable_sort(direct.begin(), direct.end(),
+                   [&](const Connection* a, const Connection* b) {
+                     return a->addr.ring_distance(peer) <
+                            b->addr.ring_distance(peer);
+                   });
+  RelayAttempt attempt;
+  for (const Connection* c : direct) {
+    attempt.candidates.push_back(c->addr);
+    if (static_cast<int>(attempt.candidates.size()) >=
+        config_.relay_max_candidates) {
+      break;
+    }
+  }
+  attempt.token = next_relay_token_++;
+  attempt.started = timers_.now();
+  if (tracer_.enabled()) {
+    attempt.span = tracer_.begin_span(
+        timers_.now(), "node", trace_node_, "relay.attempt",
+        {{"peer", peer.brief()},
+         {"candidates", int(attempt.candidates.size())}});
+  }
+  relay_attempts_.emplace(peer, std::move(attempt));
+  send_request(peer);
+}
+
+void RelayAgent::send_request(const Address& peer) {
+  auto it = relay_attempts_.find(peer);
+  if (it == relay_attempts_.end()) return;
+  RelayAttempt& attempt = it->second;
+  if (attempt.index >= attempt.candidates.size()) {
+    finish_attempt(peer, "relay.exhausted");
+    return;
+  }
+  const Address& agent = attempt.candidates[attempt.index];
+  const Connection* agent_conn = table_.find(agent);
+  if (agent_conn == nullptr || agent_conn->is_relay()) {
+    // The candidate vanished since we enumerated it; try the next.
+    ++attempt.index;
+    send_request(peer);
+    return;
+  }
+  if (tracer_.enabled()) {
+    tracer_.event(timers_.now(), "node", trace_node_, "relay.tx",
+                  {{"peer", peer.brief()},
+                   {"agent", agent.brief()},
+                   {"candidate", int(attempt.index)}},
+                  attempt.span);
+  }
+  LinkFrame req;
+  req.type = LinkType::kRequest;
+  req.sender = table_.self();
+  req.con_type = ConnectionType::kRelay;
+  req.token = attempt.token;
+  req.uris = hooks_.local_uris();
+  edges_.send_to(agent_conn->remote,
+                 RelayFrame::wrap(table_.self(), agent, peer,
+                                  req.serialize()));
+  // One shot per agent: either the tunneled reply lands, or the timer
+  // advances to the next candidate.  The request timeout shrinks with a
+  // measured agent RTT (the tunnel leg we cannot measure is bounded by
+  // the same WAN scale).
+  SimDuration wait = config_.relay_request_timeout;
+  if (config_.adaptive_timers) {
+    SimDuration hint = hooks_.peer_rto_hint(agent);
+    if (hint > 0) {
+      wait = std::clamp(4 * hint, kSecond, config_.relay_request_timeout);
+    }
+  }
+  attempt.timer =
+      timers_.schedule(wait, [this, peer] { on_timeout(peer); });
+}
+
+void RelayAgent::on_timeout(const Address& peer) {
+  auto it = relay_attempts_.find(peer);
+  if (it == relay_attempts_.end()) return;
+  ++it->second.index;
+  send_request(peer);
+}
+
+void RelayAgent::finish_attempt(const Address& peer, const char* outcome) {
+  auto it = relay_attempts_.find(peer);
+  if (it == relay_attempts_.end()) return;
+  timers_.cancel(it->second.timer);
+  if (it->second.span != 0) {
+    tracer_.end_span(
+        timers_.now(), "node", trace_node_, outcome, it->second.span,
+        {{"peer", peer.brief()},
+         {"elapsed_s", to_seconds(timers_.now() - it->second.started)}});
+  }
+  relay_attempts_.erase(it);
+}
+
+void RelayAgent::maintain() {
+  if (!config_.relay_enabled) return;
+  SimTime now = timers_.now();
+  std::vector<const Connection*> due;
+  table_.for_each([&](const Connection& c) {
+    if (!c.is_relay() || c.uris.empty()) return;
+    if (hooks_.link_attempting(c.addr)) return;
+    if (now < hooks_.next_direct_probe(c.addr)) return;
+    due.push_back(&c);
+  });
+  for (const Connection* c : due) {
+    hooks_.set_next_direct_probe(c->addr,
+                                 now + config_.relay_probe_interval);
+    if (tracer_.enabled()) {
+      tracer_.event(now, "node", trace_node_, "relay.probe",
+                    {{"peer", c->addr.brief()}});
+    }
+    // A plain active handshake over the peer's direct URIs: success
+    // lands in on_link_established (the upgrade), exhaustion lands in
+    // on_link_failed (keep tunnel, back off).
+    hooks_.link_start(c->addr, ConnectionType::kStructuredNear, c->uris);
+  }
+}
+
+void RelayAgent::abort_all() {
+  for (auto& [peer, attempt] : relay_attempts_) timers_.cancel(attempt.timer);
+  relay_attempts_.clear();
+}
+
+void RelayAgent::add_relay_connection(
+    const Address& peer, const Address& agent,
+    const net::Endpoint& agent_endpoint,
+    const std::vector<transport::Uri>& uris) {
+  Connection c;
+  c.addr = peer;
+  c.type = ConnectionType::kRelay;
+  c.remote = agent_endpoint;
+  c.relay = agent;
+  c.uris = uris;
+  c.established = timers_.now();
+  c.last_heard = timers_.now();
+  hooks_.seed_estimator(c);
+  bool added = table_.add(std::move(c));
+  if (!added) {
+    // The table either refreshed an existing relay entry or protected a
+    // direct connection (the merge never downgrades); nothing to count.
+    hooks_.update_routable();
+    return;
+  }
+  ++stats_.connections_added;
+  ++stats_.relays_established;
+  hooks_.set_next_direct_probe(peer,
+                               timers_.now() + config_.relay_probe_interval);
+  WOW_LOG(logger_, LogLevel::kInfo, timers_.now(), log_component_,
+          "+conn relay " + peer.brief() + " via agent " + agent.brief());
+  if (tracer_.enabled()) {
+    tracer_.event(timers_.now(), "node", trace_node_, "conn.added",
+                  {{"peer", peer.brief()},
+                   {"ctype", "relay"},
+                   {"agent", agent.brief()},
+                   {"remote", agent_endpoint.to_string()}});
+  }
+  hooks_.connection_added(*table_.find(peer));
+  hooks_.update_routable();
+}
+
+}  // namespace wow::p2p

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/ring_id.h"
+
+namespace wow::p2p {
+
+/// 2^159: boundary between "clockwise side" and "counter-clockwise side"
+/// of the ring relative to a node.
+[[nodiscard]] inline RingId ring_half() {
+  std::array<std::uint32_t, RingId::kLimbs> limbs{};
+  limbs[RingId::kLimbs - 1] = 0x80000000u;
+  return RingId{limbs};
+}
+
+/// Ring offset that is `fraction` (in [0,1)) of the whole ring.
+[[nodiscard]] inline RingId fraction_of_ring(double fraction) {
+  fraction = std::clamp(fraction, 0.0, 0.999999999);
+  std::array<std::uint32_t, RingId::kLimbs> limbs{};
+  double v = fraction;
+  for (int i = RingId::kLimbs - 1; i >= 0; --i) {
+    v *= 4294967296.0;
+    double whole = std::floor(v);
+    limbs[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(whole);
+    v -= whole;
+  }
+  return RingId{limbs};
+}
+
+}  // namespace wow::p2p

@@ -7,6 +7,7 @@
 #include "common/ring_id.h"
 #include "common/time.h"
 #include "p2p/packet.h"
+#include "p2p/shortcut_config.h"
 
 namespace wow::p2p {
 
@@ -24,21 +25,7 @@ namespace wow::p2p {
 /// the node to send a Connect-To-Me and establish a single-hop shortcut.
 class ShortcutOverlord {
  public:
-  struct Config {
-    bool enabled = true;
-    /// Leak rate c, in packets per second.
-    double service_rate = 0.5;
-    /// Score above which a shortcut is requested.
-    double threshold = 10.0;
-    /// Practical limit on simultaneous shortcut connections (§IV-E
-    /// notes maintenance overhead bounds this).
-    int max_shortcuts = 16;
-    /// Minimum spacing between connect attempts to the same node, so a
-    /// lost CTM or slow linking isn't spammed.
-    SimDuration retry_cooldown = 15 * kSecond;
-    /// Scores idle longer than this are dropped from the table.
-    SimDuration entry_expiry = 10 * kMinute;
-  };
+  using Config = ShortcutConfig;
 
   /// Callbacks into the owning node.
   struct Hooks {

@@ -11,21 +11,9 @@
 #include "common/time.h"
 #include "common/trace.h"
 #include "sim/event_fn.h"
+#include "sim/timer_service.h"
 
 namespace wow::sim {
-
-/// Identifies a scheduled event so it can be cancelled.  Value 0 is the
-/// null handle (never issued).
-///
-/// The id packs the event's queue slot (low 32 bits, offset by one so a
-/// valid handle is never 0) and the slot's generation at scheduling time
-/// (high 32 bits).  Slots are recycled; the generation check makes a
-/// stale handle — kept across its event firing and the slot's reuse — a
-/// guaranteed no-op instead of cancelling an unrelated event.
-struct TimerHandle {
-  std::uint64_t id = 0;
-  [[nodiscard]] bool valid() const { return id != 0; }
-};
 
 /// Single-threaded discrete-event simulator.
 ///
@@ -45,7 +33,7 @@ struct TimerHandle {
 /// behind as a tombstone, which is dropped the one time it surfaces at
 /// the top — or earlier, when tombstones outnumber live events and the
 /// heap is compacted in one O(n) pass.
-class Simulator {
+class Simulator final : public TimerService {
  public:
   explicit Simulator(std::uint64_t seed = 1,
                      LogLevel log_level = LogLevel::kWarn);
@@ -53,9 +41,9 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  ~Simulator();
+  ~Simulator() override;
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] Logger& logger() { return logger_; }
 
@@ -67,14 +55,15 @@ class Simulator {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] Tracer& trace() { return trace_; }
 
-  /// Monotonic id for packet-level tracing.  Consumed unconditionally by
-  /// the data plane (it is one increment) so that enabling a trace sink
-  /// cannot change any id and therefore any wire byte.
-  [[nodiscard]] std::uint64_t next_trace_id() { return next_trace_id_++; }
+  /// Monotonic id for packet-level tracing (delegates to the tracer,
+  /// which owns the counter so trace ids exist without a simulator).
+  [[nodiscard]] std::uint64_t next_trace_id() {
+    return trace_.next_trace_id();
+  }
 
   /// Schedule `fn` to run `delay` from now.  Negative delays clamp to 0
   /// (fire on the next step).
-  TimerHandle schedule(SimDuration delay, EventFn fn) {
+  TimerHandle schedule(SimDuration delay, EventFn fn) override {
     if (delay < 0) delay = 0;
     return schedule_at(now_ + delay, std::move(fn));
   }
@@ -86,7 +75,7 @@ class Simulator {
 
   /// Cancel a pending event.  Cancelling an already-fired or invalid
   /// handle is a no-op; returns whether something was cancelled.
-  bool cancel(TimerHandle handle);
+  bool cancel(TimerHandle handle) override;
 
   /// Run one event.  Returns false when the queue is empty.
   bool step();
@@ -192,7 +181,6 @@ class Simulator {
   SimTime now_ = 0;
   std::uint32_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::uint64_t next_trace_id_ = 1;
   std::vector<std::unique_ptr<std::byte[]>> chunks_;
   std::uint32_t allocated_ = 0;  // slots ever handed out (high-water mark)
   std::vector<HeapEntry> heap_;  // min-heap ordered by (when, seq)

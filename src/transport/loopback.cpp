@@ -1,0 +1,133 @@
+#include "transport/loopback.h"
+
+namespace wow::transport {
+
+sim::TimerHandle LoopbackNet::schedule(SimDuration delay, sim::EventFn fn) {
+  if (delay < 0) delay = 0;
+  std::uint64_t seq = next_seq_++;
+  EventKey key{now_ + delay, seq};
+  queue_.emplace(key, std::move(fn));
+  handles_.emplace(seq, key);
+  return sim::TimerHandle{seq};
+}
+
+bool LoopbackNet::cancel(sim::TimerHandle handle) {
+  auto it = handles_.find(handle.id);
+  if (it == handles_.end()) return false;
+  queue_.erase(it->second);
+  handles_.erase(it);
+  return true;
+}
+
+void LoopbackNet::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    if (it->first.first > deadline) break;
+    now_ = it->first.first;
+    sim::EventFn fn = std::move(it->second);
+    handles_.erase(it->first.second);
+    queue_.erase(it);
+    fn();  // may schedule/cancel freely; the node is out of the queue
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+std::unique_ptr<LoopbackEdgeFactory> LoopbackNet::endpoint(
+    net::Ipv4Addr ip) {
+  return std::make_unique<LoopbackEdgeFactory>(*this, ip);
+}
+
+void LoopbackNet::send(const net::Endpoint& src, const net::Endpoint& dst,
+                       SharedBytes payload) {
+  // Delivery is deferred through the event loop so a send never
+  // re-enters the receiver mid-handler, mirroring the simulator.
+  schedule(latency_, [this, src, dst, payload = std::move(payload)]() mutable {
+    auto it = binds_.find(dst);
+    if (it == binds_.end()) return;  // dead host: the frame vanishes
+    it->second->on_datagram(src, std::move(payload));
+  });
+}
+
+/// Per-remote view over the loopback wire.
+class LoopbackEdgeFactory::LoopbackEdge final : public p2p::Edge {
+ public:
+  LoopbackEdge(LoopbackEdgeFactory& factory, net::Endpoint remote)
+      : factory_(factory), remote_(remote) {}
+
+  void send(SharedBytes payload) override {
+    if (closed_) return;
+    factory_.send_to(remote_, std::move(payload));
+  }
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    factory_.edges_.erase(remote_);  // deletes *this
+  }
+  [[nodiscard]] bool closed() const override { return closed_; }
+  [[nodiscard]] Uri local_uri() const override {
+    return factory_.local_uri();
+  }
+  [[nodiscard]] Uri remote_uri() const override {
+    return Uri{TransportKind::kUdp, remote_};
+  }
+  void set_receiver(Receiver receiver) override {
+    receiver_ = std::move(receiver);
+  }
+
+  Receiver receiver_;
+
+ private:
+  LoopbackEdgeFactory& factory_;
+  net::Endpoint remote_;
+  bool closed_ = false;
+};
+
+LoopbackEdgeFactory::LoopbackEdgeFactory(LoopbackNet& net, net::Ipv4Addr ip)
+    : net_(net), ip_(ip) {}
+
+LoopbackEdgeFactory::~LoopbackEdgeFactory() { close(); }
+
+void LoopbackEdgeFactory::bind(std::uint16_t port) {
+  if (open_) close();
+  adverts_.forget();
+  port_ = port;
+  net_.bind_endpoint(net::Endpoint{ip_, port_}, this);
+  open_ = true;
+}
+
+void LoopbackEdgeFactory::close() {
+  if (!open_) return;
+  net_.unbind_endpoint(net::Endpoint{ip_, port_});
+  open_ = false;
+}
+
+void LoopbackEdgeFactory::send_to(const net::Endpoint& dst,
+                                  SharedBytes payload) {
+  if (!open_) return;
+  net_.send(net::Endpoint{ip_, port_}, dst, std::move(payload));
+}
+
+void LoopbackEdgeFactory::on_datagram(const net::Endpoint& src,
+                                      SharedBytes payload) {
+  if (!edges_.empty()) {
+    auto it = edges_.find(src);
+    if (it != edges_.end() && it->second->receiver_) {
+      it->second->receiver_(std::move(payload));
+      return;
+    }
+  }
+  deliver(src, std::move(payload));
+}
+
+p2p::Edge& LoopbackEdgeFactory::edge_to(const net::Endpoint& remote) {
+  auto it = edges_.find(remote);
+  if (it == edges_.end()) {
+    it = edges_
+             .emplace(remote,
+                      std::make_unique<LoopbackEdge>(*this, remote))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace wow::transport

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/addr.h"
+#include "p2p/edge.h"
+#include "sim/timer_service.h"
+#include "transport/uri.h"
+
+namespace wow::transport {
+
+class LoopbackEdgeFactory;
+
+/// A minimal in-process backend for the p2p stack: a sim::TimerService
+/// with a plain ordered event loop plus an in-memory wire connecting
+/// LoopbackEdgeFactory endpoints, with nothing from src/sim or src/net
+/// behind it.  It exists to prove the Edge/TimerService seam holds —
+/// the same Node code that runs under the discrete-event simulator runs
+/// here — and as the template a real-socket backend would follow.
+///
+/// Not a simulator: no RNG, no fault model, single fixed one-way
+/// latency.  Time only advances inside run_until()/run_for().
+class LoopbackNet final : public sim::TimerService {
+ public:
+  explicit LoopbackNet(SimDuration latency = kMillisecond)
+      : latency_(latency) {}
+
+  LoopbackNet(const LoopbackNet&) = delete;
+  LoopbackNet& operator=(const LoopbackNet&) = delete;
+
+  [[nodiscard]] SimTime now() const override { return now_; }
+  sim::TimerHandle schedule(SimDuration delay, sim::EventFn fn) override;
+  bool cancel(sim::TimerHandle handle) override;
+
+  /// Run events in timestamp order (FIFO within a timestamp) until the
+  /// queue drains or the clock passes `deadline`.
+  void run_until(SimTime deadline);
+  void run_for(SimDuration delta) { run_until(now_ + delta); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Create an endpoint homed at `ip`.  Frames sent to an address with
+  /// no bound endpoint vanish, like UDP to a dead host.
+  [[nodiscard]] std::unique_ptr<LoopbackEdgeFactory> endpoint(
+      net::Ipv4Addr ip);
+
+ private:
+  friend class LoopbackEdgeFactory;
+
+  /// (when, seq) key gives timestamp order with FIFO tiebreak.
+  using EventKey = std::pair<SimTime, std::uint64_t>;
+
+  void send(const net::Endpoint& src, const net::Endpoint& dst,
+            SharedBytes payload);
+  void bind_endpoint(const net::Endpoint& at, LoopbackEdgeFactory* factory) {
+    binds_[at] = factory;
+  }
+  void unbind_endpoint(const net::Endpoint& at) { binds_.erase(at); }
+
+  SimTime now_ = 0;
+  SimDuration latency_;
+  std::uint64_t next_seq_ = 1;
+  std::map<EventKey, sim::EventFn> queue_;
+  /// Live handle id -> queue key, for cancel().
+  std::map<std::uint64_t, EventKey> handles_;
+  std::map<net::Endpoint, LoopbackEdgeFactory*> binds_;
+};
+
+/// p2p::EdgeFactory over a LoopbackNet wire.
+class LoopbackEdgeFactory final : public p2p::EdgeFactory {
+ public:
+  LoopbackEdgeFactory(LoopbackNet& net, net::Ipv4Addr ip);
+
+  LoopbackEdgeFactory(const LoopbackEdgeFactory&) = delete;
+  LoopbackEdgeFactory& operator=(const LoopbackEdgeFactory&) = delete;
+  // Out of line: destroying edges_ needs the complete LoopbackEdge.
+  ~LoopbackEdgeFactory() override;
+
+  void bind(std::uint16_t port) override;
+  void close() override;
+  [[nodiscard]] bool is_open() const override { return open_; }
+
+  void send_to(const net::Endpoint& dst, SharedBytes payload) override;
+
+  [[nodiscard]] p2p::Edge& edge_to(const net::Endpoint& remote) override;
+
+  [[nodiscard]] transport::Uri local_uri() const override {
+    return Uri{TransportKind::kUdp, net::Endpoint{ip_, port_}};
+  }
+  [[nodiscard]] std::vector<Uri> local_uris() const override {
+    return adverts_.all(local_uri());
+  }
+  bool learn_public_uri(const Uri& uri) override {
+    return adverts_.learn(uri, local_uri());
+  }
+
+ private:
+  friend class LoopbackNet;
+  class LoopbackEdge;
+
+  void on_datagram(const net::Endpoint& src, SharedBytes payload);
+
+  LoopbackNet& net_;
+  net::Ipv4Addr ip_;
+  std::uint16_t port_ = 0;
+  bool open_ = false;
+  p2p::UriAdvertSet adverts_;
+  std::map<net::Endpoint, std::unique_ptr<LoopbackEdge>> edges_;
+};
+
+}  // namespace wow::transport

@@ -82,8 +82,8 @@ Testbed::Testbed(sim::Simulator& simulator, TestbedConfig config)
     cfg.port = static_cast<std::uint16_t>(
         17000 + r / static_cast<int>(pl_hosts.size()));
     if (r > 0) cfg.bootstrap = bootstrap_;
-    routers_.push_back(
-        std::make_unique<p2p::Node>(sim_, net, host, cfg));
+    routers_.push_back(std::make_unique<p2p::Node>(
+        p2p::NodeDeps::sim(sim_, net, host), cfg));
     if (r < 5) {
       bootstrap_.push_back(transport::Uri{
           transport::TransportKind::kUdp, net::Endpoint{host.ip(), cfg.port}});

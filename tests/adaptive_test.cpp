@@ -39,14 +39,16 @@ struct TriSiteOverlay {
       auto& host = network.add_host(
           ip, net::Network::kInternet, sites[static_cast<std::size_t>(s)],
           hc);
+      hosts.push_back(&host);
       p2p::NodeConfig cfg = base;
       cfg.port = 17000;
       if (i > 0) {
         cfg.bootstrap = {transport::Uri{
             transport::TransportKind::kUdp,
-            net::Endpoint{nodes[0]->host().ip(), 17000}}};
+            net::Endpoint{hosts[0]->ip(), 17000}}};
       }
-      nodes.push_back(std::make_unique<p2p::Node>(sim, network, host, cfg));
+      nodes.push_back(std::make_unique<p2p::Node>(
+          p2p::NodeDeps::sim(sim, network, host), cfg));
     }
   }
 
@@ -72,6 +74,8 @@ struct TriSiteOverlay {
   sim::Simulator sim;
   net::Network network;
   std::vector<net::SiteId> sites;
+  /// Physical hosts, parallel to `nodes`.
+  std::vector<net::Host*> hosts;
   std::vector<std::unique_ptr<p2p::Node>> nodes;
 };
 
@@ -372,8 +376,8 @@ TEST(Adaptive, MutualBootstrapUnderLossConvergesToOneConnection) {
                                  net::Endpoint{hb.ip(), 17000}}};
   cb.bootstrap = {transport::Uri{transport::TransportKind::kUdp,
                                  net::Endpoint{ha.ip(), 17000}}};
-  p2p::Node a(sim, network, ha, ca);
-  p2p::Node b(sim, network, hb, cb);
+  p2p::Node a(p2p::NodeDeps::sim(sim, network, ha), ca);
+  p2p::Node b(p2p::NodeDeps::sim(sim, network, hb), cb);
   a.start();
   b.start();
   sim.run_for(5 * kMinute);

@@ -38,19 +38,22 @@ struct MultiSiteOverlay {
       auto& host =
           network.add_host(ip, net::Network::kInternet, sites[
               static_cast<std::size_t>(s)], hc);
+      hosts.push_back(&host);
       p2p::NodeConfig cfg = base;
       cfg.port = 17000;
       if (i > 0) {
         cfg.bootstrap = {transport::Uri{
             transport::TransportKind::kUdp,
-            net::Endpoint{nodes[0]->host().ip(), 17000}}};
+            net::Endpoint{hosts[0]->ip(), 17000}}};
       }
-      nodes.push_back(std::make_unique<p2p::Node>(sim, network, host, cfg));
+      nodes.push_back(std::make_unique<p2p::Node>(
+          p2p::NodeDeps::sim(sim, network, host), cfg));
     }
     // Crash faults kill and later restart the overlay process.
     network.faults().set_crash_handler([this](net::HostId host, bool down) {
-      for (auto& n : nodes) {
-        if (n->host().id() != host) continue;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (hosts[i]->id() != host) continue;
+        auto& n = nodes[i];
         if (down && n->running()) n->stop();
         if (!down && !n->running()) n->restart();
       }
@@ -72,6 +75,9 @@ struct MultiSiteOverlay {
   sim::Simulator sim;
   net::Network network;
   std::vector<net::SiteId> sites;
+  /// Physical hosts, parallel to `nodes` (the node no longer exposes
+  /// its host — the transport seam hides the simulated network).
+  std::vector<net::Host*> hosts;
   std::vector<std::unique_ptr<p2p::Node>> nodes;
 };
 
@@ -84,7 +90,7 @@ net::FaultPlan::RandomParams soak_params(const MultiSiteOverlay& net) {
   // Only the back half of the fleet may freeze or crash: node 0 is the
   // bootstrap every restarted node rejoins through.
   for (std::size_t i = net.nodes.size() / 2; i < net.nodes.size(); ++i) {
-    params.hosts.push_back(net.nodes[i]->host().id());
+    params.hosts.push_back(net.hosts[i]->id());
   }
   return params;
 }

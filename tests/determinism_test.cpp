@@ -107,7 +107,7 @@ TEST(Determinism, ChaosScheduleRunsAreByteIdentical) {
     params.horizon = net.sim.now() + 5 * kMinute;
     params.sites = {net.site};
     for (std::size_t i = 5; i < net.nodes.size(); ++i) {
-      params.hosts.push_back(net.nodes[i]->host().id());
+      params.hosts.push_back(net.hosts[i]->id());
     }
     net.network.faults().schedule(net::FaultPlan::random(13, params));
 

@@ -232,7 +232,7 @@ TEST(OverlayObservability, ComponentDestructionUnregistersGauges) {
     auto& host = network.add_host(net::Ipv4Addr(128, 1, 0, 1),
                                   net::Network::kInternet, site, {});
     {
-      p2p::Node node(sim, network, host, {});
+      p2p::Node node(p2p::NodeDeps::sim(sim, network, host), {});
       EXPECT_GT(sim.metrics().size(), with_net);
       (void)sim.metrics().to_json();  // all gauges evaluable while alive
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "p2p/shortcut_overlord.h"
 #include "test_util.h"
 
 namespace wow {

@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "net/network.h"
+#include "net/sim_edge.h"
 #include "p2p/connection_table.h"
 #include "p2p/linking.h"
 #include "p2p/shortcut_overlord.h"
@@ -207,7 +208,9 @@ TEST(ShortcutOverlord, SweepExpiresIdleEntries) {
 // -------------------------------------------------------------- LinkingEngine
 
 /// Two public hosts + engines wired together through a real simulated
-/// network, so retries, timeouts and races run for real.
+/// network, so retries, timeouts and races run for real.  The engines
+/// talk through the EdgeFactory seam (net::SimEdgeFactory here), the
+/// same one the node uses.
 struct LinkPair {
   LinkPair() : sim(5), network(sim) {
     auto site = network.add_site("s");
@@ -215,8 +218,10 @@ struct LinkPair {
                                net::Network::kInternet, site, {});
     host_b = &network.add_host(net::Ipv4Addr(128, 0, 0, 2),
                                net::Network::kInternet, site, {});
-    ta = std::make_unique<transport::Transport>(network, *host_a, 1700);
-    tb = std::make_unique<transport::Transport>(network, *host_b, 1700);
+    ta = std::make_unique<net::SimEdgeFactory>(network, *host_a);
+    tb = std::make_unique<net::SimEdgeFactory>(network, *host_b);
+    ta->bind(1700);
+    tb->bind(1700);
     addr_a = Address{100};
     addr_b = Address{200};
     ea = make_engine(*ta, addr_a, established_a);
@@ -232,13 +237,13 @@ struct LinkPair {
   }
 
   std::unique_ptr<LinkingEngine> make_engine(
-      transport::Transport& transport, Address self,
+      p2p::EdgeFactory& edges, Address self,
       std::vector<Address>& established) {
     LinkConfig cfg;
     cfg.initial_rto = 500 * kMillisecond;
     cfg.max_retries = 2;
     return std::make_unique<LinkingEngine>(
-        *&sim, transport, self, cfg,
+        sim, sim.rng(), sim.trace(), edges, self, cfg,
         LinkingEngine::Callbacks{
             [&established](const Address& peer,
                            const std::vector<transport::Uri>&,
@@ -263,7 +268,7 @@ struct LinkPair {
   net::Network network;
   net::Host* host_a;
   net::Host* host_b;
-  std::unique_ptr<transport::Transport> ta, tb;
+  std::unique_ptr<net::SimEdgeFactory> ta, tb;
   Address addr_a, addr_b;
   std::vector<Address> established_a, established_b;
   std::unique_ptr<LinkingEngine> ea, eb;
@@ -306,7 +311,7 @@ TEST(LinkingEngine, AllUrisDeadReportsFailure) {
   cfg.initial_rto = 200 * kMillisecond;
   cfg.max_retries = 1;
   LinkingEngine engine(
-      pair.sim, *pair.ta, pair.addr_a, cfg,
+      pair.sim, pair.sim.rng(), pair.sim.trace(), *pair.ta, pair.addr_a, cfg,
       LinkingEngine::Callbacks{
           [](const Address&, const std::vector<transport::Uri>&,
              const net::Endpoint&, ConnectionType) {},

@@ -97,8 +97,8 @@ TEST(NatRenumbering, HomeNodeSurvivesTranslationChange) {
     p2p::NodeConfig cfg;
     cfg.port = 17000;
     if (i > 0) cfg.bootstrap = bootstrap;
-    routers.push_back(
-        std::make_unique<p2p::Node>(sim, network, host, cfg));
+    routers.push_back(std::make_unique<p2p::Node>(
+        p2p::NodeDeps::sim(sim, network, host), cfg));
     bootstrap.push_back(transport::Uri{
         transport::TransportKind::kUdp, net::Endpoint{host.ip(), 17000}});
     sim.schedule(static_cast<SimDuration>(i) * 3 * kSecond,
@@ -206,7 +206,8 @@ TEST_P(NatTraversalMatrix, TwoNatedPeersEventuallyLink) {
     p2p::NodeConfig cfg;
     cfg.port = 17000;
     if (i > 0) cfg.bootstrap = bootstrap;
-    routers.push_back(std::make_unique<p2p::Node>(sim, network, host, cfg));
+    routers.push_back(std::make_unique<p2p::Node>(
+        p2p::NodeDeps::sim(sim, network, host), cfg));
     bootstrap.push_back(transport::Uri{
         transport::TransportKind::kUdp, net::Endpoint{host.ip(), 17000}});
     routers.back()->start();

@@ -25,15 +25,16 @@ struct PublicOverlay {
       net::Host::Config hc;
       hc.name = "host" + std::to_string(i);
       auto& host = network.add_host(ip, net::Network::kInternet, site, hc);
+      hosts.push_back(&host);
       p2p::NodeConfig cfg = base;
       cfg.port = 17000;
       if (i > 0) {
         cfg.bootstrap = {transport::Uri{
             transport::TransportKind::kUdp,
-            net::Endpoint{nodes[0]->host().ip(), 17000}}};
+            net::Endpoint{hosts[0]->ip(), 17000}}};
       }
-      nodes.push_back(
-          std::make_unique<p2p::Node>(sim, network, host, cfg));
+      nodes.push_back(std::make_unique<p2p::Node>(
+          p2p::NodeDeps::sim(sim, network, host), cfg));
     }
   }
 
@@ -53,6 +54,9 @@ struct PublicOverlay {
   sim::Simulator sim;
   net::Network network;
   net::SiteId site = 0;
+  /// Physical hosts, parallel to `nodes` (the node no longer exposes
+  /// its host — the transport seam hides the simulated network).
+  std::vector<net::Host*> hosts;
   std::vector<std::unique_ptr<p2p::Node>> nodes;
 };
 
@@ -71,8 +75,8 @@ struct IpopOverlay {
                                          net::Network::kInternet, site, rc);
     p2p::NodeConfig router_cfg = base;
     router_cfg.port = 17000;
-    router = std::make_unique<p2p::Node>(sim, network, router_host,
-                                         router_cfg);
+    router = std::make_unique<p2p::Node>(
+        p2p::NodeDeps::sim(sim, network, router_host), router_cfg);
     auto bootstrap = transport::Uri{
         transport::TransportKind::kUdp,
         net::Endpoint{router_host.ip(), 17000}};

@@ -31,9 +31,11 @@
 
 #include "common/trace.h"
 #include "net/faults.h"
+#include "net/network.h"
 #include "p2p/oracle.h"
 #include "p2p/node.h"
 #include "sim/simulator.h"
+#include "tool_flags.h"
 #include "transport/uri.h"
 
 namespace {
@@ -65,14 +67,16 @@ struct SoakNet {
       auto& host = network.add_host(
           ip, net::Network::kInternet, sites[static_cast<std::size_t>(i % 3)],
           net::Host::Config{"host" + std::to_string(i)});
+      hosts.push_back(&host);
       p2p::NodeConfig cfg;
       cfg.port = 17000;
       if (i > 0) {
         cfg.bootstrap = {transport::Uri{
             transport::TransportKind::kUdp,
-            net::Endpoint{nodes[0]->host().ip(), 17000}}};
+            net::Endpoint{hosts[0]->ip(), 17000}}};
       }
-      nodes.push_back(std::make_unique<p2p::Node>(sim, network, host, cfg));
+      nodes.push_back(std::make_unique<p2p::Node>(
+          p2p::NodeDeps::sim(sim, network, host), cfg));
     }
     if (with_nat) {
       // Two NAT domains with two hosts each: targets for kNatReboot, and
@@ -94,19 +98,21 @@ struct SoakNet {
               dom, sites[static_cast<std::size_t>(d)],
               net::Host::Config{"nat" + std::to_string(d) + "-host" +
                                 std::to_string(i)});
+          hosts.push_back(&host);
           p2p::NodeConfig cfg;
           cfg.port = 17000;
           cfg.bootstrap = {transport::Uri{
               transport::TransportKind::kUdp,
-              net::Endpoint{nodes[0]->host().ip(), 17000}}};
-          nodes.push_back(
-              std::make_unique<p2p::Node>(sim, network, host, cfg));
+              net::Endpoint{hosts[0]->ip(), 17000}}};
+          nodes.push_back(std::make_unique<p2p::Node>(
+              p2p::NodeDeps::sim(sim, network, host), cfg));
         }
       }
     }
     network.faults().set_crash_handler([this](net::HostId host, bool down) {
-      for (auto& n : nodes) {
-        if (n->host().id() != host) continue;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (hosts[i]->id() != host) continue;
+        auto& n = nodes[i];
         if (down && n->running()) n->stop();
         if (!down && !n->running()) n->restart();
       }
@@ -125,6 +131,8 @@ struct SoakNet {
   net::Network network;
   std::vector<net::SiteId> sites;
   std::vector<net::DomainId> nat_domains;
+  /// Physical hosts, parallel to `nodes`.
+  std::vector<net::Host*> hosts;
   std::vector<std::unique_ptr<p2p::Node>> nodes;
 };
 
@@ -185,7 +193,7 @@ int run(const Options& opt) {
     // Node 0 is the bootstrap every crashed node rejoins through; only
     // the back half of the fleet may freeze or crash.
     for (std::size_t i = soak.nodes.size() / 2; i < soak.nodes.size(); ++i) {
-      params.hosts.push_back(soak.nodes[i]->host().id());
+      params.hosts.push_back(soak.hosts[i]->id());
     }
     plan = net::FaultPlan::random(opt.seed, params);
   }
@@ -266,32 +274,41 @@ int run(const Options& opt) {
 
 int main(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--schedule=", 11) == 0) {
-      opt.schedule = argv[i] + 11;
-    } else if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
-      opt.nodes = std::atoi(argv[i] + 8);
-    } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
-      opt.events = std::atoi(argv[i] + 9);
-    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      opt.trace_path = argv[i] + 8;
-    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
-      if (std::strcmp(argv[i] + 10, "composite") == 0) {
-        opt.composite = true;
-      } else if (std::strcmp(argv[i] + 10, "random") != 0) {
-        std::fprintf(stderr, "chaos_runner: unknown --profile: %s\n",
-                     argv[i] + 10);
-        return 2;
-      }
-    } else {
-      std::fprintf(stderr,
-                   "usage: chaos_runner [--seed=N] [--schedule=\"...\"] "
-                   "[--nodes=N] [--events=N] [--trace=out.jsonl] "
-                   "[--profile=random|composite]\n");
-      return 2;
-    }
+  wow::tools::FlagSet flags("chaos_runner", "");
+  flags.on_value("seed", "N", "fault-schedule RNG seed",
+                 [&](std::string_view v) {
+                   opt.seed = std::strtoull(std::string(v).c_str(), nullptr, 10);
+                   return true;
+                 });
+  flags.on_value("schedule", "\"...\"", "replay an explicit fault schedule",
+                 [&](std::string_view v) {
+                   opt.schedule = std::string(v);
+                   return true;
+                 });
+  flags.on_value("nodes", "N", "overlay size (4..256)",
+                 [&](std::string_view v) {
+                   opt.nodes = std::atoi(std::string(v).c_str());
+                   return true;
+                 });
+  flags.on_value("events", "N", "number of fault events",
+                 [&](std::string_view v) {
+                   opt.events = std::atoi(std::string(v).c_str());
+                   return true;
+                 });
+  flags.on_value("trace", "out.jsonl", "write the overlay trace here",
+                 [&](std::string_view v) {
+                   opt.trace_path = std::string(v);
+                   return true;
+                 });
+  flags.on_value("profile", "random|composite", "fault mix",
+                 [&](std::string_view v) {
+                   opt.composite = v == "composite";
+                   return opt.composite || v == "random";
+                 });
+  std::vector<std::string> positional;
+  if (!flags.parse(argc, argv, positional) || !positional.empty()) {
+    if (!positional.empty()) flags.print_usage(stderr);
+    return flags.help_shown() ? 0 : 2;
   }
   if (opt.nodes < 4 || opt.nodes > 256 || opt.events < 1) {
     std::fprintf(stderr, "chaos_runner: implausible --nodes/--events\n");

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wow::tools {
+
+/// Declarative command-line parser shared by the tools.
+///
+/// Register every flag up front with its help line, then parse() once:
+/// unknown or malformed flags print the usage and fail instead of being
+/// silently ignored, and --help/-h comes for free.  Flags are --name
+/// (boolean) or --name=value; anything else is a positional argument.
+class FlagSet {
+ public:
+  FlagSet(std::string tool, std::string positional_usage)
+      : tool_(std::move(tool)), positional_(std::move(positional_usage)) {}
+
+  /// A boolean switch: `fn` runs when --name is present.
+  void on_flag(std::string name, std::string help, std::function<void()> fn) {
+    flags_.push_back(Flag{std::move(name), "", std::move(help),
+                          std::move(fn), nullptr});
+  }
+
+  /// A valued flag --name=<value_name>; `fn` returns false to reject
+  /// the value (parse() then fails with the usage).
+  void on_value(std::string name, std::string value_name, std::string help,
+                std::function<bool(std::string_view)> fn) {
+    flags_.push_back(Flag{std::move(name), std::move(value_name),
+                          std::move(help), nullptr, std::move(fn)});
+  }
+
+  /// Parse argv; positional arguments are appended to `positional`.
+  /// Returns false after printing usage on --help (see help_shown())
+  /// or on any unknown flag / rejected value.
+  bool parse(int argc, char** argv, std::vector<std::string>& positional) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_usage(stdout);
+        help_shown_ = true;
+        return false;
+      }
+      if (!arg.starts_with("--")) {
+        positional.emplace_back(arg);
+        continue;
+      }
+      std::string_view body = arg.substr(2);
+      std::string_view name = body;
+      std::string_view value;
+      bool has_value = false;
+      if (std::size_t eq = body.find('='); eq != std::string_view::npos) {
+        name = body.substr(0, eq);
+        value = body.substr(eq + 1);
+        has_value = true;
+      }
+      Flag* flag = find(name);
+      if (flag == nullptr) {
+        std::fprintf(stderr, "%s: unknown flag --%.*s\n", tool_.c_str(),
+                     static_cast<int>(name.size()), name.data());
+        print_usage(stderr);
+        return false;
+      }
+      if (flag->set) {
+        if (has_value) {
+          std::fprintf(stderr, "%s: --%s takes no value\n", tool_.c_str(),
+                       flag->name.c_str());
+          print_usage(stderr);
+          return false;
+        }
+        flag->set();
+      } else {
+        if (!has_value || !flag->set_value(value)) {
+          std::fprintf(stderr, "%s: bad value for --%s=%s\n", tool_.c_str(),
+                       flag->name.c_str(), flag->value_name.c_str());
+          print_usage(stderr);
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// True when parse() returned false because of --help (exit 0) rather
+  /// than a parse error (exit non-zero).
+  [[nodiscard]] bool help_shown() const { return help_shown_; }
+
+  void print_usage(FILE* out) const {
+    std::fprintf(out, "usage: %s %s%s[flags]\n", tool_.c_str(),
+                 positional_.c_str(), positional_.empty() ? "" : " ");
+    for (const Flag& f : flags_) {
+      std::string left = "--" + f.name;
+      if (!f.value_name.empty()) left += "=" + f.value_name;
+      std::fprintf(out, "  %-22s %s\n", left.c_str(), f.help.c_str());
+    }
+    std::fprintf(out, "  %-22s %s\n", "--help", "show this message");
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value_name;  // empty for boolean switches
+    std::string help;
+    std::function<void()> set;
+    std::function<bool(std::string_view)> set_value;
+  };
+
+  Flag* find(std::string_view name) {
+    for (Flag& f : flags_) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+
+  std::string tool_;
+  std::string positional_;
+  std::vector<Flag> flags_;
+  bool help_shown_ = false;
+};
+
+}  // namespace wow::tools

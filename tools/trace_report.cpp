@@ -21,8 +21,7 @@
 // relay lifecycle — tunnels established, relay -> direct upgrade
 // latency (relay.upgraded), probe failures, and bootstrap re-probes.
 //
-// Usage: trace_report <trace.jsonl> [--path=<pkt>] [--faults]
-//                     [--health] [--cdf-bins=N]
+// Usage: trace_report <trace.jsonl> [flags]; see --help.
 
 #include <cinttypes>
 #include <cstdint>
@@ -38,6 +37,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "tool_flags.h"
 
 namespace {
 
@@ -112,31 +112,39 @@ void print_distribution(const char* title, std::vector<double> values,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* path = nullptr;
   std::optional<std::uint64_t> follow_pkt;
   bool faults_view = false;
   bool health_view = false;
   std::size_t cdf_bins = 20;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--path=", 7) == 0) {
-      follow_pkt = std::strtoull(argv[i] + 7, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--faults") == 0) {
-      faults_view = true;
-    } else if (std::strcmp(argv[i], "--health") == 0) {
-      health_view = true;
-    } else if (std::strncmp(argv[i], "--cdf-bins=", 11) == 0) {
-      cdf_bins = std::strtoul(argv[i] + 11, nullptr, 10);
-      if (cdf_bins == 0) cdf_bins = 20;
-    } else if (path == nullptr) {
-      path = argv[i];
-    }
+
+  wow::tools::FlagSet flags("trace_report", "<trace.jsonl>");
+  flags.on_value("path", "<pkt>",
+                 "print every record touching packet id <pkt>",
+                 [&](std::string_view v) {
+                   follow_pkt =
+                       std::strtoull(std::string(v).c_str(), nullptr, 10);
+                   return true;
+                 });
+  flags.on_flag("faults",
+                "fault timeline + detection/relink latency view",
+                [&] { faults_view = true; });
+  flags.on_flag("health",
+                "adaptive-maintenance view (SRTT, quarantine, relays)",
+                [&] { health_view = true; });
+  flags.on_value("cdf-bins", "N", "histogram bins (default 20)",
+                 [&](std::string_view v) {
+                   cdf_bins = std::strtoul(std::string(v).c_str(), nullptr, 10);
+                   return cdf_bins > 0;
+                 });
+  std::vector<std::string> positional;
+  if (!flags.parse(argc, argv, positional)) {
+    return flags.help_shown() ? 0 : 2;
   }
-  if (path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: trace_report <trace.jsonl> [--path=<pkt>] "
-                 "[--faults] [--health] [--cdf-bins=N]\n");
+  if (positional.size() != 1) {
+    flags.print_usage(stderr);
     return 2;
   }
+  const char* path = positional[0].c_str();
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "trace_report: cannot open %s\n", path);
