@@ -128,6 +128,31 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
   return out;
 }
 
+void MetricsRegistry::for_each(
+    const std::function<void(MetricId, Sample::Kind, std::string_view,
+                             const MetricLabels&, double, const Histogram*)>&
+        fn) const {
+  for (MetricId id = 0; id < entries_.size(); ++id) {
+    const Entry& entry = entries_[id];
+    if (entry.dead) continue;
+    double value = 0.0;
+    const Histogram* hist = nullptr;
+    switch (entry.kind) {
+      case Sample::Kind::kCounter:
+        value = static_cast<double>(entry.counter.value());
+        break;
+      case Sample::Kind::kGauge:
+        value = entry.gauge ? entry.gauge() : 0.0;
+        break;
+      case Sample::Kind::kHistogram:
+        value = entry.hist ? static_cast<double>(entry.hist->total()) : 0.0;
+        hist = entry.hist ? &*entry.hist : nullptr;
+        break;
+    }
+    fn(id, entry.kind, entry.name, entry.labels, value, hist);
+  }
+}
+
 std::string MetricsRegistry::to_json() const {
   std::string out = "{\"metrics\":[";
   bool first = true;
@@ -159,6 +184,128 @@ std::string MetricsRegistry::to_json() const {
     out += '}';
   }
   out += "]}";
+  return out;
+}
+
+void MetricsTimeSeries::sample(SimTime now) {
+  ++windows_;
+  double t = to_seconds(now);
+  // Visitation instead of snapshot(): no per-metric string copies, and
+  // the registry's stable ids replace a map lookup per metric.  The
+  // only allocations left are first-sight series creation and point
+  // appends.
+  registry_.for_each([&](MetricId id, MetricsRegistry::Sample::Kind kind,
+                         std::string_view name, const MetricLabels& labels,
+                         double value, const Histogram* hist) {
+    if (id >= id_to_series_.size()) {
+      id_to_series_.resize(id + 1, kNoSeries);
+    }
+    std::size_t idx = id_to_series_[id];
+    if (idx == kNoSeries) {
+      idx = series_.size();
+      Series series;
+      series.kind = kind;
+      series.name = std::string(name);
+      series.labels = labels;
+      series_.push_back(std::move(series));
+      states_.emplace_back();
+      id_to_series_[id] = idx;
+    }
+    Series& series = series_[idx];
+    State& state = states_[idx];
+    Point point;
+    point.t = t;
+    switch (kind) {
+      case MetricsRegistry::Sample::Kind::kGauge:
+        point.value = value;
+        break;
+      case MetricsRegistry::Sample::Kind::kCounter:
+        point.value = value - state.prev_value;
+        state.prev_value = value;
+        break;
+      case MetricsRegistry::Sample::Kind::kHistogram: {
+        point.value = value - state.prev_value;
+        state.prev_value = value;
+        if (hist != nullptr) {
+          delta_.assign(hist->bins(), 0);
+          state.prev_buckets.resize(hist->bins(), 0);
+          for (std::size_t b = 0; b < hist->bins(); ++b) {
+            delta_[b] = hist->count(b) - state.prev_buckets[b];
+            state.prev_buckets[b] = hist->count(b);
+          }
+          double lo = hist->bin_lo(0);
+          double hi = hist->bin_hi(hist->bins() - 1);
+          point.p50 = percentile_of_buckets(lo, hi, delta_, 50);
+          point.p95 = percentile_of_buckets(lo, hi, delta_, 95);
+          point.p99 = percentile_of_buckets(lo, hi, delta_, 99);
+        }
+        break;
+      }
+    }
+    series.points.push_back(point);
+  });
+}
+
+std::string MetricsTimeSeries::to_csv() const {
+  std::string out = "t,name,node,component,kind,value,p50,p95,p99\n";
+  for (const Series& s : series_) {
+    bool hist = s.kind == MetricsRegistry::Sample::Kind::kHistogram;
+    for (const Point& p : s.points) {
+      append_number(out, p.t);
+      out += ',';
+      out += s.name;  // metric names/labels never contain ',' or '"'
+      out += ',';
+      out += s.labels.node;
+      out += ',';
+      out += s.labels.component;
+      out += ',';
+      out += kind_name(s.kind);
+      out += ',';
+      append_number(out, p.value);
+      if (hist) {
+        out += ',';
+        append_number(out, p.p50);
+        out += ',';
+        append_number(out, p.p95);
+        out += ',';
+        append_number(out, p.p99);
+      } else {
+        out += ",,,";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string MetricsTimeSeries::to_jsonl() const {
+  std::string out;
+  for (const Series& s : series_) {
+    bool hist = s.kind == MetricsRegistry::Sample::Kind::kHistogram;
+    for (const Point& p : s.points) {
+      out += "{\"t\":";
+      append_number(out, p.t);
+      out += ",\"name\":";
+      append_json_string(out, s.name);
+      out += ",\"node\":";
+      append_json_string(out, s.labels.node);
+      out += ",\"component\":";
+      append_json_string(out, s.labels.component);
+      out += ",\"kind\":\"";
+      out += kind_name(s.kind);
+      out += "\",\"value\":";
+      append_number(out, p.value);
+      if (hist) {
+        out += ",\"p50\":";
+        append_number(out, p.p50);
+        out += ",\"p95\":";
+        append_number(out, p.p95);
+        out += ",\"p99\":";
+        append_number(out, p.p99);
+      }
+      out += "}\n";
+    }
+  }
   return out;
 }
 

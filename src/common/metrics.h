@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/time.h"
 
 namespace wow {
 
@@ -92,6 +93,18 @@ class MetricsRegistry {
   /// Evaluate every live metric, in registration order.
   [[nodiscard]] std::vector<Sample> snapshot() const;
 
+  /// Zero-copy visitation of every live metric in registration order:
+  /// fn(id, kind, name, labels, value, hist), gauges evaluated at visit
+  /// time.  The allocation-free path under MetricsTimeSeries, which
+  /// samples hundreds of metrics per window — snapshot() would copy
+  /// every name and label pair each time.  Ids are never re-bound to a
+  /// different identity (a removed metric's id stays dead), so callers
+  /// may cache per-id state across visits.
+  void for_each(
+      const std::function<void(MetricId, Sample::Kind, std::string_view,
+                               const MetricLabels&, double,
+                               const Histogram*)>& fn) const;
+
   /// {"metrics":[{"name":...,"node":...,"component":...,"type":...,
   ///              "value":...}, ...]}
   [[nodiscard]] std::string to_json() const;
@@ -120,6 +133,76 @@ class MetricsRegistry {
   std::deque<Entry> entries_;
   std::map<std::tuple<std::string, MetricLabels>, MetricId> index_;
   std::size_t live_ = 0;
+};
+
+/// Windowed time-series recorder over a MetricsRegistry: every sample()
+/// call closes one window and appends, per live metric, the interval
+/// delta (counters and histogram totals) or the current level (gauges)
+/// to a compact in-memory series — turning end-of-run totals into
+/// plottable curves.  Histogram windows additionally record p50/p95/p99
+/// interpolated from the window's bucket deltas (accuracy = one bucket
+/// width).
+///
+/// The recorder is a pure observer and is deliberately NOT driven by a
+/// simulator timer: scheduling sampling events would change the event
+/// queue (executed_events, FIFO seq numbers) and void the determinism
+/// guarantee.  Drivers call sample(now) from outside the event loop —
+/// between run_until() chunks — so instrumented and bare runs execute
+/// the exact same event sequence.
+///
+/// Metrics that appear mid-run (lazily created counters) start their
+/// series at the window that first sees them; metrics removed mid-run
+/// simply stop extending theirs (every point carries its own t).
+class MetricsTimeSeries {
+ public:
+  explicit MetricsTimeSeries(const MetricsRegistry& registry)
+      : registry_(registry) {}
+
+  /// Close the window ending at `now` and append one point per metric.
+  void sample(SimTime now);
+
+  struct Point {
+    double t = 0.0;      // window end, sim seconds
+    double value = 0.0;  // counter/histogram: window delta; gauge: level
+    double p50 = 0.0;    // histograms only: window percentiles
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  struct Series {
+    MetricsRegistry::Sample::Kind kind;
+    std::string name;
+    MetricLabels labels;
+    std::vector<Point> points;
+  };
+
+  [[nodiscard]] const std::vector<Series>& series() const {
+    return series_;
+  }
+  [[nodiscard]] std::size_t windows() const { return windows_; }
+
+  /// Long-format CSV: t,name,node,component,kind,value,p50,p95,p99 —
+  /// one row per (window, metric), ready for any plotting stack.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Same rows as JSONL records (percentile keys only on histograms).
+  [[nodiscard]] std::string to_jsonl() const;
+
+ private:
+  struct State {
+    double prev_value = 0.0;
+    std::vector<std::size_t> prev_buckets;
+  };
+
+  static constexpr std::size_t kNoSeries = static_cast<std::size_t>(-1);
+
+  const MetricsRegistry& registry_;
+  std::vector<Series> series_;
+  std::vector<State> states_;  // parallel to series_
+  /// MetricId -> series index (ids are stable and never re-bound).
+  std::vector<std::size_t> id_to_series_;
+  std::vector<std::size_t> delta_;  // scratch histogram-window buffer
+  std::size_t windows_ = 0;
 };
 
 }  // namespace wow

@@ -45,6 +45,32 @@ std::string Histogram::render(int bar_width) const {
   return out;
 }
 
+double percentile_of_buckets(double lo, double hi,
+                             const std::vector<std::size_t>& counts,
+                             double p) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total == 0 || counts.empty()) return 0.0;
+  double width = (hi - lo) / static_cast<double>(counts.size());
+  // Rank in [1, total]; ceil so p=0 lands in the first occupied bucket.
+  double rank = p / 100.0 * static_cast<double>(total);
+  if (rank < 1.0) rank = 1.0;
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    double upto = static_cast<double>(seen + counts[b]);
+    if (upto >= rank) {
+      // Interpolate within the bucket by the fraction of its samples
+      // below the rank.
+      double into = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(counts[b]);
+      return lo + width * (static_cast<double>(b) + into);
+    }
+    seen += counts[b];
+  }
+  return hi;
+}
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());

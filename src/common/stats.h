@@ -38,6 +38,13 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Percentile over uniform-width bucket counts spanning [lo, hi):
+/// find the bucket the rank falls in, interpolate linearly inside it.
+/// Shared by Histogram::percentile and the time-series recorder (whose
+/// window percentiles come from bucket DELTAS, not a Histogram).
+[[nodiscard]] double percentile_of_buckets(
+    double lo, double hi, const std::vector<std::size_t>& counts, double p);
+
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp into the
 /// first/last bin so totals are preserved.
 class Histogram {
@@ -54,6 +61,13 @@ class Histogram {
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
   [[nodiscard]] double frequency(std::size_t bin) const;
+
+  /// p in [0,100], interpolated linearly inside the bucket that crosses
+  /// the rank — accurate to one bucket width (clamped samples report the
+  /// edge bucket they landed in).  0 when empty.
+  [[nodiscard]] double percentile(double p) const {
+    return percentile_of_buckets(lo_, hi_, counts_, p);
+  }
 
   /// Render rows "lo..hi  count  (pct%)  ###" for report output.
   [[nodiscard]] std::string render(int bar_width = 40) const;

@@ -50,6 +50,18 @@ void append_record_head(std::string& out, SimTime now,
 
 }  // namespace
 
+const char* to_string(TraceClass cls) {
+  switch (cls) {
+    case TraceClass::kPacket: return "packet";
+    case TraceClass::kProtocol: return "protocol";
+    case TraceClass::kLifecycle: return "lifecycle";
+    case TraceClass::kFault: return "fault";
+    case TraceClass::kOracle: return "oracle";
+    case TraceClass::kCount: break;
+  }
+  return "unknown";
+}
+
 void TraceField::append_to(std::string& out) const {
   append_escaped(out, key_);
   out += ':';
@@ -92,7 +104,7 @@ void Tracer::event(SimTime now, std::string_view component,
 std::uint64_t Tracer::begin_span(SimTime now, std::string_view component,
                                  std::string_view node, std::string_view name,
                                  std::initializer_list<TraceField> fields) {
-  if (sink_ == nullptr) return 0;
+  if (!enabled(TraceClass::kProtocol)) return 0;
   std::uint64_t span = next_span_++;
   event(now, component, node, name, fields, span);
   return span;
@@ -102,7 +114,7 @@ void Tracer::end_span(SimTime now, std::string_view component,
                       std::string_view node, std::string_view name,
                       std::uint64_t span,
                       std::initializer_list<TraceField> fields) {
-  if (sink_ == nullptr || span == 0) return;
+  if (!enabled(TraceClass::kProtocol) || span == 0) return;
   event(now, component, node, name, fields, span);
 }
 

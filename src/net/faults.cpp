@@ -392,7 +392,9 @@ void FaultInjector::inject(const FaultSpec& spec) {
 
 void FaultInjector::trace_fault(const char* event,
                                 const FaultSpec& spec) const {
-  if (!sim_.trace().enabled()) return;
+  // Faults are never sampled away: a handful of records per scenario,
+  // and any post-mortem starts from them.
+  if (!sim_.trace().enabled(TraceClass::kFault)) return;
   sim_.trace().event(sim_.now(), "fault", "", event,
                      {{"kind", to_string(spec.kind)},
                       {"spec", spec.describe()},

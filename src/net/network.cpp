@@ -53,8 +53,11 @@ const char* to_string(Network::DropReason reason) {
 void Network::record_drop(DropReason reason, const Endpoint& src,
                           const Endpoint& dst) {
   ++stats_.dropped[static_cast<std::size_t>(reason)];
+  ++drop_seq_;
   if (drop_hook_) drop_hook_(reason, src, dst);
-  if (sim_.trace().enabled()) {
+  // Keyed by the drop ordinal: each drop draws an independent sampling
+  // verdict (there is no packet trace id at this layer).
+  if (sim_.trace().sample(TraceClass::kPacket, drop_seq_)) {
     sim_.trace().event(sim_.now(), "net", "", "net.drop",
                        {{"reason", to_string(reason)},
                         {"src", src.to_string()},

@@ -180,6 +180,8 @@ class Network {
   LinkModel same_site_{1 * kMillisecond, 100 * kMicrosecond, 0.0};
   SimDuration nat_hop_ = 100 * kMicrosecond;
   Stats stats_;
+  /// Monotonic drop ordinal — the sampling key for net.drop traces.
+  std::uint64_t drop_seq_ = 0;
   DropHook drop_hook_;
   std::vector<MetricId> metric_ids_;
   FaultInjector faults_;

@@ -42,8 +42,10 @@ void BootstrapOverlord::maintain_bootstrap() {
   const transport::Uri& uri =
       pool[static_cast<std::size_t>(rng_.uniform(
           0, static_cast<std::int64_t>(pool.size()) - 1))];
-  tracer_.event(timers_.now(), "node", trace_node_, "bootstrap.reprobe",
-                {{"uri", uri.to_string()}});
+  if (tracer_.enabled(TraceClass::kLifecycle)) {
+    tracer_.event(timers_.now(), "node", trace_node_, "bootstrap.reprobe",
+                  {{"uri", uri.to_string()}});
+  }
   hooks_.link_start(Address{}, ConnectionType::kLeaf, {uri});
 }
 

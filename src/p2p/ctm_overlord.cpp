@@ -33,7 +33,7 @@ void CtmOverlord::initiate(const Address& target, ConnectionType type) {
   packet.set_payload(req.serialize());
 
   std::uint64_t span = 0;
-  if (tracer_.enabled()) {
+  if (tracer_.enabled(TraceClass::kProtocol)) {
     span = tracer_.begin_span(timers_.now(), "node", trace_node_,
                               "ctm.request",
                               {{"target", target.brief()},
@@ -48,6 +48,11 @@ void CtmOverlord::initiate(const Address& target, ConnectionType type) {
                      : 0,
                  /*retransmitted=*/false};
   ++stats_.ctm_sent;
+  // Targeted acquisitions only (join/stabilize announces would cycle
+  // the ring every stabilize period and evict the interesting events).
+  if (hooks_.record_flight) {
+    hooks_.record_flight(FlightKind::kCtmSent, target, int(type));
+  }
   hooks_.route(std::move(packet));
 }
 
@@ -98,7 +103,7 @@ void CtmOverlord::send_join() {
     packet.set_payload(req.serialize());
 
     std::uint64_t span = 0;
-    if (tracer_.enabled()) {
+    if (tracer_.enabled(TraceClass::kProtocol)) {
       span = tracer_.begin_span(timers_.now(), "node", trace_node_,
                                 "ctm.request",
                                 {{"target", table_.self().brief()},
@@ -124,7 +129,7 @@ void CtmOverlord::handle_request(const RoutedPacket& packet) {
     hooks_.count_parse_reject();
     return;
   }
-  if (tracer_.enabled()) {
+  if (tracer_.enabled(TraceClass::kProtocol)) {
     tracer_.event(timers_.now(), "node", trace_node_, "ctm.received",
                   {{"src", packet.src.brief()},
                    {"ctype", to_string(req->con_type)},
@@ -273,6 +278,10 @@ void CtmOverlord::sweep() {
       continue;
     }
     ++stats_.ctm_timeouts;
+    if (hooks_.record_flight) {
+      hooks_.record_flight(FlightKind::kCtmTimeout, it->second.target,
+                           int(it->second.type));
+    }
     if (it->second.span != 0) {
       tracer_.end_span(timers_.now(), "node", trace_node_, "ctm.expired",
                        it->second.span,

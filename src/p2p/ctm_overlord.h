@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "common/trace.h"
@@ -46,6 +47,10 @@ class CtmOverlord {
     /// Re-check first-routable after a role upgrade touched the table.
     std::function<void()> update_routable;
     std::function<void()> count_parse_reject;
+    /// Post an entry on the owning node's flight recorder (optional —
+    /// isolation tests wire fewer hooks).
+    std::function<void(FlightKind kind, const Address& peer, std::int32_t a)>
+        record_flight;
   };
 
   CtmOverlord(sim::TimerService& timers, Rng& rng, Tracer& tracer,

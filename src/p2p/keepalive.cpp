@@ -94,7 +94,10 @@ void KeepaliveManager::on_pong(const LinkFrame& frame) {
       SimDuration sample = timers_.now() - it->second.last_sent;
       c->rtt_sample(sample);
       note_rtt(frame.sender, sample);
-      if (tracer_.enabled()) {
+      // RTT telemetry is volume-priced like packet events; key on the
+      // (just-incremented) fleet sample count so each sample draws an
+      // independent sampling verdict.
+      if (tracer_.sample(TraceClass::kPacket, stats_.rtt_samples)) {
         tracer_.event(timers_.now(), "node", trace_node_, "conn.rtt",
                       {{"peer", frame.sender.brief()},
                        {"sample_ms", to_millis(sample)},
@@ -154,7 +157,11 @@ void KeepaliveManager::note_flap(const Address& peer, SimDuration lifetime) {
           "quarantined " + peer.brief() + " for " +
               std::to_string(to_seconds(duration)) + "s (level " +
               std::to_string(h.quarantine_level) + ")");
-  if (tracer_.enabled()) {
+  if (hooks_.record_flight) {
+    hooks_.record_flight(FlightKind::kQuarantine, peer, h.quarantine_level,
+                         static_cast<std::int32_t>(to_seconds(duration)));
+  }
+  if (tracer_.enabled(TraceClass::kLifecycle)) {
     tracer_.event(now, "node", trace_node_, "quarantine.begin",
                   {{"peer", peer.brief()},
                    {"level", h.quarantine_level},

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/ring_id.h"
 #include "common/time.h"
@@ -35,6 +36,11 @@ class KeepaliveManager {
     /// A connection exceeded its probe budget; drop it (no Close).
     std::function<void(const Address& peer, DisconnectCause cause)>
         drop_connection;
+    /// Post an entry on the owning node's flight recorder (optional —
+    /// isolation tests wire fewer hooks).
+    std::function<void(FlightKind kind, const Address& peer, std::int32_t a,
+                       std::int32_t b)>
+        record_flight;
   };
 
   KeepaliveManager(sim::TimerService& timers, Tracer& tracer, Logger& logger,

@@ -79,7 +79,7 @@ void LinkingEngine::start(const Address& target, ConnectionType type,
   }
   attempt.rto = attempt.initial_rto;
   attempt.started = timers_.now();
-  if (tracer_.enabled()) {
+  if (tracer_.enabled(TraceClass::kProtocol)) {
     attempt.span = tracer_.begin_span(
         timers_.now(), "linking", self_.brief(), "link.attempt",
         {{"target", attempt.target.brief()},
@@ -92,7 +92,7 @@ void LinkingEngine::start(const Address& target, ConnectionType type,
 }
 
 void LinkingEngine::trace_attempt(const Attempt& attempt, const char* event) {
-  if (!tracer_.enabled()) return;
+  if (!tracer_.enabled(TraceClass::kProtocol)) return;
   tracer_.event(timers_.now(), "linking", self_.brief(), event,
                 {{"target", attempt.target.brief()},
                  {"uri", attempt.uris[attempt.uri_index].to_string()},
@@ -246,7 +246,7 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
           err.token = frame.token;
           edges_.send_to(from, err.serialize());
           ++stats_.race_errors_sent;
-          if (tracer_.enabled()) {
+          if (tracer_.enabled(TraceClass::kProtocol)) {
             tracer_.event(timers_.now(), "linking", self_.brief(),
                           "link.race_veto",
                           {{"peer", frame.sender.brief()}}, ours->span);
@@ -321,7 +321,7 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
       }
       if (attempt == nullptr || attempt->in_restart_wait) return;
       ++stats_.race_aborts;
-      if (tracer_.enabled()) {
+      if (tracer_.enabled(TraceClass::kProtocol)) {
         tracer_.event(timers_.now(), "linking", self_.brief(),
                       "link.race_error",
                       {{"peer", frame.sender.brief()}}, attempt->span);

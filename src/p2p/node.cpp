@@ -11,11 +11,21 @@
 
 namespace wow::p2p {
 
+namespace {
+// FlightKind::kFrameDrop reason tags (the entry's `b` arg); they mirror
+// the trace_packet reason strings without storing a pointer in the ring.
+constexpr std::int32_t kDropNoAgent = 1;
+constexpr std::int32_t kDropNoRoute = 2;
+constexpr std::int32_t kDropTtl = 3;
+constexpr std::int32_t kDropWrongConsumer = 4;
+constexpr std::int32_t kDropNoConnection = 5;
+}  // namespace
+
 Node::Node(NodeDeps deps, NodeConfig config)
     : timers_(*deps.timers), rng_(*deps.rng), logger_(*deps.logger),
       metrics_(*deps.metrics), tracer_(*deps.tracer),
       edges_(std::move(deps.edges)), config_(std::move(config)),
-      table_(config_.address) {
+      table_(config_.address), flight_(config_.flight_capacity) {
   if (config_.address == Address{}) {
     config_.address = rng_.ring_id();
     table_ = ConnectionTable(config_.address);
@@ -44,7 +54,10 @@ void Node::log(LogLevel level, const std::string& message) const {
 
 void Node::trace_packet(const char* event, const RoutedPacket& packet,
                         const char* reason) const {
-  if (!tracer_.enabled()) return;
+  // Sampling is keyed by the packet's trace id: every hop of one packet
+  // is kept or dropped together, so --path reconstruction in
+  // trace_report stays whole under partial sampling.
+  if (!tracer_.sample(TraceClass::kPacket, packet.trace_id)) return;
   if (reason != nullptr) {
     tracer_.event(timers_.now(), "node", trace_node_, event,
                   {{"pkt", packet.trace_id},
@@ -118,7 +131,9 @@ void Node::start() {
   routable_since_.reset();
   ctm_->on_start();
   bootstrap_->on_start();
-  if (tracer_.enabled()) {
+  flight_.record(timers_.now(), FlightKind::kStart, {},
+                 std::int32_t{config_.port});
+  if (tracer_.enabled(TraceClass::kLifecycle)) {
     tracer_.event(timers_.now(), "node", trace_node_, "node.start",
                   {{"port", int(config_.port)},
                    {"bootstrap", int(config_.bootstrap.size())}});
@@ -135,7 +150,9 @@ void Node::start() {
 void Node::stop() {
   if (!running_) return;
   running_ = false;
-  if (tracer_.enabled()) {
+  flight_.record(timers_.now(), FlightKind::kStop, {},
+                 static_cast<std::int32_t>(table_.size()));
+  if (tracer_.enabled(TraceClass::kLifecycle)) {
     tracer_.event(timers_.now(), "node", trace_node_, "node.stop",
                   {{"connections", int(table_.size())}});
   }
@@ -278,6 +295,8 @@ void Node::route(RoutedPacket packet) {
   if (has_via) {
     // Could not reach the forwarding agent; give up.
     ++stats_.dropped_no_route;
+    flight_.record(timers_.now(), FlightKind::kFrameDrop,
+                   packet.dst.brief(), int(packet.hops), kDropNoAgent);
     trace_packet("packet.drop", packet, "no_agent");
     return;
   }
@@ -289,19 +308,23 @@ void Node::route(RoutedPacket packet) {
   // Exact-delivery packet stranded at the nearest node: the destination
   // is not (or no longer) in the ring.  IPOP semantics: drop.
   ++stats_.dropped_no_route;
+  flight_.record(timers_.now(), FlightKind::kFrameDrop, packet.dst.brief(),
+                 int(packet.hops), kDropNoRoute);
   trace_packet("packet.drop", packet, "no_route");
 }
 
 void Node::forward_to(const Connection& next, RoutedPacket packet) {
   if (packet.ttl == 0) {
     ++stats_.dropped_ttl;
+    flight_.record(timers_.now(), FlightKind::kFrameDrop, packet.dst.brief(),
+                   int(packet.hops), kDropTtl);
     trace_packet("packet.drop", packet, "ttl");
     return;
   }
   --packet.ttl;
   ++packet.hops;
   if (packet.src != config_.address) ++stats_.data_forwarded;
-  if (tracer_.enabled()) {
+  if (tracer_.sample(TraceClass::kPacket, packet.trace_id)) {
     tracer_.event(timers_.now(), "node", trace_node_, "packet.forward",
                   {{"pkt", packet.trace_id},
                    {"next", next.addr.brief()},
@@ -351,11 +374,15 @@ void Node::deliver_local(const RoutedPacket& packet) {
 void Node::deliver_data(const RoutedPacket& packet) {
   if (packet.dst != config_.address) {
     ++stats_.dropped_no_route;
+    flight_.record(timers_.now(), FlightKind::kFrameDrop, packet.dst.brief(),
+                   int(packet.hops), kDropWrongConsumer);
     trace_packet("packet.drop", packet, "wrong_consumer");
     return;
   }
   ++stats_.data_delivered;
   stats_.delivered_hops += packet.hops;
+  flight_.record(timers_.now(), FlightKind::kFrameDeliver,
+                 packet.src.brief(), int(packet.hops));
   trace_packet("packet.deliver", packet, nullptr);
   shortcuts_->on_traffic(packet.src, timers_.now());
   if (data_handler_) data_handler_(packet.src, packet.payload());
@@ -379,6 +406,8 @@ void Node::send_data(const Address& dst, Bytes payload) {
   packet.set_payload(std::move(payload));
   if (table_.empty()) {
     ++stats_.dropped_no_connection;
+    flight_.record(timers_.now(), FlightKind::kFrameDrop, packet.dst.brief(),
+                   int(packet.hops), kDropNoConnection);
     trace_packet("packet.drop", packet, "no_connection");
     return;
   }
@@ -423,9 +452,10 @@ void Node::on_link_established(const Address& peer,
     if (Connection* now_direct = table_.find(peer);
         now_direct != nullptr && !now_direct->is_relay()) {
       ++stats_.relays_upgraded;
+      flight_.record(timers_.now(), FlightKind::kRelayUpgraded, peer.brief());
       WOW_LOG(logger_, LogLevel::kInfo, timers_.now(), log_component_,
               "relay to " + peer.brief() + " upgraded to direct link");
-      if (tracer_.enabled()) {
+      if (tracer_.enabled(TraceClass::kLifecycle)) {
         tracer_.event(
             timers_.now(), "node", trace_node_, "relay.upgraded",
             {{"peer", peer.brief()},
@@ -435,10 +465,12 @@ void Node::on_link_established(const Address& peer,
   }
   if (added) {
     ++stats_.connections_added;
+    flight_.record(timers_.now(), FlightKind::kConnAdded, peer.brief(),
+                   int(type));
     WOW_LOG(logger_, LogLevel::kDebug, timers_.now(), log_component_,
             std::string("+conn ") + to_string(type) + " " + peer.brief() +
                 " via " + remote.to_string());
-    if (tracer_.enabled()) {
+    if (tracer_.enabled(TraceClass::kLifecycle)) {
       tracer_.event(timers_.now(), "node", trace_node_, "conn.added",
                     {{"peer", peer.brief()},
                      {"ctype", to_string(type)},
@@ -461,7 +493,8 @@ void Node::on_link_failed(const Address& peer, ConnectionType type) {
     // unreachable.  Keep the tunnel, back off the next probe.
     keepalive_->set_next_direct_probe(
         peer, timers_.now() + config_.relay_probe_interval);
-    if (tracer_.enabled()) {
+    flight_.record(timers_.now(), FlightKind::kRelayProbeFail, peer.brief());
+    if (tracer_.enabled(TraceClass::kLifecycle)) {
       tracer_.event(timers_.now(), "node", trace_node_,
                     "relay.probe_failed", {{"peer", peer.brief()}});
     }
@@ -532,10 +565,12 @@ void Node::drop_connection(const Address& peer, bool send_close,
   ++stats_.connections_lost;
   ++stats_.lost_by_cause[static_cast<std::size_t>(cause)];
   keepalive_->note_flap(peer, lifetime);
+  flight_.record(timers_.now(), FlightKind::kConnLost, peer.brief(),
+                 int(type), int(cause));
   WOW_LOG(logger_, LogLevel::kDebug, timers_.now(), log_component_,
           std::string("-conn ") + to_string(type) + " " + peer.brief() +
               " (" + to_string(cause) + ")");
-  if (tracer_.enabled()) {
+  if (tracer_.enabled(TraceClass::kLifecycle)) {
     tracer_.event(timers_.now(), "node", trace_node_, "conn.lost",
                   {{"peer", peer.brief()},
                    {"ctype", to_string(type)},
@@ -580,8 +615,10 @@ bool Node::routable() const {
 void Node::update_routable() {
   if (!routable_since_ && routable()) {
     routable_since_ = timers_.now();
+    flight_.record(timers_.now(), FlightKind::kRoutable, {},
+                   static_cast<std::int32_t>(table_.size()));
     log(LogLevel::kInfo, "fully routable");
-    if (tracer_.enabled()) {
+    if (tracer_.enabled(TraceClass::kLifecycle)) {
       tracer_.event(timers_.now(), "node", trace_node_, "node.routable",
                     {{"connections", int(table_.size())}});
     }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/time.h"
@@ -106,8 +107,15 @@ class Node {
     return linking_->stats();
   }
   [[nodiscard]] ShortcutOverlord& shortcut_overlord() { return *shortcuts_; }
+  [[nodiscard]] const ShortcutOverlord& shortcut_overlord() const {
+    return *shortcuts_;
+  }
   /// The node's transport seam (bound while running).
   [[nodiscard]] EdgeFactory& edges() { return *edges_; }
+
+  /// The node's black box: a bounded ring of recent protocol events,
+  /// dumped by the oracle/chaos post-mortem path on violation.
+  [[nodiscard]] const FlightRecorder& flight() const { return flight_; }
 
   /// True once the node holds structured-near connections on both ring
   /// sides (or is one of fewer than three nodes).  "Fully routable" in
@@ -119,6 +127,10 @@ class Node {
   [[nodiscard]] std::optional<SimTime> routable_since() const {
     return routable_since_;
   }
+
+  /// Cached address().brief() — the allocation-free spelling for
+  /// per-sample consumers (NodeInspector).
+  [[nodiscard]] const std::string& brief() const { return trace_node_; }
 
   /// True if a single-hop connection (of any type) to `dst` exists.
   [[nodiscard]] bool has_direct(const Address& dst) const {
@@ -231,6 +243,9 @@ class Node {
   std::optional<SimTime> routable_since_;
   bool running_ = false;
   Stats stats_;
+  /// Always-on bounded post-mortem ring (constructed from
+  /// config_.flight_capacity, so it must be declared after config_).
+  FlightRecorder flight_;
   /// Cached labels: ring-address brief for traces/metrics, and the
   /// hierarchical logger component ("node/<brief>").
   std::string trace_node_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -84,6 +85,11 @@ struct NodeConfig {
   /// fragments; join CTMs routed across the bridge then pull the rings
   /// back together.  0 disables re-probing.
   SimDuration bootstrap_reprobe_interval = kMinute;
+
+  /// Flight-recorder depth: recent protocol events kept per node for
+  /// post-mortems (32 B each, always on).  0 disables recording — the
+  /// memory-capped megascale profile.
+  std::size_t flight_capacity = 64;
 
   /// Period of the maintenance tick driving the leaf/near/far overlords
   /// (jittered per node to avoid lockstep).

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace wow::p2p {
+
+class Node;
+
+/// One node's externally visible health at an instant: connection-table
+/// composition, RTT/RTO posture, self-healing activity, and data-plane
+/// counters.  Plain data — serialized by NodeInspector::to_json into the
+/// flat one-level JSONL the report tools scan.
+struct NodeSnapshot {
+  std::string brief;
+  bool running = false;
+  bool routable = false;
+  /// Simulated time (seconds) the node first became routable after its
+  /// most recent start; -1 when it has not converged yet (the fleet
+  /// convergence curve counts these).
+  double routable_since_s = -1.0;
+  // Connection-table composition by role.
+  int near = 0;
+  int far = 0;
+  int leaf = 0;
+  int shortcut = 0;
+  int relay = 0;
+  /// Smoothed RTT over connections holding a sample, and the widest
+  /// keepalive RTO currently derived from any of them.
+  double srtt_ms_mean = 0.0;
+  double srtt_ms_max = 0.0;
+  double rto_ms_max = 0.0;
+  std::uint64_t quarantines = 0;
+  std::size_t ping_states = 0;
+  std::size_t pending_ctms = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t flight_recorded = 0;
+  /// Highest live shortcut virtual-queue score among connected peers.
+  double best_shortcut_score = 0.0;
+};
+
+/// Read-only projection of a Node into a NodeSnapshot.  Pure observer:
+/// walks the connection table and counters, never touches the RNG or
+/// the event queue, so snapshotting cannot perturb a deterministic run.
+class NodeInspector {
+ public:
+  [[nodiscard]] static NodeSnapshot inspect(const Node& node, SimTime now);
+  /// One JSONL line: {"kind":"node","t":...,"node":"ab12cd34",...}.
+  [[nodiscard]] static std::string to_json(const NodeSnapshot& snap,
+                                           SimTime t);
+};
+
+/// Periodic fleet-wide health capture.  Each sample() aggregates every
+/// node's NodeSnapshot into one FleetSnapshot (convergence %, connection
+/// distribution percentiles, event-queue depth and events per simulated
+/// second) and appends JSONL lines for tools/fleet_report.
+///
+/// Deliberately NOT driven by a simulator timer: scheduling one would
+/// change executed-event counts and FIFO sequence numbers, breaking
+/// byte-identical determinism.  Drivers call sample() between
+/// run_until() chunks instead.
+class FleetSnapshotter {
+ public:
+  struct FleetSnapshot {
+    SimTime t = 0;
+    std::size_t nodes = 0;
+    std::size_t running = 0;
+    std::size_t routable = 0;
+    std::uint64_t executed_events = 0;
+    std::size_t pending_events = 0;
+    /// Executed-event rate over simulated time since the prior sample
+    /// (0 on the first).
+    double events_per_sec = 0.0;
+    // Connection-count distribution over running nodes.
+    double conns_min = 0.0;
+    double conns_p50 = 0.0;
+    double conns_p95 = 0.0;
+    double conns_max = 0.0;
+    double srtt_ms_p95 = 0.0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t relays = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t drops = 0;
+  };
+
+  /// `per_node_lines` controls whether each sample also emits one JSONL
+  /// line per node (the localized view; turn off for megascale fleets
+  /// where the aggregate lines suffice).
+  explicit FleetSnapshotter(bool per_node_lines = true)
+      : per_node_lines_(per_node_lines) {}
+
+  void sample(SimTime now, const std::vector<Node*>& nodes,
+              std::uint64_t executed_events, std::size_t pending_events);
+
+  [[nodiscard]] const std::vector<FleetSnapshot>& snapshots() const {
+    return snapshots_;
+  }
+  /// Accumulated JSONL: one "fleet" line per sample, plus "node" lines
+  /// when enabled.
+  [[nodiscard]] const std::string& jsonl() const { return jsonl_; }
+
+ private:
+  bool per_node_lines_;
+  std::vector<FleetSnapshot> snapshots_;
+  std::string jsonl_;
+  std::uint64_t prev_executed_ = 0;
+  SimTime prev_t_ = 0;
+  bool have_prev_ = false;
+};
+
+}  // namespace wow::p2p

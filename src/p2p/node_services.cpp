@@ -24,6 +24,10 @@ void Node::build_services() {
           [this](const Address& peer, DisconnectCause cause) {
             drop_connection(peer, /*send_close=*/false, cause);
           },
+          [this](FlightKind kind, const Address& peer, std::int32_t a,
+                 std::int32_t b) {
+            flight_.record(timers_.now(), kind, peer.brief(), a, b);
+          },
       });
 
   ctm_ = std::make_unique<CtmOverlord>(
@@ -45,6 +49,9 @@ void Node::build_services() {
           },
           [this] { update_routable(); },
           [this] { count_parse_reject(); },
+          [this](FlightKind kind, const Address& peer, std::int32_t a) {
+            flight_.record(timers_.now(), kind, peer.brief(), a);
+          },
       });
 
   relays_ = std::make_unique<RelayAgent>(
@@ -86,6 +93,9 @@ void Node::build_services() {
           },
           [this] { update_routable(); },
           [this] { count_parse_reject(); },
+          [this](FlightKind kind, const Address& peer) {
+            flight_.record(timers_.now(), kind, peer.brief());
+          },
       });
 
   bootstrap_ = std::make_unique<BootstrapOverlord>(

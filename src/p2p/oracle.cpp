@@ -27,13 +27,15 @@ namespace {
 
 [[nodiscard]] OracleReport violation(std::string invariant,
                                      std::string detail, SimTime now,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed,
+                                     std::vector<std::string> implicated) {
   OracleReport r;
   r.ok = false;
   r.invariant = std::move(invariant);
   r.detail = std::move(detail);
   r.at = now;
   r.seed = seed;
+  r.implicated = std::move(implicated);
   return r;
 }
 
@@ -87,7 +89,8 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
                        "node " + n->address().brief() +
                            " is not routable (missing structured-near "
                            "links on at least one side)",
-                       now, config.seed);
+                       now, config.seed,
+                       {n->address().brief(), succ.brief(), pred.brief()});
     }
   }
 
@@ -100,22 +103,28 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
 
       const Connection* succ = n->connections().right_neighbor();
       if (succ == nullptr || !(succ->addr == true_succ)) {
+        std::vector<std::string> who{n->address().brief(),
+                                     true_succ.brief()};
+        if (succ != nullptr) who.push_back(succ->addr.brief());
         return violation(
             "near_is_live_successor",
             "node " + n->address().brief() + " successor is " +
                 (succ == nullptr ? std::string("absent") :
                                    succ->addr.brief()) +
                 ", true live successor is " + true_succ.brief(),
-            now, config.seed);
+            now, config.seed, std::move(who));
       }
       const Connection* pred = n->connections().left_neighbor();
       if (pred == nullptr || !(pred->addr == true_pred)) {
+        std::vector<std::string> who{n->address().brief(),
+                                     true_pred.brief()};
+        if (pred != nullptr) who.push_back(pred->addr.brief());
         return violation(
             "near_is_live_predecessor",
             "node " + n->address().brief() + " predecessor is " +
                 (pred == nullptr ? std::string("absent") :
                                    pred->addr.brief()),
-            now, config.seed);
+            now, config.seed, std::move(who));
       }
     }
   }
@@ -134,7 +143,7 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
               to_string(c.type) + " connection to dead node " +
               c.addr.brief() + " last heard " +
               std::to_string(to_seconds(now - c.last_heard)) + "s ago",
-          now, config.seed);
+          now, config.seed, {n->address().brief(), c.addr.brief()});
     });
     if (!result.ok) return result;
   }
@@ -166,7 +175,8 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
               c.addr.brief() + " through agent " + c.relay.brief() +
               " which is dead or cannot forward, last heard " +
               std::to_string(to_seconds(now - c.last_heard)) + "s ago",
-          now, config.seed);
+          now, config.seed,
+          {n->address().brief(), c.addr.brief(), c.relay.brief()});
     });
     if (!result.ok) return result;
   }
@@ -192,7 +202,9 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
                          "route " + src->address().brief() + " -> " +
                              dst.brief() + " terminated early at " +
                              cur->address().brief(),
-                         now, config.seed);
+                         now, config.seed,
+                         {cur->address().brief(), dst.brief(),
+                          src->address().brief()});
       }
       auto it = by_addr.find(next->addr);
       if (it == by_addr.end()) {
@@ -201,7 +213,8 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
                              dst.brief() + " steps from " +
                              cur->address().brief() + " to dead node " +
                              next->addr.brief(),
-                         now, config.seed);
+                         now, config.seed,
+                         {cur->address().brief(), next->addr.brief()});
       }
       cur = it->second;
       if (++hops > ring.size()) {
@@ -209,7 +222,9 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
                          "route " + src->address().brief() + " -> " +
                              dst.brief() + " exceeded " +
                              std::to_string(ring.size()) + " hops",
-                         now, config.seed);
+                         now, config.seed,
+                         {src->address().brief(), dst.brief(),
+                          cur->address().brief()});
       }
     }
   }

@@ -18,6 +18,11 @@ struct OracleReport {
   std::string detail;     // who violated it and how
   SimTime at = 0;
   std::uint64_t seed = 0;
+  /// Ring-address briefs of the nodes involved in the violation (the
+  /// holder of the bad pointer, the peer it points at, ...).  The chaos
+  /// post-mortem dumps exactly these nodes' flight recorders, so a
+  /// 5000-node soak failure localizes to a handful of event rings.
+  std::vector<std::string> implicated;
 
   /// One-line form for logs and test failure messages, e.g.
   ///   "oracle: VIOLATION near_is_live_successor at t=312.5s seed=7: ..."

@@ -11,7 +11,7 @@ void RelayAgent::handle_frame(RelayFrame relay, const net::Endpoint& from) {
     if (relay.hops != 0) return;
     const Connection* next = table_.find(relay.dst);
     if (next == nullptr || next->is_relay()) {
-      if (tracer_.enabled()) {
+      if (tracer_.enabled(TraceClass::kProtocol)) {
         tracer_.event(timers_.now(), "node", trace_node_, "relay.refuse",
                       {{"src", relay.src.brief()},
                        {"dst", relay.dst.brief()}});
@@ -153,7 +153,7 @@ void RelayAgent::start_attempt(const Address& peer) {
   }
   attempt.token = next_relay_token_++;
   attempt.started = timers_.now();
-  if (tracer_.enabled()) {
+  if (tracer_.enabled(TraceClass::kProtocol)) {
     attempt.span = tracer_.begin_span(
         timers_.now(), "node", trace_node_, "relay.attempt",
         {{"peer", peer.brief()},
@@ -179,7 +179,7 @@ void RelayAgent::send_request(const Address& peer) {
     send_request(peer);
     return;
   }
-  if (tracer_.enabled()) {
+  if (tracer_.enabled(TraceClass::kProtocol)) {
     tracer_.event(timers_.now(), "node", trace_node_, "relay.tx",
                   {{"peer", peer.brief()},
                    {"agent", agent.brief()},
@@ -243,7 +243,7 @@ void RelayAgent::maintain() {
   for (const Connection* c : due) {
     hooks_.set_next_direct_probe(c->addr,
                                  now + config_.relay_probe_interval);
-    if (tracer_.enabled()) {
+    if (tracer_.enabled(TraceClass::kProtocol)) {
       tracer_.event(now, "node", trace_node_, "relay.probe",
                     {{"peer", c->addr.brief()}});
     }
@@ -283,9 +283,12 @@ void RelayAgent::add_relay_connection(
   ++stats_.relays_established;
   hooks_.set_next_direct_probe(peer,
                                timers_.now() + config_.relay_probe_interval);
+  if (hooks_.record_flight) {
+    hooks_.record_flight(FlightKind::kRelayUp, peer);
+  }
   WOW_LOG(logger_, LogLevel::kInfo, timers_.now(), log_component_,
           "+conn relay " + peer.brief() + " via agent " + agent.brief());
-  if (tracer_.enabled()) {
+  if (tracer_.enabled(TraceClass::kLifecycle)) {
     tracer_.event(timers_.now(), "node", trace_node_, "conn.added",
                   {{"peer", peer.brief()},
                    {"ctype", "relay"},

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/time.h"
 #include "common/trace.h"
@@ -62,6 +63,9 @@ class RelayAgent {
     std::function<void(const Connection& c)> connection_added;
     std::function<void()> update_routable;
     std::function<void()> count_parse_reject;
+    /// Post an entry on the owning node's flight recorder (optional —
+    /// isolation tests wire fewer hooks).
+    std::function<void(FlightKind kind, const Address& peer)> record_flight;
   };
 
   RelayAgent(sim::TimerService& timers, Tracer& tracer, Logger& logger,

@@ -19,6 +19,9 @@ Simulator::Simulator(std::uint64_t seed, LogLevel log_level)
   });
   metrics_.add_gauge("sim_now_seconds", labels,
                      [this] { return to_seconds(now_); });
+  metrics_.add_gauge("trace_dropped_by_sampling", labels, [this] {
+    return static_cast<double>(trace_.dropped_by_sampling());
+  });
 }
 
 Simulator::~Simulator() {

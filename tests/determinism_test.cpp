@@ -91,6 +91,70 @@ TEST(Determinism, TracingAndMetricsDoNotPerturbRuns) {
   EXPECT_EQ(plain_events, traced_events);
 }
 
+/// Trace sampling is pure observation: thinning the packet-class trace
+/// must not move a single protocol event at any rate, rate 1.0 must be
+/// byte-identical to a run that never configured sampling, and the
+/// sampling verdicts themselves must reproduce across runs.
+TEST(Determinism, TraceSamplingDoesNotPerturbRuns) {
+  struct Run {
+    std::string fp;
+    std::uint64_t executed = 0;
+    std::uint64_t dropped = 0;
+    std::vector<std::string> trace;
+  };
+  auto run = [](double rate, bool set_rate) {
+    StringTraceSink sink;
+    testing::PublicOverlay net(10, 9292);
+    net.sim.trace().attach(&sink);
+    if (set_rate) net.sim.trace().set_sample_rate(rate);
+    net.start_all();
+    net.sim.run_until(3 * kMinute);
+    for (auto& a : net.nodes) {
+      for (auto& b : net.nodes) {
+        if (a != b) a->send_data(b->address(), Bytes{7});
+      }
+    }
+    net.sim.run_for(kMinute);
+    Run r;
+    r.fp = fingerprint(net);
+    r.executed = net.sim.executed_events();
+    r.dropped = net.sim.trace().dropped_by_sampling();
+    net.sim.trace().detach();
+    r.trace = sink.lines();
+    return r;
+  };
+  Run unsampled = run(1.0, /*set_rate=*/false);
+  Run full = run(1.0, /*set_rate=*/true);
+  Run one_pct = run(0.01, /*set_rate=*/true);
+  Run zero = run(0.0, /*set_rate=*/true);
+
+  // Protocol behavior is identical at every rate.
+  EXPECT_EQ(unsampled.fp, full.fp);
+  EXPECT_EQ(unsampled.fp, one_pct.fp);
+  EXPECT_EQ(unsampled.fp, zero.fp);
+  EXPECT_EQ(unsampled.executed, full.executed);
+  EXPECT_EQ(unsampled.executed, one_pct.executed);
+  EXPECT_EQ(unsampled.executed, zero.executed);
+
+  // rate >= 1.0 short-circuits the hash: byte-identical trace, nothing
+  // counted as dropped.
+  EXPECT_EQ(unsampled.trace, full.trace);
+  EXPECT_EQ(full.dropped, 0u);
+
+  // Thinned traces shrink and account for every suppressed record;
+  // always-on classes keep the trace non-empty even at rate 0.
+  ASSERT_FALSE(zero.trace.empty());
+  EXPECT_LT(one_pct.trace.size(), unsampled.trace.size());
+  EXPECT_GT(one_pct.dropped, 0u);
+  EXPECT_LE(zero.trace.size(), one_pct.trace.size());
+  EXPECT_GE(zero.dropped, one_pct.dropped);
+
+  // Which packets survive the rate is itself deterministic.
+  Run one_pct_again = run(0.01, /*set_rate=*/true);
+  EXPECT_EQ(one_pct.trace, one_pct_again.trace);
+  EXPECT_EQ(one_pct.dropped, one_pct_again.dropped);
+}
+
 /// The fault fabric is part of the deterministic core: the same seed
 /// and fault plan must reproduce the run — and its trace — byte for
 /// byte, or the chaos harness's (seed, schedule) reproducer is a lie.

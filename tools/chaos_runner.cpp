@@ -11,6 +11,17 @@
 //   chaos_runner [--seed=N] [--schedule="kind@ms+ms:args;..."]
 //                [--nodes=N] [--events=N] [--trace=out.jsonl]
 //                [--profile=random|composite]
+//                [--sample-rate=R] [--snapshots=out.jsonl]
+//                [--series=out.csv] [--snapshot-period=SEC]
+//                [--inject-violation]
+//
+// Telemetry plane: --sample-rate thins kPacket-class trace events by a
+// deterministic hash (faults/oracle/lifecycle stay always-on), so a
+// multi-thousand-node soak traces at ~1% cost.  --snapshots captures a
+// periodic fleet health snapshot (convergence %, connection
+// distribution) for tools/fleet_report; --series exports windowed
+// metric deltas.  On an oracle violation the implicated nodes' flight
+// recorders and a final fleet snapshot are dumped next to the trace.
 //
 // --profile=composite grows the topology with two NAT domains (two
 // hosts each) and replaces the random plan with the fixed worst-case
@@ -21,6 +32,7 @@
 // explicit --schedule overrides the plan but keeps the NAT topology,
 // which is what the printed reproducer line relies on.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -29,9 +41,11 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/trace.h"
 #include "net/faults.h"
 #include "net/network.h"
+#include "p2p/node_inspector.h"
 #include "p2p/oracle.h"
 #include "p2p/node.h"
 #include "sim/simulator.h"
@@ -49,6 +63,15 @@ struct Options {
   int events = 10;
   std::string trace_path;
   bool composite = false;
+  /// kPacket-class trace sampling rate; 1.0 keeps the trace
+  /// byte-identical to an unsampled run.
+  double sample_rate = 1.0;
+  std::string snapshots_path;  // fleet snapshot JSONL (empty: off)
+  std::string series_path;     // metric time series (.csv or .jsonl)
+  SimDuration snapshot_period = 30 * kSecond;
+  /// Stop one node right before the final oracle sweep: a guaranteed
+  /// near_is_live_successor violation exercising the postmortem path.
+  bool inject_violation = false;
 };
 
 /// The soak topology: public hosts spread round-robin over three WAN
@@ -62,8 +85,11 @@ struct SoakNet {
       sites.push_back(network.add_site("site" + std::to_string(s)));
     }
     for (int i = 0; i < node_count; ++i) {
-      auto ip = net::Ipv4Addr(128, static_cast<std::uint8_t>(10 + i % 3), 0,
-                              static_cast<std::uint8_t>(1 + i));
+      // /16-style spread: octet 3 pages every 250 hosts so megascale
+      // fleets (--nodes up to 8192) keep unique addresses.
+      auto ip = net::Ipv4Addr(128, static_cast<std::uint8_t>(10 + i % 3),
+                              static_cast<std::uint8_t>(i / 250),
+                              static_cast<std::uint8_t>(1 + i % 250));
       auto& host = network.add_host(
           ip, net::Network::kInternet, sites[static_cast<std::size_t>(i % 3)],
           net::Host::Config{"host" + std::to_string(i)});
@@ -167,6 +193,55 @@ net::FaultPlan composite_plan(const SoakNet& soak) {
   return plan;
 }
 
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chaos_runner: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Violation postmortem: the implicated nodes' flight recorders (the
+/// localized last-N-events view) plus a final per-node fleet snapshot,
+/// written next to the failing trace so one artifact directory holds
+/// the schedule, the trace, and the postmortem.
+void write_postmortem(const SoakNet& soak, const p2p::OracleReport& report,
+                      const Options& opt) {
+  const std::string base =
+      opt.trace_path.empty() ? std::string("chaos") : opt.trace_path;
+
+  std::string body = report.to_string();
+  body += '\n';
+  std::vector<std::string> seen;
+  for (const std::string& brief : report.implicated) {
+    if (std::find(seen.begin(), seen.end(), brief) != seen.end()) continue;
+    seen.push_back(brief);
+    for (const auto& n : soak.nodes) {
+      if (n->address().brief() != brief) continue;
+      body += '\n';
+      body += n->flight().dump(brief);
+      break;
+    }
+  }
+  const std::string flight_path = base + ".postmortem.txt";
+
+  p2p::FleetSnapshotter final_snap(/*per_node_lines=*/true);
+  std::vector<p2p::Node*> all;
+  for (const auto& n : soak.nodes) all.push_back(n.get());
+  final_snap.sample(soak.sim.now(), all, soak.sim.executed_events(),
+                    soak.sim.pending_events());
+  const std::string fleet_path = base + ".fleet.jsonl";
+
+  if (write_file(flight_path, body) &&
+      write_file(fleet_path, final_snap.jsonl())) {
+    std::printf("postmortem: %s (%zu implicated flight recorders), %s\n",
+                flight_path.c_str(), seen.size(), fleet_path.c_str());
+  }
+}
+
 int run(const Options& opt) {
   // Declared before the overlay: node destructors still emit trace
   // events, so the sink must outlive SoakNet.
@@ -213,9 +288,37 @@ int run(const Options& opt) {
     }
     soak.sim.trace().attach(sink.get());
   }
+  soak.sim.trace().set_sample_rate(opt.sample_rate);
+
+  // Telemetry is pulled between run chunks, never from simulator
+  // timers, so instrumented and bare runs execute identical event
+  // sequences.  Per-node snapshot lines are capped to mid-size fleets;
+  // megascale soaks keep the aggregate fleet lines only.
+  const bool telemetry =
+      !opt.snapshots_path.empty() || !opt.series_path.empty();
+  p2p::FleetSnapshotter snaps(/*per_node_lines=*/opt.nodes <= 1024);
+  MetricsTimeSeries series(soak.sim.metrics());
+  std::vector<p2p::Node*> all_nodes;
+  for (const auto& n : soak.nodes) all_nodes.push_back(n.get());
+  SimTime next_sample = 0;
+  SimTime last_sampled = static_cast<SimTime>(-1);
+  auto maybe_sample = [&] {
+    if (!telemetry) return;
+    SimTime now = soak.sim.now();
+    if (now < next_sample || now == last_sampled) return;
+    snaps.sample(now, all_nodes, soak.sim.executed_events(),
+                 soak.sim.pending_events());
+    series.sample(now);
+    next_sample = now + opt.snapshot_period;
+    last_sampled = now;
+  };
 
   for (auto& n : soak.nodes) n->start();
-  soak.sim.run_until(3 * kMinute);
+  while (soak.sim.now() < 3 * kMinute) {
+    soak.sim.run_for(
+        std::min<SimDuration>(opt.snapshot_period, 3 * kMinute - soak.sim.now()));
+    maybe_sample();
+  }
   soak.network.faults().schedule(plan);
 
   // Horizon = the last heal instant; run traffic through it.
@@ -234,8 +337,32 @@ int run(const Options& opt) {
     }
     ++burst;
     soak.sim.run_for(20 * kSecond);
+    maybe_sample();
   }
-  soak.sim.run_for(5 * kMinute);  // repair window after the last heal
+  // Repair window after the last heal, chunked so the snapshots resolve
+  // the repair curve rather than skipping to its end state.
+  const SimTime repair_end = soak.sim.now() + 5 * kMinute;
+  while (soak.sim.now() < repair_end) {
+    soak.sim.run_for(
+        std::min<SimDuration>(20 * kSecond, repair_end - soak.sim.now()));
+    maybe_sample();
+  }
+  next_sample = 0;  // force one closing sample so every curve ends here
+  maybe_sample();
+
+  if (!opt.snapshots_path.empty() &&
+      !write_file(opt.snapshots_path, snaps.jsonl())) {
+    return 2;
+  }
+  if (!opt.series_path.empty()) {
+    const bool csv = opt.series_path.size() >= 4 &&
+                     opt.series_path.compare(opt.series_path.size() - 4, 4,
+                                             ".csv") == 0;
+    if (!write_file(opt.series_path,
+                    csv ? series.to_csv() : series.to_jsonl())) {
+      return 2;
+    }
+  }
 
   const auto& fs = soak.network.faults().stats();
   std::printf(
@@ -260,11 +387,24 @@ int run(const Options& opt) {
     std::printf("reproduce: %s\n", reproducer.c_str());
     return 1;
   }
-  auto report =
-      p2p::Oracle::check(live, soak.sim.now(), {.seed = opt.seed});
+  if (opt.inject_violation) {
+    // The victim's predecessor now holds a near pointer at a dead node;
+    // no sim time passes, so the failure detector cannot save it.
+    p2p::Node* victim = soak.nodes.back().get();
+    std::printf("injecting violation: stopping %s before the oracle sweep\n",
+                victim->address().brief().c_str());
+    victim->stop();
+    live = soak.live();
+  }
+  // Exhaustive O(n^2) routing sweeps stop scaling past a few hundred
+  // nodes; larger fleets get a deterministic stride over the pair set.
+  const std::size_t route_pairs = live.size() > 256 ? 50000 : 0;
+  auto report = p2p::Oracle::check(
+      live, soak.sim.now(), {.seed = opt.seed, .max_route_pairs = route_pairs});
   std::printf("%s\n", report.to_string().c_str());
   if (!report.ok) {
     std::printf("reproduce: %s\n", reproducer.c_str());
+    write_postmortem(soak, report, opt);
     return 1;
   }
   return 0;
@@ -285,7 +425,7 @@ int main(int argc, char** argv) {
                    opt.schedule = std::string(v);
                    return true;
                  });
-  flags.on_value("nodes", "N", "overlay size (4..256)",
+  flags.on_value("nodes", "N", "overlay size (4..8192)",
                  [&](std::string_view v) {
                    opt.nodes = std::atoi(std::string(v).c_str());
                    return true;
@@ -305,12 +445,40 @@ int main(int argc, char** argv) {
                    opt.composite = v == "composite";
                    return opt.composite || v == "random";
                  });
+  flags.on_value("sample-rate", "R", "packet-class trace sampling (0..1)",
+                 [&](std::string_view v) {
+                   opt.sample_rate =
+                       std::strtod(std::string(v).c_str(), nullptr);
+                   return opt.sample_rate >= 0.0 && opt.sample_rate <= 1.0;
+                 });
+  flags.on_value("snapshots", "out.jsonl",
+                 "periodic fleet health snapshots (for fleet_report)",
+                 [&](std::string_view v) {
+                   opt.snapshots_path = std::string(v);
+                   return true;
+                 });
+  flags.on_value("series", "out.csv",
+                 "windowed metric time series (.csv or .jsonl)",
+                 [&](std::string_view v) {
+                   opt.series_path = std::string(v);
+                   return true;
+                 });
+  flags.on_value("snapshot-period", "SEC", "snapshot/series cadence",
+                 [&](std::string_view v) {
+                   long sec = std::atol(std::string(v).c_str());
+                   if (sec < 1) return false;
+                   opt.snapshot_period = static_cast<SimDuration>(sec) * kSecond;
+                   return true;
+                 });
+  flags.on_flag("inject-violation",
+                "kill a node pre-sweep to exercise the postmortem path",
+                [&] { opt.inject_violation = true; });
   std::vector<std::string> positional;
   if (!flags.parse(argc, argv, positional) || !positional.empty()) {
     if (!positional.empty()) flags.print_usage(stderr);
     return flags.help_shown() ? 0 : 2;
   }
-  if (opt.nodes < 4 || opt.nodes > 256 || opt.events < 1) {
+  if (opt.nodes < 4 || opt.nodes > 8192 || opt.events < 1) {
     std::fprintf(stderr, "chaos_runner: implausible --nodes/--events\n");
     return 2;
   }

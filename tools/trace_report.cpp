@@ -37,48 +37,14 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "jsonl_reader.h"
 #include "tool_flags.h"
 
 namespace {
 
-// The tracer emits flat, one-level JSON objects with deterministic key
-// order, so targeted key scans are sufficient — no JSON tree needed.
-
-std::optional<std::string_view> raw_value(std::string_view line,
-                                          std::string_view key) {
-  std::string pattern = "\"";
-  pattern += key;
-  pattern += "\":";
-  std::size_t pos = line.find(pattern);
-  if (pos == std::string_view::npos) return std::nullopt;
-  pos += pattern.size();
-  if (pos >= line.size()) return std::nullopt;
-  std::size_t end = pos;
-  if (line[pos] == '"') {
-    end = pos + 1;
-    while (end < line.size() && line[end] != '"') {
-      if (line[end] == '\\') ++end;
-      ++end;
-    }
-    if (end >= line.size()) return std::nullopt;
-    return line.substr(pos + 1, end - pos - 1);
-  }
-  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
-  return line.substr(pos, end - pos);
-}
-
-std::optional<double> num_value(std::string_view line, std::string_view key) {
-  auto raw = raw_value(line, key);
-  if (!raw) return std::nullopt;
-  return std::strtod(std::string(*raw).c_str(), nullptr);
-}
-
-std::optional<std::uint64_t> u64_value(std::string_view line,
-                                       std::string_view key) {
-  auto raw = raw_value(line, key);
-  if (!raw) return std::nullopt;
-  return std::strtoull(std::string(*raw).c_str(), nullptr, 10);
-}
+using wow::tools::num_value;
+using wow::tools::raw_value;
+using wow::tools::u64_value;
 
 void print_distribution(const char* title, std::vector<double> values,
                         double lo, double hi, std::size_t bins,
