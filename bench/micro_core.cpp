@@ -139,6 +139,31 @@ void BM_NatTranslateOutbound(benchmark::State& state) {
 }
 BENCHMARK(BM_NatTranslateOutbound);
 
+void BM_HostPortDispatch(benchmark::State& state) {
+  // Regression guard for the single-port inline fast path: with one
+  // binding (range 1, the overlay's case) the lookup must be a single
+  // compare against the inline slot; extra bindings fall back to the
+  // overflow scan.  The pre-megascale unordered_map paid a hash plus a
+  // bucket chase for every delivered datagram.
+  net::Host::Params params;
+  net::Host host(net::HostId{1}, net::Ipv4Addr(128, 0, 0, 1),
+                 net::DomainId{0}, net::SiteId{0}, &params, NameId{0});
+  int ports = static_cast<int>(state.range(0));
+  std::uint64_t hits = 0;
+  for (int p = 0; p < ports; ++p) {
+    host.bind(static_cast<std::uint16_t>(17000 + p),
+              [&hits](const net::Endpoint&, std::uint16_t, SharedBytes) {
+                ++hits;
+              });
+  }
+  std::uint16_t probe = 17000;  // primary slot holds the first binding
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host.handler(probe));
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_HostPortDispatch)->Arg(1)->Arg(4);
+
 void BM_SimulatedDatagramEndToEnd(benchmark::State& state) {
   sim::Simulator sim(7);
   net::Network network(sim);

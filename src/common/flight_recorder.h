@@ -64,6 +64,14 @@ class FlightRecorder {
 
   /// Entries currently held (<= capacity).
   [[nodiscard]] std::size_t size() const;
+  /// Heap bytes of the ring buffer (0 when capacity 0 — the megascale
+  /// profile).
+  [[nodiscard]] std::size_t state_bytes() const {
+    return ring_.capacity() * sizeof(Entry);
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + state_bytes();
+  }
   [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
   /// Entries ever recorded, including those the ring has overwritten.
   [[nodiscard]] std::uint64_t recorded() const { return recorded_; }

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace wow {
+
+/// Index into a StringInterner.  Id 0 is always the empty string, so a
+/// default-constructed NameId is a valid "no name".
+using NameId = std::uint32_t;
+
+/// Append-only deduplicating string table.
+///
+/// The flyweight backbone of the megascale profile: a 1M-host fleet
+/// whose hosts share a handful of distinct names (or none) stores each
+/// spelling once and hands every host a 4-byte id, instead of a 32-byte
+/// std::string (plus heap for long names) per host.  view() is an O(1)
+/// array lookup; intern() is one hash probe.
+///
+/// Storage is a deque so interned strings never move: the string_views
+/// handed out (and the index keys, which alias the stored strings) stay
+/// valid for the interner's lifetime.
+class StringInterner {
+ public:
+  StringInterner() {
+    strings_.emplace_back();  // id 0 = ""
+    index_.emplace(std::string_view{strings_.front()}, NameId{0});
+  }
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  NameId intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    strings_.emplace_back(s);
+    auto id = static_cast<NameId>(strings_.size() - 1);
+    index_.emplace(std::string_view{strings_.back()}, id);
+    return id;
+  }
+
+  [[nodiscard]] std::string_view view(NameId id) const {
+    return id < strings_.size() ? std::string_view{strings_[id]}
+                                : std::string_view{};
+  }
+
+  /// Distinct strings held (including the empty string at id 0).
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+  /// Estimated bytes held: string storage plus index overhead.  Feeds
+  /// the bytes/node accounting; an estimate, not malloc-exact.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    for (const std::string& s : strings_) {
+      bytes += sizeof(std::string) +
+               (s.capacity() >= sizeof(std::string) ? s.capacity() : 0);
+    }
+    // Hash node + bucket slot per entry (typical libstdc++ layout).
+    bytes += index_.size() * (sizeof(void*) * 3 + sizeof(NameId) +
+                              sizeof(std::string_view));
+    bytes += index_.bucket_count() * sizeof(void*);
+    return bytes;
+  }
+
+ private:
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, NameId> index_;
+};
+
+}  // namespace wow

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wow::mem {
+
+/// Container-overhead constants for the bytes/node accounting (DESIGN
+/// §14).  These are *estimates* of the common libstdc++ layouts — close
+/// enough to budget against and to catch regressions, not malloc-exact.
+
+/// _Rb_tree node: 3 pointers + color word (padded).
+inline constexpr std::size_t kTreeNodeOverhead = 48;
+/// Hash node: forward pointer + cached hash.
+inline constexpr std::size_t kHashNodeOverhead = 16;
+
+/// Estimated heap bytes of a node-based ordered map.
+template <class Map>
+[[nodiscard]] std::size_t tree_map_bytes(const Map& m) {
+  return m.size() * (kTreeNodeOverhead + sizeof(typename Map::value_type));
+}
+
+/// Estimated heap bytes of an unordered_map (nodes + bucket array).
+template <class Map>
+[[nodiscard]] std::size_t hash_map_bytes(const Map& m) {
+  return m.size() * (kHashNodeOverhead + sizeof(typename Map::value_type)) +
+         m.bucket_count() * sizeof(void*);
+}
+
+/// Heap bytes held by a vector's buffer.
+template <class T>
+[[nodiscard]] std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace wow::mem

@@ -3,9 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/interner.h"
 #include "common/time.h"
 #include "net/addr.h"
 
@@ -35,8 +36,18 @@ using UdpHandler = std::function<void(const Endpoint& src,
 ///    the ~85 KB/s the paper measured (Table II),
 ///  - an extra random processing delay + drop probability modelling CPU
 ///    contention on shared hosts.
+///
+/// Memory layout is flyweight (megascale profile, DESIGN §14): the
+/// numeric performance parameters live in a Network-owned pool shared by
+/// every host constructed from an equal Config, the name is an interned
+/// id in the Network's string table, and port bindings sit in one inline
+/// slot (almost every host binds exactly one port) with a heap vector
+/// only for the rare multi-port host.
 class Host {
  public:
+  /// Construction-time description of a host.  The Network dedupes the
+  /// numeric fields into a shared Params pool and interns the name; the
+  /// Config itself is not stored per host.
   struct Config {
     std::string name;
     /// Link rates in bytes/second.
@@ -61,30 +72,94 @@ class Host {
     double cpu_speed = 1.0;
   };
 
-  Host(HostId id, Ipv4Addr ip, DomainId domain, SiteId site, Config config)
-      : id_(id), ip_(ip), domain_(domain), site_(site),
-        config_(std::move(config)) {}
+  /// The numeric parameters of a Config, deduplicated by the owning
+  /// Network: a testbed declares a handful of host classes, so a 1M-host
+  /// fleet shares a handful of Params entries and each host stores one
+  /// pointer instead of its own 64-byte copy.
+  struct Params {
+    double uplink_bps = 12.5e6;
+    double downlink_bps = 12.5e6;
+    SimDuration proc_service = 50 * kMicrosecond;
+    SimDuration proc_extra_mean = 0;
+    double overload_drop = 0.0;
+    SimDuration proc_queue_limit = 500 * kMillisecond;
+    double cpu_speed = 1.0;
+
+    [[nodiscard]] bool operator==(const Params&) const = default;
+
+    [[nodiscard]] static Params of(const Config& c) {
+      return Params{c.uplink_bps, c.downlink_bps,  c.proc_service,
+                    c.proc_extra_mean, c.overload_drop, c.proc_queue_limit,
+                    c.cpu_speed};
+    }
+  };
+
+  Host(HostId id, Ipv4Addr ip, DomainId domain, SiteId site,
+       const Params* params, NameId name)
+      : id_(id), ip_(ip), domain_(domain), site_(site), params_(params),
+        name_(name) {}
 
   [[nodiscard]] HostId id() const { return id_; }
   [[nodiscard]] Ipv4Addr ip() const { return ip_; }
   [[nodiscard]] DomainId domain() const { return domain_; }
   [[nodiscard]] SiteId site() const { return site_; }
-  [[nodiscard]] const std::string& name() const { return config_.name; }
-  [[nodiscard]] const Config& config() const { return config_; }
-  [[nodiscard]] Config& mutable_config() { return config_; }
+  /// Interned name; resolve with Network::host_name().
+  [[nodiscard]] NameId name_id() const { return name_; }
+  /// Shared performance parameters (pool-owned, outlives the host).
+  [[nodiscard]] const Params& params() const { return *params_; }
 
   /// Register a handler for datagrams arriving on `port`.  Overwrites any
   /// existing binding (matching the restart-IPOP migration flow).
   void bind(std::uint16_t port, UdpHandler handler) {
-    handlers_[port] = std::move(handler);
+    if (!primary_.handler || primary_.port == port) {
+      primary_.port = port;
+      primary_.handler = std::move(handler);
+      return;
+    }
+    for (Binding& b : extra_) {
+      if (b.port == port) {
+        b.handler = std::move(handler);
+        return;
+      }
+    }
+    extra_.push_back(Binding{port, std::move(handler)});
   }
-  void unbind(std::uint16_t port) { handlers_.erase(port); }
+
+  void unbind(std::uint16_t port) {
+    if (primary_.handler && primary_.port == port) {
+      if (extra_.empty()) {
+        primary_.handler = nullptr;
+        primary_.port = 0;
+      } else {
+        // Promote an overflow binding so the inline slot stays hot.
+        primary_ = std::move(extra_.back());
+        extra_.pop_back();
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < extra_.size(); ++i) {
+      if (extra_[i].port == port) {
+        extra_[i] = std::move(extra_.back());
+        extra_.pop_back();
+        return;
+      }
+    }
+  }
+
   [[nodiscard]] bool bound(std::uint16_t port) const {
-    return handlers_.count(port) != 0;
+    return handler(port) != nullptr;
   }
+
+  /// Handler lookup on the delivery hot path.  The single-port common
+  /// case is one compare against the inline slot — no hashing, no heap
+  /// walk (the pre-megascale unordered_map cost a hash + bucket chase
+  /// per delivered datagram).
   [[nodiscard]] const UdpHandler* handler(std::uint16_t port) const {
-    auto it = handlers_.find(port);
-    return it == handlers_.end() ? nullptr : &it->second;
+    if (primary_.port == port && primary_.handler) return &primary_.handler;
+    for (const Binding& b : extra_) {
+      if (b.port == port) return &b.handler;
+    }
+    return nullptr;
   }
 
   // --- queueing state, driven by Network ---------------------------------
@@ -93,14 +168,14 @@ class Host {
   /// the send is issued at `now`; advances the uplink queue.
   [[nodiscard]] SimTime uplink_departure(SimTime now, std::size_t bytes) {
     SimTime start = now > uplink_free_ ? now : uplink_free_;
-    uplink_free_ = start + serialization(bytes, config_.uplink_bps);
+    uplink_free_ = start + serialization(bytes, params_->uplink_bps);
     return uplink_free_;
   }
 
   /// Time a datagram arriving at `arrival` is fully received.
   [[nodiscard]] SimTime downlink_done(SimTime arrival, std::size_t bytes) {
     SimTime start = arrival > downlink_free_ ? arrival : downlink_free_;
-    downlink_free_ = start + serialization(bytes, config_.downlink_bps);
+    downlink_free_ = start + serialization(bytes, params_->downlink_bps);
     return downlink_free_;
   }
 
@@ -108,7 +183,7 @@ class Host {
   /// ready at `ready`.
   [[nodiscard]] SimTime processing_done(SimTime ready, SimDuration extra) {
     SimTime start = ready > proc_free_ ? ready : proc_free_;
-    proc_free_ = start + config_.proc_service + extra;
+    proc_free_ = start + params_->proc_service + extra;
     return proc_free_;
   }
 
@@ -117,7 +192,18 @@ class Host {
     return proc_free_ > now ? proc_free_ - now : 0;
   }
 
+  /// Estimated object + heap bytes (bytes/node accounting; Params and
+  /// the name are shared, counted once fleet-wide by the Network).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(Host) + extra_.capacity() * sizeof(Binding);
+  }
+
  private:
+  struct Binding {
+    std::uint16_t port = 0;
+    UdpHandler handler;  // empty function = slot free
+  };
+
   [[nodiscard]] static SimDuration serialization(std::size_t bytes,
                                                  double bps) {
     if (bps <= 0) return 0;
@@ -129,8 +215,12 @@ class Host {
   Ipv4Addr ip_;
   DomainId domain_;
   SiteId site_;
-  Config config_;
-  std::unordered_map<std::uint16_t, UdpHandler> handlers_;
+  const Params* params_;
+  NameId name_;
+  /// Inline fast-path binding (the one port nearly every host binds).
+  Binding primary_;
+  /// Rare multi-port hosts overflow here; empty vector = no heap.
+  std::vector<Binding> extra_;
   SimTime uplink_free_ = 0;
   SimTime downlink_free_ = 0;
   SimTime proc_free_ = 0;

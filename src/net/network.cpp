@@ -105,10 +105,26 @@ DomainId Network::add_nat_domain(const std::string& name, DomainId parent,
 }
 
 Host& Network::add_host(Ipv4Addr ip, DomainId domain, SiteId site,
-                        Host::Config config) {
+                        const Host::Config& config) {
   auto id = static_cast<HostId>(hosts_.size());
-  hosts_.push_back(std::make_unique<Host>(id, ip, domain, site, config));
+  // Dedupe the numeric parameters: testbeds declare a handful of host
+  // classes, so the linear scan is over a handful of entries.
+  Host::Params params = Host::Params::of(config);
+  const Host::Params* shared = nullptr;
+  for (const Host::Params& p : params_pool_) {
+    if (p == params) {
+      shared = &p;
+      break;
+    }
+  }
+  if (shared == nullptr) {
+    params_pool_.push_back(params);
+    shared = &params_pool_.back();
+  }
+  hosts_.push_back(std::make_unique<Host>(id, ip, domain, site, shared,
+                                          names_.intern(config.name)));
   domains_[static_cast<std::size_t>(domain)].hosts_by_ip[ip.value()] = id;
+  if (batched_) host_queues_.resize(hosts_.size());
   return *hosts_.back();
 }
 
@@ -136,7 +152,8 @@ void Network::move_host(Host& h, DomainId new_domain, Ipv4Addr new_ip) {
   // Reconstruct the host in place with the new placement.  Port bindings
   // are intentionally dropped: migration suspends the VM, so the IPOP
   // process must restart and re-bind on the new network (paper §V-C).
-  h = Host(h.id(), new_ip, new_domain, target.site, h.config());
+  h = Host(h.id(), new_ip, new_domain, target.site, &h.params(),
+           h.name_id());
 }
 
 bool Network::wan_faulted(SiteId a, SiteId b, SimTime& t,
@@ -295,22 +312,26 @@ void Network::deliver_one(Host& to, const Endpoint& seen_src,
   arrival += faults_.roll_reorder_delay();
   std::size_t wire_bytes = payload.size() + 28;
   SimTime done = to.downlink_done(arrival, wire_bytes);
-  if (to.proc_backlog(arrival) > to.config().proc_queue_limit) {
+  if (to.proc_backlog(arrival) > to.params().proc_queue_limit) {
     record_drop(DropReason::kOverload, seen_src, Endpoint{to.ip(), dst_port});
     return;
   }
-  if (sim_.rng().bernoulli(to.config().overload_drop)) {
+  if (sim_.rng().bernoulli(to.params().overload_drop)) {
     record_drop(DropReason::kOverload, seen_src, Endpoint{to.ip(), dst_port});
     return;
   }
   SimDuration extra =
-      to.config().proc_extra_mean > 0
+      to.params().proc_extra_mean > 0
           ? static_cast<SimDuration>(sim_.rng().exponential(
-                static_cast<double>(to.config().proc_extra_mean)))
+                static_cast<double>(to.params().proc_extra_mean)))
           : 0;
   done = to.processing_done(done, extra);
 
   HostId to_id = to.id();
+  if (batched_) {
+    enqueue_batched(to_id, done, seen_src, dst_port, std::move(payload));
+    return;
+  }
   // Mutable so the payload handle can be moved into the handler: the
   // receiving node then holds the frame's only reference and can rewrite
   // its forwarding header in place without a copy.
@@ -326,6 +347,96 @@ void Network::deliver_one(Host& to, const Endpoint& seen_src,
     ++stats_.delivered;
     (*handler)(seen_src, dst_port, std::move(payload));
   });
+}
+
+void Network::enable_batched_delivery(SimDuration quantum) {
+  batched_ = true;
+  batch_quantum_ = quantum > 0 ? quantum : 0;
+  host_queues_.resize(hosts_.size());
+}
+
+void Network::enqueue_batched(HostId to_id, SimTime done,
+                              const Endpoint& seen_src,
+                              std::uint16_t dst_port, SharedBytes payload) {
+  if (batch_quantum_ > 0) {
+    // Round UP to the quantum grid: bursts coalesce into one drain,
+    // nothing ever arrives early, and added latency is < one quantum.
+    done = (done + batch_quantum_ - 1) / batch_quantum_ * batch_quantum_;
+  }
+  HostQueue& hq = host_queues_[static_cast<std::size_t>(to_id)];
+  if (hq.head < hq.q.size()) {
+    // Per-host completion times are monotone in enqueue order (every
+    // queueing station advances via max(arrival, free)); the clamp
+    // defends that FIFO invariant against future station changes.
+    SimTime last = hq.q.back().due;
+    if (done < last) done = last;
+  }
+  hq.q.push_back(PendingDelivery{done, seen_src, dst_port,
+                                 std::move(payload)});
+  if (!hq.drain_scheduled) {
+    hq.drain_scheduled = true;
+    sim_.schedule_at(done, [this, to_id] { drain_host(to_id); });
+  }
+}
+
+void Network::drain_host(HostId to_id) {
+  HostQueue& hq = host_queues_[static_cast<std::size_t>(to_id)];
+  Host& target = *hosts_[static_cast<std::size_t>(to_id)];
+  SimTime now = sim_.now();
+  // Amortized handler lookup: consecutive datagrams almost always hit
+  // the same port, so resolve once and reuse while it matches.
+  std::uint16_t cached_port = 0;
+  const UdpHandler* cached = nullptr;
+  // Index loop, not iterators: a handler may send traffic that lands
+  // back on this very host, growing (and reallocating) the queue we are
+  // draining.
+  while (hq.head < hq.q.size() && hq.q[hq.head].due <= now) {
+    PendingDelivery entry = std::move(hq.q[hq.head]);
+    ++hq.head;
+    if (cached == nullptr || entry.dst_port != cached_port) {
+      cached_port = entry.dst_port;
+      cached = target.handler(cached_port);
+    }
+    if (cached == nullptr) {
+      record_drop(DropReason::kNoListener, entry.seen_src,
+                  Endpoint{target.ip(), entry.dst_port});
+      continue;
+    }
+    ++stats_.delivered;
+    (*cached)(entry.seen_src, entry.dst_port, std::move(entry.payload));
+  }
+  if (hq.head < hq.q.size()) {
+    sim_.schedule_at(hq.q[hq.head].due, [this, to_id] { drain_host(to_id); });
+    return;
+  }
+  hq.drain_scheduled = false;
+  hq.head = 0;
+  if (hq.q.capacity() > 16) {
+    // A burst inflated the buffer; at 1M hosts idle capacity is real
+    // memory, so give it back.
+    std::vector<PendingDelivery>().swap(hq.q);
+  } else {
+    hq.q.clear();
+  }
+}
+
+std::size_t Network::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& h : hosts_) bytes += h->memory_bytes();
+  bytes += params_pool_.size() * sizeof(Host::Params);
+  bytes += names_.memory_bytes();
+  for (const Domain& d : domains_) {
+    bytes += sizeof(Domain);
+    // Hash node + bucket estimate per host entry.
+    bytes += d.hosts_by_ip.size() * (sizeof(void*) * 2 + 8) +
+             d.hosts_by_ip.bucket_count() * sizeof(void*);
+    bytes += d.child_nats_by_wan_ip.size() * (sizeof(void*) * 4 + 8);
+  }
+  for (const HostQueue& hq : host_queues_) {
+    bytes += hq.q.capacity() * sizeof(PendingDelivery);
+  }
+  bytes += host_queues_.capacity() * sizeof(HostQueue);
+  return bytes;
 }
 
 }  // namespace wow::net

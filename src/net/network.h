@@ -2,14 +2,18 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/interner.h"
 #include "common/time.h"
 #include "net/addr.h"
 #include "net/faults.h"
@@ -102,9 +106,11 @@ class Network {
                           SiteId site, Ipv4Addr wan_ip,
                           NatBox::Config nat_config);
 
-  /// Create a host.  For public hosts pass domain = kInternet.
+  /// Create a host.  For public hosts pass domain = kInternet.  The
+  /// config's numeric parameters are deduplicated into a shared pool and
+  /// its name interned (flyweight — see Host).
   Host& add_host(Ipv4Addr ip, DomainId domain, SiteId site,
-                 Host::Config config);
+                 const Host::Config& config);
 
   // --- data plane ---------------------------------------------------------
 
@@ -142,14 +148,65 @@ class Network {
   /// Hosts count (ids are dense 0..n-1).
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
 
+  /// Resolve a host's interned name.
+  [[nodiscard]] std::string_view host_name(const Host& h) const {
+    return names_.view(h.name_id());
+  }
+  /// The fleet-wide name table (shared with testbeds that label other
+  /// objects).
+  [[nodiscard]] StringInterner& names() { return names_; }
+
+  // --- megascale batched delivery (opt-in) -------------------------------
+
+  /// Switch final-hop delivery to batched per-host processing: instead
+  /// of one simulator event per delivered datagram, each host keeps a
+  /// FIFO of pending deliveries and one outstanding "drain" event.  A
+  /// quantum > 0 additionally rounds completion times UP to the quantum
+  /// grid so bursts drain in one event (bounded added latency, never
+  /// early).  This changes cross-host delivery interleaving relative to
+  /// the default exact path, so it is opt-in for megascale runs; runs
+  /// in batched mode remain deterministic among themselves.  Per-host
+  /// order is preserved: completion times are monotone in enqueue order
+  /// because every queueing station advances via max(arrival, free).
+  /// Must be enabled before traffic flows; cannot be turned off again.
+  void enable_batched_delivery(SimDuration quantum = 0);
+  [[nodiscard]] bool batched_delivery() const { return batched_; }
+
+  /// Estimated bytes held by the network fabric itself (hosts, domains,
+  /// NAT state, pending delivery queues, name/params pools) — the
+  /// non-protocol share of the bytes/node report.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   struct Domain {
     std::string name;
     DomainId parent = kInternet;
     SiteId site = 0;
     std::unique_ptr<NatBox> nat;  // null only for the Internet root
-    std::map<std::uint32_t, HostId> hosts_by_ip;
+    /// Hash map, not a tree: the per-datagram routing walk does one
+    /// lookup here per domain level, and at 1M public hosts a red-black
+    /// walk is ~20 dependent cache misses per send.  Nothing iterates
+    /// this map, so the unordered layout cannot perturb determinism.
+    std::unordered_map<std::uint32_t, HostId> hosts_by_ip;
     std::map<std::uint32_t, DomainId> child_nats_by_wan_ip;
+  };
+
+  /// One queued final-hop delivery in batched mode (~40 B; the payload
+  /// is a ref-counted handle, not a copy).
+  struct PendingDelivery {
+    SimTime due = 0;
+    Endpoint seen_src;
+    std::uint16_t dst_port = 0;
+    SharedBytes payload;
+  };
+
+  /// Per-host delivery FIFO + its single outstanding drain event.
+  /// `head` indexes the next undelivered entry; the vector is compacted
+  /// only when fully drained so a steady stream never memmoves.
+  struct HostQueue {
+    std::vector<PendingDelivery> q;
+    std::size_t head = 0;
+    bool drain_scheduled = false;
   };
 
   [[nodiscard]] const LinkModel& site_link(SiteId a, SiteId b) const;
@@ -165,6 +222,13 @@ class Network {
   /// One physical copy (deliver() may fan out under duplication).
   void deliver_one(Host& to, const Endpoint& seen_src, std::uint16_t dst_port,
                    SharedBytes payload, SimTime arrival);
+  /// Batched mode: append to the host's FIFO, arming its drain event if
+  /// idle.
+  void enqueue_batched(HostId to_id, SimTime done, const Endpoint& seen_src,
+                       std::uint16_t dst_port, SharedBytes payload);
+  /// Batched mode: deliver every pending datagram now due on `to_id`,
+  /// then re-arm for the next due entry (if any).
+  void drain_host(HostId to_id);
   /// Single funnel for every drop: bumps the matching Stats field, runs
   /// the diagnostic hook, and emits a "net.drop" trace event.
   void record_drop(DropReason reason, const Endpoint& src,
@@ -173,6 +237,14 @@ class Network {
   sim::Simulator& sim_;
   std::vector<Domain> domains_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  /// Flyweight pools: distinct host parameter sets (deque = stable
+  /// addresses for the pointers hosts hold) and interned names.
+  std::deque<Host::Params> params_pool_;
+  StringInterner names_;
+  /// Batched delivery state; host_queues_ is sized lazily on enable.
+  bool batched_ = false;
+  SimDuration batch_quantum_ = 0;
+  std::vector<HostQueue> host_queues_;
   std::vector<std::string> site_names_;
   std::map<std::pair<SiteId, SiteId>, LinkModel> site_links_;
   LinkModel default_wan_{30 * kMillisecond, 2 * kMillisecond, 0.001};

@@ -57,6 +57,10 @@ class BootstrapOverlord {
   /// connection covers it.
   void maintain_bootstrap();
 
+  /// No dynamic state beyond the object itself.
+  [[nodiscard]] std::size_t state_bytes() const { return 0; }
+  [[nodiscard]] std::size_t memory_bytes() const { return sizeof(*this); }
+
  private:
   sim::TimerService& timers_;
   Rng& rng_;

@@ -1,58 +1,87 @@
 #include "p2p/connection_table.h"
 
+#include <algorithm>
+
 namespace wow::p2p {
 
 bool ConnectionTable::add(Connection connection) {
-  RingId key = self_.clockwise_distance(connection.addr);
-  auto it = by_distance_.find(key);
-  if (it != by_distance_.end()) {
-    Connection& existing = it->second;
-    existing.last_heard = connection.last_heard;
+  if (Connection* existing = find(connection.addr)) {
+    existing->last_heard = connection.last_heard;
     // A direct path always supersedes a relay tunnel (that transition IS
     // the relay→direct upgrade), but a relay refresh must never clobber
     // the endpoint of a working direct connection.
-    if (!connection.is_relay() || existing.is_relay()) {
-      existing.remote = connection.remote;
-      existing.relay = connection.relay;
+    if (!connection.is_relay() || existing->is_relay()) {
+      existing->remote = connection.remote;
+      existing->relay = connection.relay;
     }
-    if (!connection.uris.empty()) existing.uris = connection.uris;
+    if (!connection.uris.empty()) existing->uris = connection.uris;
     if (retention_priority(connection.type) >
-        retention_priority(existing.type)) {
-      existing.type = connection.type;
+        retention_priority(existing->type)) {
+      existing->type = connection.type;
     }
     return false;
   }
-  by_distance_.emplace(key, std::move(connection));
+  RingId key = self_.clockwise_distance(connection.addr);
+  auto it = std::lower_bound(
+      conns_.begin(), conns_.end(), key,
+      [this](const Connection& c, const RingId& k) {
+        return self_.clockwise_distance(c.addr) < k;
+      });
+  conns_.insert(it, std::move(connection));
   return true;
 }
 
 bool ConnectionTable::remove(const Address& addr) {
-  return by_distance_.erase(self_.clockwise_distance(addr)) > 0;
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if (it->addr == addr) {
+      conns_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 Connection* ConnectionTable::find(const Address& addr) {
-  auto it = by_distance_.find(self_.clockwise_distance(addr));
-  return it == by_distance_.end() ? nullptr : &it->second;
+  for (Connection& c : conns_) {
+    if (c.addr == addr) return &c;
+  }
+  return nullptr;
 }
 
 const Connection* ConnectionTable::find(const Address& addr) const {
-  auto it = by_distance_.find(self_.clockwise_distance(addr));
-  return it == by_distance_.end() ? nullptr : &it->second;
+  for (const Connection& c : conns_) {
+    if (c.addr == addr) return &c;
+  }
+  return nullptr;
 }
 
 std::size_t ConnectionTable::count(ConnectionType type) const {
   std::size_t n = 0;
-  for (const auto& [key, c] : by_distance_) {
+  for (const Connection& c : conns_) {
     if (c.type == type) ++n;
   }
   return n;
+}
+
+ConnectionTable::TypeCounts ConnectionTable::count_by_type() const {
+  TypeCounts counts;
+  for (const Connection& c : conns_) {
+    switch (c.type) {
+      case ConnectionType::kStructuredNear: ++counts.near; break;
+      case ConnectionType::kStructuredFar: ++counts.far; break;
+      case ConnectionType::kShortcut: ++counts.shortcut; break;
+      case ConnectionType::kLeaf: ++counts.leaf; break;
+      case ConnectionType::kRelay: ++counts.relay; break;
+    }
+  }
+  return counts;
 }
 
 const Connection* ConnectionTable::closest_to(const Address& dst,
                                               const Address* exclude) const {
   RingId best = self_.ring_distance(dst);
   const Connection* winner = nullptr;
-  for (const auto& [key, c] : by_distance_) {
+  for (const Connection& c : conns_) {
     if (exclude != nullptr && c.addr == *exclude) continue;
     RingId d = c.addr.ring_distance(dst);
     if (d < best) {
@@ -67,7 +96,7 @@ const Connection* ConnectionTable::successor_of(const Address& pos,
                                                 const Address* exclude) const {
   const Connection* best = nullptr;
   RingId best_d = RingId::max();
-  for (const auto& [key, c] : by_distance_) {
+  for (const Connection& c : conns_) {
     if (c.addr == pos) continue;
     if (exclude != nullptr && c.addr == *exclude) continue;
     RingId d = pos.clockwise_distance(c.addr);
@@ -83,7 +112,7 @@ const Connection* ConnectionTable::predecessor_of(
     const Address& pos, const Address* exclude) const {
   const Connection* best = nullptr;
   RingId best_d = RingId::max();
-  for (const auto& [key, c] : by_distance_) {
+  for (const Connection& c : conns_) {
     if (c.addr == pos) continue;
     if (exclude != nullptr && c.addr == *exclude) continue;
     RingId d = c.addr.clockwise_distance(pos);
@@ -96,21 +125,18 @@ const Connection* ConnectionTable::predecessor_of(
 }
 
 const Connection* ConnectionTable::right_neighbor() const {
-  if (by_distance_.empty()) return nullptr;
-  return &by_distance_.begin()->second;
+  return conns_.empty() ? nullptr : &conns_.front();
 }
 
 const Connection* ConnectionTable::left_neighbor() const {
-  if (by_distance_.empty()) return nullptr;
-  return &by_distance_.rbegin()->second;
+  return conns_.empty() ? nullptr : &conns_.back();
 }
 
 std::vector<const Connection*> ConnectionTable::right_neighbors(
     std::size_t n) const {
   std::vector<const Connection*> out;
-  for (auto it = by_distance_.begin(); it != by_distance_.end() &&
-                                       out.size() < n; ++it) {
-    out.push_back(&it->second);
+  for (std::size_t i = 0; i < conns_.size() && out.size() < n; ++i) {
+    out.push_back(&conns_[i]);
   }
   return out;
 }
@@ -118,22 +144,21 @@ std::vector<const Connection*> ConnectionTable::right_neighbors(
 std::vector<const Connection*> ConnectionTable::left_neighbors(
     std::size_t n) const {
   std::vector<const Connection*> out;
-  for (auto it = by_distance_.rbegin(); it != by_distance_.rend() &&
-                                        out.size() < n; ++it) {
-    out.push_back(&it->second);
+  for (std::size_t i = conns_.size(); i-- > 0 && out.size() < n;) {
+    out.push_back(&conns_[i]);
   }
   return out;
 }
 
 void ConnectionTable::for_each(
     const std::function<void(const Connection&)>& fn) const {
-  for (const auto& [key, c] : by_distance_) fn(c);
+  for (const Connection& c : conns_) fn(c);
 }
 
 std::vector<Address> ConnectionTable::addresses() const {
   std::vector<Address> out;
-  out.reserve(by_distance_.size());
-  for (const auto& [key, c] : by_distance_) out.push_back(c.addr);
+  out.reserve(conns_.size());
+  for (const Connection& c : conns_) out.push_back(c.addr);
   return out;
 }
 

@@ -2,7 +2,6 @@
 
 #include <cstddef>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -15,15 +14,22 @@ namespace wow::p2p {
 /// An established overlay connection: peer address, the physical endpoint
 /// the linking protocol found to work, and bookkeeping for keepalives.
 struct Connection {
+  // Members are ordered 4-aligned first, 8-aligned after, single byte
+  // into the tail of the 4-aligned run: 136 bytes/connection instead of
+  // the 144 a declaration-by-topic order pads out to.  At megascale the
+  // table is the footprint, so the layout is part of the budget
+  // (DESIGN §14).
   Address addr;
-  ConnectionType type = ConnectionType::kLeaf;
-  net::Endpoint remote;                 // chosen working endpoint
-  std::vector<transport::Uri> uris;     // everything the peer advertised
-  SimTime established = 0;
-  SimTime last_heard = 0;
   /// For kRelay tunnels: the mutual neighbor frames are source-routed
   /// through; `remote` is then that agent's endpoint.  Zero = direct.
   Address relay;
+  net::Endpoint remote;                 // chosen working endpoint
+  /// Everything the peer advertised, stored inline (≤4 URIs, no heap —
+  /// the megascale flyweight layout; wire lists stay std::vector).
+  transport::UriList uris;
+  ConnectionType type = ConnectionType::kLeaf;
+  SimTime established = 0;
+  SimTime last_heard = 0;
   /// Jacobson-style smoothed RTT estimator, fed Karn-filtered samples
   /// from keepalive ping round-trips and link handshakes.  0 = no
   /// sample yet.  Drives the keepalive probe RTO and seeds the linking
@@ -65,6 +71,15 @@ struct Connection {
 /// predecessor, which connection is greedily closest to a destination,
 /// how many structured-far links do I have — are answered here, so the
 /// overlords and the router stay free of ring arithmetic.
+///
+/// Layout: one contiguous vector sorted by clockwise distance from
+/// self_.  The steady state is ~2·near + k·far + shortcuts ≈ a dozen
+/// entries, where a node-per-entry tree costs an allocation plus ~40
+/// bytes of color/pointer overhead per connection and a pointer chase
+/// per step; the vector is one block scanned linearly.  Pointers
+/// returned by find()/closest_to()/… are invalidated by add()/remove()
+/// — every protocol service already re-finds after mutating (the
+/// collect-then-mutate idiom in the sweeps).
 class ConnectionTable {
  public:
   explicit ConnectionTable(Address self) : self_(self) {}
@@ -78,7 +93,7 @@ class ConnectionTable {
   bool add(Connection connection);
 
   bool remove(const Address& addr);
-  void clear() { by_distance_.clear(); }
+  void clear() { conns_.clear(); }
 
   [[nodiscard]] Connection* find(const Address& addr);
   [[nodiscard]] const Connection* find(const Address& addr) const;
@@ -86,9 +101,33 @@ class ConnectionTable {
     return find(addr) != nullptr;
   }
 
-  [[nodiscard]] std::size_t size() const { return by_distance_.size(); }
-  [[nodiscard]] bool empty() const { return by_distance_.empty(); }
+  [[nodiscard]] std::size_t size() const { return conns_.size(); }
+  [[nodiscard]] bool empty() const { return conns_.empty(); }
   [[nodiscard]] std::size_t count(ConnectionType type) const;
+
+  /// Every per-type count in one pass (NodeInspector samples all five
+  /// per node per window; five separate count() scans at 100k nodes was
+  /// measurable).
+  struct TypeCounts {
+    std::size_t near = 0;
+    std::size_t far = 0;
+    std::size_t shortcut = 0;
+    std::size_t leaf = 0;
+    std::size_t relay = 0;
+  };
+  [[nodiscard]] TypeCounts count_by_type() const;
+
+  /// Hot path (every received datagram): refresh last_heard on direct
+  /// connections whose chosen endpoint is `from`.  Relay tunnels are
+  /// excluded — their `remote` is the AGENT's endpoint, so the agent's
+  /// own traffic would falsely credit the tunneled peer; a relay
+  /// connection is only credited when an inner frame arrives through
+  /// the tunnel (RelayAgent::handle_frame).
+  void credit_liveness(const net::Endpoint& from, SimTime now) {
+    for (Connection& c : conns_) {
+      if (c.remote == from && !c.is_relay()) c.last_heard = now;
+    }
+  }
 
   /// Greedy routing decision: the connection strictly closer to `dst`
   /// than we are, minimizing ring distance; nullptr when the local node
@@ -121,6 +160,16 @@ class ConnectionTable {
   void for_each(const std::function<void(const Connection&)>& fn) const;
   [[nodiscard]] std::vector<Address> addresses() const;
 
+  /// Live protocol-state bytes: held connections only (the §14 1 KB
+  /// budget metric; allocator slack shows up in memory_bytes).
+  [[nodiscard]] std::size_t state_bytes() const {
+    return conns_.size() * sizeof(Connection);
+  }
+  /// Estimated object + heap bytes (bytes/node accounting).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + conns_.capacity() * sizeof(Connection);
+  }
+
  private:
   [[nodiscard]] static int retention_priority(ConnectionType t) {
     switch (t) {
@@ -137,9 +186,11 @@ class ConnectionTable {
   }
 
   Address self_;
-  /// Keyed by clockwise distance from self_, which makes successor /
-  /// predecessor queries trivial and keeps iteration in ring order.
-  std::map<RingId, Connection> by_distance_;
+  /// Sorted by clockwise distance from self_ (recomputed on compare:
+  /// a 160-bit subtract beats caching 20 more bytes per entry at these
+  /// sizes), which makes successor / predecessor queries trivial and
+  /// keeps iteration in ring order.
+  std::vector<Connection> conns_;
 };
 
 }  // namespace wow::p2p

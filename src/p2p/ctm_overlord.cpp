@@ -121,6 +121,24 @@ void CtmOverlord::send_join() {
   }
 }
 
+bool CtmOverlord::wants_near(const Address& peer) const {
+  if (peer == table_.self()) return false;
+  RingId half = ring_half();
+  RingId cw = table_.self().clockwise_distance(peer);
+  bool right = cw < half;
+  RingId dist = right ? cw : peer.clockwise_distance(table_.self());
+  int closer = 0;
+  table_.for_each([&](const Connection& c) {
+    if (c.type != ConnectionType::kStructuredNear) return;
+    if (c.addr == peer) return;
+    RingId c_cw = table_.self().clockwise_distance(c.addr);
+    if ((c_cw < half) != right) return;
+    RingId c_dist = right ? c_cw : c.addr.clockwise_distance(table_.self());
+    if (c_dist < dist) ++closer;
+  });
+  return closer < config_.near_per_side;
+}
+
 void CtmOverlord::handle_request(const RoutedPacket& packet) {
   if (packet.src == table_.self()) return;  // our own announcement
   ++stats_.ctm_received;
@@ -138,12 +156,20 @@ void CtmOverlord::handle_request(const RoutedPacket& packet) {
                    {"hops", int(packet.hops)}});
   }
 
+  // A join announce is consumed by the gap endpoints AND (via the
+  // bounce) by whatever bystander brackets the gap from the far side —
+  // its reply hints matter, but a near LINK to it does not.  Only link
+  // when the requester would actually enter our near set; otherwise
+  // every stabilize round re-acquires links the retention sweep closes.
+  bool link_wanted = req->con_type != ConnectionType::kStructuredNear ||
+                     wants_near(packet.src);
+
   // Already connected (e.g. a leaf link): record the stronger role the
   // peer is asking for; no new handshake is needed.  A relay tunnel is
   // NOT role-upgraded — it stays kRelay until a direct link replaces it
   // (the handshake below doubles as the upgrade probe).
   if (Connection* existing = table_.find(packet.src)) {
-    if (!existing->is_relay()) {
+    if (!existing->is_relay() && link_wanted) {
       Connection upgraded = *existing;
       upgraded.type = req->con_type;
       table_.add(std::move(upgraded));
@@ -181,7 +207,9 @@ void CtmOverlord::handle_request(const RoutedPacket& packet) {
 
   // The CTM target initiates linking right away (§IV-B step 2b): its
   // outbound packets punch the NAT hole for the initiator's attempt.
-  hooks_.link_start(packet.src, req->con_type, req->uris);
+  if (link_wanted) {
+    hooks_.link_start(packet.src, req->con_type, req->uris);
+  }
 }
 
 void CtmOverlord::handle_reply(const RoutedPacket& packet) {
@@ -217,21 +245,30 @@ void CtmOverlord::handle_reply(const RoutedPacket& packet) {
   }
   pending_ctms_.erase(pending);
 
+  // Same admission rule as handle_request: a reply from a far-side
+  // bystander (bounced announce) or a hint pointing at a 2-hop
+  // neighbor must not grow the near set past near_per_side — the
+  // ratchet only tightens, it never re-widens.
+  bool link_wanted = type != ConnectionType::kStructuredNear ||
+                     wants_near(packet.src);
   if (Connection* existing = table_.find(packet.src)) {
-    if (!existing->is_relay()) {
+    if (!existing->is_relay() && link_wanted) {
       Connection upgraded = *existing;
       upgraded.type = type;
       table_.add(std::move(upgraded));
       hooks_.update_routable();
     }
   }
-  hooks_.link_start(packet.src, type, reply->uris);
+  if (link_wanted) {
+    hooks_.link_start(packet.src, type, reply->uris);
+  }
 
   // A join reply carries the responder's neighbor hints: link to the
-  // far side of our gap too.
+  // far side of our gap too (when they would tighten our bracket).
   if (type == ConnectionType::kStructuredNear) {
     for (const NeighborHint& hint : reply->neighbors) {
       if (hint.addr == table_.self()) continue;
+      if (!wants_near(hint.addr)) continue;
       hooks_.link_start(hint.addr, ConnectionType::kStructuredNear,
                         hint.uris);
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/flight_recorder.h"
+#include "common/mem_estimate.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "common/trace.h"
@@ -97,6 +98,14 @@ class CtmOverlord {
     return pending_ctms_.size();
   }
 
+  /// Estimated heap bytes of dynamic state (pending CTMs).
+  [[nodiscard]] std::size_t state_bytes() const {
+    return mem::tree_map_bytes(pending_ctms_);
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + state_bytes();
+  }
+
  private:
   struct PendingCtm {
     Address target;
@@ -115,6 +124,12 @@ class CtmOverlord {
 
   /// Retransmit a pending CTM that timed out.
   void retry(std::uint32_t token, PendingCtm& pending);
+  /// Near-link admission: true when `peer` would rank within
+  /// near_per_side of self on its ring side given the near links we
+  /// already hold.  The mirror image of Node's retention sweep — the
+  /// two policies must agree or every stabilize round re-acquires the
+  /// 2-hop-neighbor hints the sweep just closed.
+  [[nodiscard]] bool wants_near(const Address& peer) const;
   [[nodiscard]] double estimate_network_size() const;
   [[nodiscard]] Address pick_far_target();
 

@@ -26,6 +26,13 @@ class HandlerRegistry {
   /// `kinds` is the table size: valid kinds are [0, kinds).
   explicit HandlerRegistry(std::size_t kinds) : handlers_(kinds) {}
 
+  /// Estimated object + heap bytes (bytes/node accounting; the
+  /// handler functions themselves are small capturing lambdas within
+  /// std::function's inline buffer).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + handlers_.capacity() * sizeof(Handler);
+  }
+
   /// Register `handler` for `kind`.  Returns false — and changes
   /// nothing — when the kind is out of range or already registered:
   /// two services silently fighting over a frame kind is a wiring bug

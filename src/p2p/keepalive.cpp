@@ -111,6 +111,10 @@ void KeepaliveManager::on_pong(const LinkFrame& frame) {
 void KeepaliveManager::note_rtt(const Address& peer, SimDuration sample) {
   if (sample < 0) return;
   ++stats_.rtt_samples;
+  // With adaptive timers AND quarantine both off (the flyweight
+  // profile) nothing ever reads the durable record — don't grow a
+  // per-peer map at megascale.  Either feature alone keeps the memory.
+  if (!config_.adaptive_timers && !config_.quarantine_enabled) return;
   PeerHealth& h = peer_health_[peer];
   if (h.srtt == 0) {
     h.srtt = sample;

@@ -8,6 +8,7 @@
 
 #include "common/flight_recorder.h"
 #include "common/log.h"
+#include "common/mem_estimate.h"
 #include "common/ring_id.h"
 #include "common/time.h"
 #include "common/trace.h"
@@ -110,6 +111,16 @@ class KeepaliveManager {
   /// connections (regression guard for the churn leak).
   [[nodiscard]] std::size_t ping_state_count() const {
     return ping_states_.size();
+  }
+
+  /// Estimated heap bytes of dynamic state (probe episodes + durable
+  /// peer health) — the part the §14 protocol-state budget covers.
+  [[nodiscard]] std::size_t state_bytes() const {
+    return mem::tree_map_bytes(ping_states_) +
+           mem::hash_map_bytes(peer_health_);
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + state_bytes();
   }
 
  private:

@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "common/mem_estimate.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "common/trace.h"
@@ -95,6 +96,19 @@ class LinkingEngine {
     std::uint64_t failures = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Estimated heap bytes of dynamic state (in-flight link attempts;
+  /// empty in steady state).
+  [[nodiscard]] std::size_t state_bytes() const {
+    std::size_t bytes = mem::tree_map_bytes(attempts_);
+    for (const auto& [token, attempt] : attempts_) {
+      bytes += mem::vector_bytes(attempt.uris);
+    }
+    return bytes;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + state_bytes();
+  }
 
  private:
   struct Attempt {

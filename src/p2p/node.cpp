@@ -193,18 +193,11 @@ void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
     return;
   }
 
-  // Any traffic from a connected peer's endpoint counts as liveness.
-  // Relay tunnels are excluded: their `remote` is the AGENT's endpoint,
-  // so the agent's own traffic would falsely credit the tunneled peer —
-  // a relay connection is only credited when an inner frame from the
-  // peer arrives through the tunnel (RelayAgent::handle_frame).
-  table_.for_each([&](const Connection& c) {
-    if (c.remote == from && !c.is_relay()) {
-      // for_each hands out const refs; go through find() to mutate.
-      Connection* live = table_.find(c.addr);
-      live->last_heard = timers_.now();
-    }
-  });
+  // Any traffic from a connected peer's endpoint counts as liveness
+  // (relay tunnels excluded — see credit_liveness).  This runs on every
+  // received datagram, so it is a dedicated table scan rather than a
+  // std::function-indirected for_each.
+  table_.credit_liveness(from, timers_.now());
 
   if (!frames_.dispatch(static_cast<std::uint8_t>(*kind),
                         std::move(payload), from)) {
@@ -540,6 +533,46 @@ void Node::refresh_connections() {
   });
 }
 
+void Node::trim_connections() {
+  if (!routable()) return;
+  auto per_side = static_cast<std::size_t>(config_.near_per_side);
+  SimTime now = timers_.now();
+  // Hysteresis: only links old enough to have survived several ticks
+  // are trim candidates, so a link being raced into place (or a
+  // momentary view disagreement with the peer) is never churned.
+  const SimDuration min_age = 4 * config_.maintenance_period;
+  RingId half = ring_half();
+  // for_each iterates in clockwise order from self, so `right` arrives
+  // nearest-first and `left` arrives farthest-(counter-clockwise)-first.
+  std::vector<std::pair<Address, SimTime>> right, left;
+  table_.for_each([&](const Connection& c) {
+    if (c.type != ConnectionType::kStructuredNear) return;
+    RingId cw = config_.address.clockwise_distance(c.addr);
+    (cw < half ? right : left).emplace_back(c.addr, c.established);
+  });
+  // One drop per tick (gentle decay; a post-churn surplus drains over
+  // a few maintenance periods without destabilizing the ring).
+  Address victim;
+  bool found = false;
+  for (std::size_t i = right.size(); i > per_side && !found; --i) {
+    if (now - right[i - 1].second >= min_age) {
+      victim = right[i - 1].first;
+      found = true;
+    }
+  }
+  for (std::size_t i = 0; !found && i + per_side < left.size(); ++i) {
+    if (now - left[i].second >= min_age) {
+      victim = left[i].first;
+      found = true;
+    }
+  }
+  if (!found) return;
+  // Close gracefully: the peer drops its mirror entry immediately
+  // instead of waiting out the keepalive, keeping both tables at the
+  // steady-state size the megascale budget assumes.
+  drop_connection(victim, /*send_close=*/true, DisconnectCause::kTrimmed);
+}
+
 void Node::drop_connection(const Address& peer, bool send_close,
                            DisconnectCause cause) {
   Connection* c = table_.find(peer);
@@ -564,7 +597,11 @@ void Node::drop_connection(const Address& peer, bool send_close,
   }
   ++stats_.connections_lost;
   ++stats_.lost_by_cause[static_cast<std::size_t>(cause)];
-  keepalive_->note_flap(peer, lifetime);
+  // A trim is a policy decision about a healthy link, not a path
+  // failure — it must not feed the flap/quarantine accounting.
+  if (cause != DisconnectCause::kTrimmed) {
+    keepalive_->note_flap(peer, lifetime);
+  }
   flight_.record(timers_.now(), FlightKind::kConnLost, peer.brief(),
                  int(type), int(cause));
   WOW_LOG(logger_, LogLevel::kDebug, timers_.now(), log_component_,
@@ -637,6 +674,7 @@ void Node::maintenance() {
   bootstrap_->maintain_bootstrap();
   ctm_->maintain_near();
   ctm_->maintain_far();
+  trim_connections();
   relays_->maintain();
   shortcuts_->sweep(timers_.now());
   ctm_->sweep();

@@ -137,6 +137,30 @@ class Node {
     return table_.contains(dst);
   }
 
+  /// Per-component estimated memory footprint (bytes/node accounting,
+  /// DESIGN §14).  Component figures include each service object plus
+  /// its heap state; `protocol_state` is the live dynamic-state subset
+  /// — connections held, per-peer health, pending operations, flight
+  /// ring — that the flyweight profile budgets at ~1 KB/node.
+  struct MemoryFootprint {
+    std::size_t self = 0;  // Node object, labels, config heap, dispatch
+    std::size_t table = 0;
+    std::size_t keepalive = 0;
+    std::size_t ctm = 0;
+    std::size_t relay = 0;
+    std::size_t bootstrap = 0;
+    std::size_t shortcut = 0;
+    std::size_t linking = 0;
+    std::size_t flight = 0;
+    std::size_t protocol_state = 0;
+
+    [[nodiscard]] std::size_t total() const {
+      return self + table + keepalive + ctm + relay + bootstrap + shortcut +
+             linking + flight;
+    }
+  };
+  [[nodiscard]] MemoryFootprint memory_footprint() const;
+
   void set_connection_handler(ConnectionHandler handler) {
     connection_handler_ = std::move(handler);
   }
@@ -200,6 +224,12 @@ class Node {
   void refresh_connections();
   void drop_connection(const Address& peer, bool send_close,
                        DisconnectCause cause);
+  /// Retention sweep (§14): close one aged structured-near link per
+  /// tick that is no longer within near_per_side of self on its ring
+  /// side.  Without it every ring-position shift leaks a permanent
+  /// near link and the table grows with fleet age instead of holding
+  /// the ~2·near + k·far steady state.
+  void trim_connections();
   void update_routable();
   [[nodiscard]] std::size_t shortcut_connection_count() const;
 

@@ -97,6 +97,42 @@ struct NodeConfig {
   /// Ring stabilization period: how often a node re-announces itself
   /// with a self-addressed CTM once it is in the ring.
   SimDuration stabilize_period = 30 * kSecond;
+
+  /// Register the ~37 per-node gauges/counters with the fleet
+  /// MetricsRegistry at start().  Indispensable for the testbed's
+  /// per-node dashboards, but at several KB of registry state per node
+  /// it dominates the footprint long before the protocol does — the
+  /// flyweight profile turns it off and relies on fleet-level
+  /// aggregation instead.
+  bool register_node_metrics = true;
+
+  /// The megascale "protocol-only" profile (DESIGN §14): the minimum
+  /// ring that still converges and routes greedily, with every
+  /// per-node memory amplifier off.  Steady state is ~1 near per side
+  /// + 2 far ≈ 4-5 connections, no shortcut scores, no relay ledgers,
+  /// no flight ring, no per-node metrics, and slow timer cadences so a
+  /// 100k-1M fleet's event rate stays proportional to churn rather
+  /// than to n * fast-tick.
+  [[nodiscard]] static NodeConfig flyweight() {
+    NodeConfig c;
+    c.near_per_side = 1;
+    c.far_target = 2;
+    c.shortcut.enabled = false;
+    c.relay_enabled = false;
+    c.adaptive_timers = false;
+    c.quarantine_enabled = false;
+    c.flight_capacity = 0;
+    c.register_node_metrics = false;
+    c.ping_interval = 60 * kSecond;
+    c.maintenance_period = 8 * kSecond;
+    c.stabilize_period = 2 * kMinute;
+    // Slowed, not disabled: the re-probe is the ring-merge safety net,
+    // and a mass join without it strands fragments permanently.  At 5
+    // minutes a 1M-node fleet re-probes ~3k times per simulated second
+    // — noise next to its keepalive load.
+    c.bootstrap_reprobe_interval = 5 * kMinute;
+    return c;
+  }
 };
 
 }  // namespace wow::p2p

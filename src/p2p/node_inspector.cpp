@@ -37,11 +37,12 @@ NodeSnapshot NodeInspector::inspect(const Node& node, SimTime now) {
     s.routable_since_s = to_seconds(*since);
   }
   const ConnectionTable& table = node.connections();
-  s.near = static_cast<int>(table.count(ConnectionType::kStructuredNear));
-  s.far = static_cast<int>(table.count(ConnectionType::kStructuredFar));
-  s.leaf = static_cast<int>(table.count(ConnectionType::kLeaf));
-  s.shortcut = static_cast<int>(table.count(ConnectionType::kShortcut));
-  s.relay = static_cast<int>(table.count(ConnectionType::kRelay));
+  ConnectionTable::TypeCounts counts = table.count_by_type();
+  s.near = static_cast<int>(counts.near);
+  s.far = static_cast<int>(counts.far);
+  s.leaf = static_cast<int>(counts.leaf);
+  s.shortcut = static_cast<int>(counts.shortcut);
+  s.relay = static_cast<int>(counts.relay);
 
   const NodeConfig& cfg = node.node_config();
   double srtt_sum = 0.0;

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/time.h"
@@ -16,7 +17,11 @@ class Node;
 /// counters.  Plain data — serialized by NodeInspector::to_json into the
 /// flat one-level JSONL the report tools scan.
 struct NodeSnapshot {
-  std::string brief;
+  /// View of the node's cached brief (Node::brief() — stable for the
+  /// node's lifetime).  A view, not a copy: inspect() runs per node per
+  /// sample window, and 100k string copies per sample was the single
+  /// largest snapshot cost.
+  std::string_view brief;
   bool running = false;
   bool routable = false;
   /// Simulated time (seconds) the node first became routable after its

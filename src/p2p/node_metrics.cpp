@@ -1,7 +1,13 @@
-// Node observability: the DisconnectCause names and the callback-gauge
-// registration.  Split from node.cpp so the composition root stays
-// protocol wiring only.
+// Node observability: the DisconnectCause names, the callback-gauge
+// registration, and the bytes/node accounting.  Split from node.cpp so
+// the composition root stays protocol wiring only.
 #include "p2p/node.h"
+
+#include "p2p/bootstrap_overlord.h"
+#include "p2p/ctm_overlord.h"
+#include "p2p/keepalive.h"
+#include "p2p/relay_agent.h"
+#include "p2p/shortcut_overlord.h"
 
 namespace wow::p2p {
 
@@ -11,12 +17,17 @@ const char* to_string(DisconnectCause cause) {
     case DisconnectCause::kCloseFrame: return "close_frame";
     case DisconnectCause::kLinkError: return "link_error";
     case DisconnectCause::kRelayDown: return "relay_down";
+    case DisconnectCause::kTrimmed: return "trimmed";
     case DisconnectCause::kCount: break;
   }
   return "unknown";
 }
 
 void Node::register_metrics() {
+  // The flyweight profile opts out: ~37 gauges/node of registry state
+  // (names, labels, std::function closures) costs more than the whole
+  // protocol stack at megascale.  Fleet-level aggregates still work.
+  if (!config_.register_node_metrics) return;
   MetricsRegistry& reg = metrics_;
   MetricLabels labels{trace_node_, "node"};
   auto add = [&](const char* name, auto fn) {
@@ -89,6 +100,36 @@ void Node::register_metrics() {
   add_link("link_failures", [this] {
     return linking_ ? double(linking_->stats().failures) : 0.0;
   });
+}
+
+Node::MemoryFootprint Node::memory_footprint() const {
+  MemoryFootprint f;
+  // Strings are counted by capacity (what the allocator holds), but
+  // only when they actually spilled past the SSO buffer already counted
+  // inside sizeof(Node).
+  auto string_heap = [](const std::string& s) -> std::size_t {
+    return s.capacity() > sizeof(std::string) ? s.capacity() + 1 : 0;
+  };
+  f.self = sizeof(Node) + string_heap(trace_node_) +
+           string_heap(log_component_) +
+           metric_ids_.capacity() * sizeof(MetricId) +
+           config_.bootstrap.capacity() * sizeof(transport::Uri) +
+           frames_.memory_bytes() + routed_.memory_bytes();
+  f.table = table_.memory_bytes();
+  f.keepalive = keepalive_->memory_bytes();
+  f.ctm = ctm_->memory_bytes();
+  f.relay = relays_->memory_bytes();
+  f.bootstrap = bootstrap_->memory_bytes();
+  f.shortcut = shortcuts_->memory_bytes();
+  // Rebuilt each start(); null while stopped.
+  f.linking = linking_ ? linking_->memory_bytes() : 0;
+  f.flight = flight_.memory_bytes();
+  f.protocol_state = table_.state_bytes() + keepalive_->state_bytes() +
+                     ctm_->state_bytes() + relays_->state_bytes() +
+                     shortcuts_->state_bytes() +
+                     (linking_ ? linking_->state_bytes() : 0) +
+                     flight_.state_bytes();
+  return f;
 }
 
 }  // namespace wow::p2p

@@ -14,6 +14,7 @@ enum class DisconnectCause : std::uint8_t {
                           // stale-ping rejection)
   kLinkError,             // re-link to a held peer exhausted every URI
   kRelayDown,             // relay agent died; the tunnel dies with it
+  kTrimmed,               // stale near link outside the near set (§14)
   kCount,                 // sentinel, keep last
 };
 

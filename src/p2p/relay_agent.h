@@ -8,6 +8,7 @@
 
 #include "common/flight_recorder.h"
 #include "common/log.h"
+#include "common/mem_estimate.h"
 #include "common/time.h"
 #include "common/trace.h"
 #include "p2p/connection_table.h"
@@ -99,6 +100,19 @@ class RelayAgent {
 
   /// stop(): cancel every handshake timer and drop the attempts.
   void abort_all();
+
+  /// Estimated heap bytes of dynamic state (in-flight tunnel
+  /// handshakes; empty in steady state).
+  [[nodiscard]] std::size_t state_bytes() const {
+    std::size_t bytes = mem::hash_map_bytes(relay_attempts_);
+    for (const auto& [peer, attempt] : relay_attempts_) {
+      bytes += mem::vector_bytes(attempt.candidates);
+    }
+    return bytes;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + state_bytes();
+  }
 
  private:
   /// An in-flight relay tunnel handshake: candidate agents are tried in

@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/mem_estimate.h"
 #include "common/ring_id.h"
 #include "common/time.h"
 #include "p2p/packet.h"
@@ -61,6 +62,15 @@ class ShortcutOverlord {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::uint64_t shortcuts_requested() const {
     return requested_;
+  }
+
+  /// Estimated heap bytes of dynamic state (traffic score entries,
+  /// bounded by the sweep's entry_expiry).
+  [[nodiscard]] std::size_t state_bytes() const {
+    return mem::hash_map_bytes(scores_);
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + state_bytes();
   }
 
  private:

@@ -31,6 +31,93 @@ struct Uri {
   constexpr auto operator<=>(const Uri&) const = default;
 };
 
+/// Fixed-capacity inline URI set — the flyweight storage form of "the
+/// URIs a peer advertised" (megascale profile, DESIGN §14).
+///
+/// A peer advertises at most its primary endpoint plus the ≤3 learnt
+/// public endpoints Edge retains, so four inline slots hold every
+/// honest advertisement with zero heap — versus 24 bytes of
+/// std::vector header plus an allocation per connection.  The slots
+/// are stored structure-of-arrays (ips / ports / kinds) so the four
+/// entries pack into 29 bytes instead of 4 × 12-byte padded Uris;
+/// elements are materialized by value on read.  Oversized
+/// (hostile/fuzzed) lists are truncated to the first kCapacity
+/// entries; the linking protocol orders candidates best-first, so the
+/// retained prefix is the useful one.  Wire serialization keeps using
+/// std::vector — only long-lived per-connection storage compacts.
+class UriList {
+ public:
+  static constexpr std::size_t kCapacity = 4;
+
+  UriList() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): storage form of the
+  // wire vector; implicit both ways keeps call sites natural.
+  UriList(const std::vector<Uri>& v) {
+    for (const Uri& u : v) push_back(u);
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  [[nodiscard]] operator std::vector<Uri>() const {
+    return {begin(), end()};
+  }
+
+  /// Append; silently drops past capacity (see class comment).
+  void push_back(const Uri& u) {
+    if (n_ == kCapacity) return;
+    ips_[n_] = u.endpoint.ip.value();
+    ports_[n_] = u.endpoint.port;
+    kinds_[n_] = static_cast<std::uint8_t>(u.kind);
+    ++n_;
+  }
+  void clear() { n_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] Uri operator[](std::size_t i) const {
+    Uri u;
+    u.kind = static_cast<TransportKind>(kinds_[i]);
+    u.endpoint = net::Endpoint{net::Ipv4Addr{ips_[i]}, ports_[i]};
+    return u;
+  }
+
+  /// Value-yielding iterator (the packed slots have no Uri lvalues to
+  /// point at).  Input-category is enough for range-for and the
+  /// vector conversion above.
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Uri;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Uri*;
+    using reference = Uri;
+
+    const_iterator(const UriList* list, std::size_t i)
+        : list_(list), i_(i) {}
+    [[nodiscard]] Uri operator*() const { return (*list_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    [[nodiscard]] bool operator==(const const_iterator& o) const {
+      return i_ == o.i_;
+    }
+    [[nodiscard]] bool operator!=(const const_iterator& o) const {
+      return i_ != o.i_;
+    }
+
+   private:
+    const UriList* list_;
+    std::size_t i_;
+  };
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, n_}; }
+
+ private:
+  std::uint32_t ips_[kCapacity] = {};
+  std::uint16_t ports_[kCapacity] = {};
+  std::uint8_t kinds_[kCapacity] = {};
+  std::uint8_t n_ = 0;
+};
+
 void write_uri(ByteWriter& w, const Uri& uri);
 [[nodiscard]] std::optional<Uri> read_uri(ByteReader& r);
 

@@ -1,0 +1,214 @@
+#include "wow/megascale.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/ring_id.h"
+#include "p2p/node_deps.h"
+#include "transport/uri.h"
+
+namespace wow {
+
+namespace {
+
+/// Hop cap for the greedy walk probe: generous multiple of the O(log²n)
+/// expectation; anything longer is counted as unreached (a loop or a
+/// ring defect, which the oracle sweep diagnoses properly).
+constexpr int kMaxProbeHops = 256;
+
+}  // namespace
+
+MegascaleNet::MegascaleNet(const MegascaleConfig& config)
+    : sim(config.seed), network(sim), config_(config),
+      probe_rng_(config.seed ^ 0x6d656761736bULL) {
+  if (config_.batched_delivery) {
+    network.enable_batched_delivery(config_.batch_quantum);
+  }
+  std::vector<net::SiteId> sites;
+  int site_count = config_.sites > 0 ? config_.sites : 1;
+  sites.reserve(static_cast<std::size_t>(site_count));
+  for (int s = 0; s < site_count; ++s) {
+    sites.push_back(network.add_site("site" + std::to_string(s)));
+  }
+
+  // Topology randomness (bootstrap pool picks) is drawn from its own
+  // stream: the simulator's Rng stays reserved for link jitter so the
+  // event sequence is a pure function of the seed regardless of pool
+  // size.
+  Rng topo(config_.seed ^ 0xb007a11ULL);
+
+  int n = config_.nodes;
+  hosts.reserve(static_cast<std::size_t>(n));
+  nodes.reserve(static_cast<std::size_t>(n));
+  // One shared host class and one shared (empty) name: the whole fleet
+  // costs a single Params pool entry and a single interner slot.
+  net::Host::Config host_config;
+  for (int i = 0; i < n; ++i) {
+    // Flat 129.x.y.z mapping (index bytes): unique and public to 2^24.
+    auto u = static_cast<std::uint32_t>(i);
+    auto ip = net::Ipv4Addr(129, static_cast<std::uint8_t>(u >> 16),
+                            static_cast<std::uint8_t>(u >> 8),
+                            static_cast<std::uint8_t>(u));
+    auto& host = network.add_host(
+        ip, net::Network::kInternet,
+        sites[static_cast<std::size_t>(i % site_count)], host_config);
+    hosts.push_back(&host);
+
+    p2p::NodeConfig cfg =
+        config_.flyweight ? p2p::NodeConfig::flyweight() : p2p::NodeConfig{};
+    cfg.port = 17000;
+    if (i > 0) {
+      // Up to bootstrap_pool distinct random earlier nodes; the first
+      // joiner after node 0 necessarily gets node 0.
+      int pool = std::min(config_.bootstrap_pool, i);
+      std::vector<int> picked;
+      for (int p = 0; p < pool; ++p) {
+        int j = static_cast<int>(topo.uniform(0, i - 1));
+        if (std::find(picked.begin(), picked.end(), j) != picked.end()) {
+          continue;  // duplicate draw: a smaller pool is fine
+        }
+        picked.push_back(j);
+        cfg.bootstrap.push_back(transport::Uri{
+            transport::TransportKind::kUdp,
+            net::Endpoint{hosts[static_cast<std::size_t>(j)]->ip(), 17000}});
+      }
+    }
+    nodes.push_back(std::make_unique<p2p::Node>(
+        p2p::NodeDeps::sim(sim, network, host), cfg));
+  }
+}
+
+std::optional<SimTime> MegascaleNet::run_until_converged() {
+  // Join ramp: each node starts at i * join_stagger, riding on an
+  // already-forming ring.
+  while (started_ < nodes.size()) {
+    SimTime due = static_cast<SimTime>(started_) * config_.join_stagger;
+    if (sim.now() < due) sim.run_until(due);
+    nodes[started_]->start();
+    ++started_;
+  }
+  ring_order_.clear();  // addresses are drawn at start()
+
+  SimTime deadline = sim.now() + config_.settle_horizon;
+  while (true) {
+    sim.run_for(config_.check_period);
+    if (converged()) return sim.now();
+    if (sim.now() >= deadline) return std::nullopt;
+  }
+}
+
+const std::vector<p2p::Node*>& MegascaleNet::ring_order() const {
+  if (ring_order_.size() != nodes.size()) {
+    ring_order_.clear();
+    ring_order_.reserve(nodes.size());
+    for (const auto& n : nodes) ring_order_.push_back(n.get());
+    std::sort(ring_order_.begin(), ring_order_.end(),
+              [](const p2p::Node* a, const p2p::Node* b) {
+                return a->address() < b->address();
+              });
+  }
+  return ring_order_;
+}
+
+bool MegascaleNet::converged() const {
+  if (started_ < nodes.size()) return false;
+  for (const auto& n : nodes) {
+    if (!n->running() || !n->routable()) return false;
+  }
+  // Ring closure: everyone's successor pointer is the next address in
+  // sorted order (the near_is_live_successor invariant, O(n) form).
+  const auto& order = ring_order();
+  std::size_t n = order.size();
+  if (n < 2) return true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const p2p::Connection* r = order[i]->connections().right_neighbor();
+    if (r == nullptr) return false;
+    if (r->addr != order[(i + 1) % n]->address()) return false;
+  }
+  return true;
+}
+
+MegascaleNet::HopStats MegascaleNet::sample_greedy_hops(std::size_t samples) {
+  HopStats hs;
+  if (nodes.size() < 2 || samples == 0) return hs;
+  std::vector<int> lengths;
+  lengths.reserve(samples);
+  auto node_count = static_cast<std::int64_t>(nodes.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    auto si = static_cast<std::size_t>(probe_rng_.uniform(0, node_count - 1));
+    auto di = static_cast<std::size_t>(probe_rng_.uniform(0, node_count - 1));
+    if (si == di) di = (di + 1) % nodes.size();
+    const p2p::Node* cur = nodes[si].get();
+    const p2p::Address& dst = nodes[di]->address();
+    int hops = 0;
+    while (hops < kMaxProbeHops) {
+      const p2p::Connection* next = cur->connections().closest_to(dst);
+      if (next == nullptr) break;  // cur is the closest node: delivered
+      const p2p::Node* next_node = nullptr;
+      // The walk needs connection->node resolution; addresses are
+      // random 160-bit so a sorted binary search over ring order is
+      // exact and allocation-free.
+      const auto& order = ring_order();
+      auto it = std::lower_bound(
+          order.begin(), order.end(), next->addr,
+          [](const p2p::Node* a, const p2p::Address& addr) {
+            return a->address() < addr;
+          });
+      if (it != order.end() && (*it)->address() == next->addr) {
+        next_node = *it;
+      }
+      if (next_node == nullptr) break;  // dangling pointer: unreached
+      cur = next_node;
+      ++hops;
+    }
+    if (cur->address() == dst && hops < kMaxProbeHops) {
+      lengths.push_back(hops);
+    } else {
+      ++hs.unreached;
+    }
+  }
+  hs.sampled = samples;
+  if (lengths.empty()) return hs;
+  std::sort(lengths.begin(), lengths.end());
+  double sum = 0;
+  for (int h : lengths) sum += h;
+  hs.mean = sum / static_cast<double>(lengths.size());
+  auto at = [&](double p) {
+    auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(lengths.size() - 1) / 100.0 + 0.5);
+    return static_cast<double>(lengths[idx]);
+  };
+  hs.p50 = at(50);
+  hs.p95 = at(95);
+  hs.p99 = at(99);
+  hs.max = lengths.back();
+  hs.histogram.assign(static_cast<std::size_t>(hs.max) + 1, 0);
+  for (int h : lengths) ++hs.histogram[static_cast<std::size_t>(h)];
+  return hs;
+}
+
+MegascaleNet::MemoryReport MegascaleNet::memory_report() const {
+  MemoryReport r;
+  r.nodes = nodes.size();
+  for (const auto& n : nodes) {
+    p2p::Node::MemoryFootprint f = n->memory_footprint();
+    r.node_bytes += f.total();
+    r.protocol_state_bytes += f.protocol_state;
+  }
+  r.network_bytes = network.memory_bytes();
+  return r;
+}
+
+p2p::OracleReport MegascaleNet::oracle_check(std::size_t max_route_pairs) {
+  std::vector<p2p::Node*> live;
+  live.reserve(nodes.size());
+  for (const auto& n : nodes) {
+    if (n->running()) live.push_back(n.get());
+  }
+  p2p::Oracle::Config cfg;
+  cfg.seed = config_.seed;
+  cfg.max_route_pairs = max_route_pairs;
+  return p2p::Oracle::check(live, sim.now(), cfg);
+}
+
+}  // namespace wow

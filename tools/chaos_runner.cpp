@@ -13,7 +13,7 @@
 //                [--profile=random|composite]
 //                [--sample-rate=R] [--snapshots=out.jsonl]
 //                [--series=out.csv] [--snapshot-period=SEC]
-//                [--inject-violation]
+//                [--inject-violation] [--flyweight]
 //
 // Telemetry plane: --sample-rate thins kPacket-class trace events by a
 // deterministic hash (faults/oracle/lifecycle stay always-on), so a
@@ -39,6 +39,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -69,15 +70,25 @@ struct Options {
   std::string snapshots_path;  // fleet snapshot JSONL (empty: off)
   std::string series_path;     // metric time series (.csv or .jsonl)
   SimDuration snapshot_period = 30 * kSecond;
+  /// Protocol-only node profile (NodeConfig::flyweight): required for
+  /// fleets past kMaxDefaultNodes, where the full-service per-node
+  /// footprint (relay ledgers, shortcut scores, per-node metrics,
+  /// flight rings) stops fitting.
+  bool flyweight = false;
   /// Stop one node right before the final oracle sweep: a guaranteed
   /// near_is_live_successor violation exercising the postmortem path.
   bool inject_violation = false;
 };
 
+/// Full-service fleets keep the historical cap; the flyweight profile
+/// is validated for fleets up to a mebinode.
+constexpr int kMaxDefaultNodes = 8192;
+constexpr int kMaxFlyweightNodes = 1 << 20;
+
 /// The soak topology: public hosts spread round-robin over three WAN
 /// sites, all bootstrapping off node 0 (which faults never touch).
 struct SoakNet {
-  SoakNet(std::uint64_t seed, int node_count, bool with_nat)
+  SoakNet(std::uint64_t seed, int node_count, bool with_nat, bool flyweight)
       : sim(seed), network(sim) {
     network.set_default_wan(
         net::LinkModel{30 * kMillisecond, 2 * kMillisecond, 0.002});
@@ -85,16 +96,24 @@ struct SoakNet {
       sites.push_back(network.add_site("site" + std::to_string(s)));
     }
     for (int i = 0; i < node_count; ++i) {
-      // /16-style spread: octet 3 pages every 250 hosts so megascale
-      // fleets (--nodes up to 8192) keep unique addresses.
-      auto ip = net::Ipv4Addr(128, static_cast<std::uint8_t>(10 + i % 3),
-                              static_cast<std::uint8_t>(i / 250),
-                              static_cast<std::uint8_t>(1 + i % 250));
+      // Default profile: /16-style spread, octet 3 paging every 250
+      // hosts — unique up to the 8192-node cap.  Flyweight fleets use a
+      // flat 129.x.y.z mapping (index bytes) that stays unique and
+      // public (clear of the 60.x and 192.168 NAT ranges) to 2^20.
+      auto u = static_cast<std::uint32_t>(i);
+      auto ip = flyweight
+                    ? net::Ipv4Addr(129, static_cast<std::uint8_t>(u >> 16),
+                                    static_cast<std::uint8_t>(u >> 8),
+                                    static_cast<std::uint8_t>(u))
+                    : net::Ipv4Addr(128, static_cast<std::uint8_t>(10 + i % 3),
+                                    static_cast<std::uint8_t>(i / 250),
+                                    static_cast<std::uint8_t>(1 + i % 250));
       auto& host = network.add_host(
           ip, net::Network::kInternet, sites[static_cast<std::size_t>(i % 3)],
           net::Host::Config{"host" + std::to_string(i)});
       hosts.push_back(&host);
-      p2p::NodeConfig cfg;
+      p2p::NodeConfig cfg =
+          flyweight ? p2p::NodeConfig::flyweight() : p2p::NodeConfig{};
       cfg.port = 17000;
       if (i > 0) {
         cfg.bootstrap = {transport::Uri{
@@ -135,13 +154,17 @@ struct SoakNet {
         }
       }
     }
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      host_index[hosts[i]->id()] = i;
+    }
     network.faults().set_crash_handler([this](net::HostId host, bool down) {
-      for (std::size_t i = 0; i < nodes.size(); ++i) {
-        if (hosts[i]->id() != host) continue;
-        auto& n = nodes[i];
-        if (down && n->running()) n->stop();
-        if (!down && !n->running()) n->restart();
-      }
+      // O(1) per fault event; the old full-fleet scan was O(faults x
+      // nodes) and showed up at megascale.
+      auto it = host_index.find(host);
+      if (it == host_index.end()) return;
+      auto& n = nodes[it->second];
+      if (down && n->running()) n->stop();
+      if (!down && !n->running()) n->restart();
     });
   }
 
@@ -160,6 +183,8 @@ struct SoakNet {
   /// Physical hosts, parallel to `nodes`.
   std::vector<net::Host*> hosts;
   std::vector<std::unique_ptr<p2p::Node>> nodes;
+  /// HostId -> index into hosts/nodes, for O(1) fault dispatch.
+  std::unordered_map<net::HostId, std::size_t> host_index;
 };
 
 /// The composite worst case: a congestion storm, a partition long
@@ -246,7 +271,7 @@ int run(const Options& opt) {
   // Declared before the overlay: node destructors still emit trace
   // events, so the sink must outlive SoakNet.
   std::unique_ptr<FileTraceSink> sink;
-  SoakNet soak(opt.seed, opt.nodes, opt.composite);
+  SoakNet soak(opt.seed, opt.nodes, opt.composite, opt.flyweight);
 
   net::FaultPlan plan;
   if (!opt.schedule.empty()) {
@@ -425,7 +450,8 @@ int main(int argc, char** argv) {
                    opt.schedule = std::string(v);
                    return true;
                  });
-  flags.on_value("nodes", "N", "overlay size (4..8192)",
+  flags.on_value("nodes", "N",
+                 "overlay size (4..8192; up to 1048576 with --flyweight)",
                  [&](std::string_view v) {
                    opt.nodes = std::atoi(std::string(v).c_str());
                    return true;
@@ -473,13 +499,38 @@ int main(int argc, char** argv) {
   flags.on_flag("inject-violation",
                 "kill a node pre-sweep to exercise the postmortem path",
                 [&] { opt.inject_violation = true; });
+  flags.on_flag("flyweight",
+                "protocol-only node profile (megascale fleets)",
+                [&] { opt.flyweight = true; });
   std::vector<std::string> positional;
   if (!flags.parse(argc, argv, positional) || !positional.empty()) {
     if (!positional.empty()) flags.print_usage(stderr);
     return flags.help_shown() ? 0 : 2;
   }
-  if (opt.nodes < 4 || opt.nodes > 8192 || opt.events < 1) {
+  const int max_nodes = opt.flyweight ? kMaxFlyweightNodes : kMaxDefaultNodes;
+  if (opt.nodes < 4 || opt.events < 1) {
     std::fprintf(stderr, "chaos_runner: implausible --nodes/--events\n");
+    return 2;
+  }
+  if (opt.nodes > max_nodes) {
+    if (!opt.flyweight && opt.nodes <= kMaxFlyweightNodes) {
+      std::fprintf(stderr,
+                   "chaos_runner: --nodes=%d exceeds the full-service cap of "
+                   "%d; pass --flyweight to run the protocol-only node "
+                   "profile (valid to %d nodes)\n",
+                   opt.nodes, kMaxDefaultNodes, kMaxFlyweightNodes);
+    } else {
+      std::fprintf(stderr, "chaos_runner: --nodes=%d exceeds the limit of %d\n",
+                   opt.nodes, max_nodes);
+    }
+    return 2;
+  }
+  if (opt.flyweight && opt.composite) {
+    // The composite profile's hairpin-less NAT pair is only linkable
+    // through relay tunnels, which flyweight disables.
+    std::fprintf(stderr,
+                 "chaos_runner: --flyweight disables relay fallback and "
+                 "cannot run --profile=composite\n");
     return 2;
   }
   return run(opt);
