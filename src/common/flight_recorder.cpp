@@ -21,6 +21,12 @@ const char* to_string(FlightKind kind) {
     case FlightKind::kRelayProbeFail: return "relay.probe_fail";
     case FlightKind::kFrameDeliver: return "frame.deliver";
     case FlightKind::kFrameDrop: return "frame.drop";
+    case FlightKind::kBootstrapProbe: return "bootstrap.probe";
+    case FlightKind::kEndpointDown: return "bootstrap.endpoint_down";
+    case FlightKind::kCacheRejoin: return "bootstrap.cache_rejoin";
+    case FlightKind::kMergeStart: return "merge.start";
+    case FlightKind::kMergeDone: return "merge.done";
+    case FlightKind::kCensusDone: return "census.done";
     case FlightKind::kCount: break;
   }
   return "unknown";

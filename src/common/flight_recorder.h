@@ -28,6 +28,12 @@ enum class FlightKind : std::uint8_t {
   kRelayProbeFail,   // upgrade probe exhausted URIs, peer = who
   kFrameDeliver,     // data frame consumed, peer = src, a: hops
   kFrameDrop,        // frame dropped, peer = dst, a: hops, b: reason tag
+  kBootstrapProbe,   // bootstrap endpoint probed, a: endpoint index
+  kEndpointDown,     // probe failed, a: endpoint index, b: backoff secs
+  kCacheRejoin,      // rejoined via cached peer, peer = who
+  kMergeStart,       // foreign ring segment found, peer = census origin
+  kMergeDone,        // merge link established, peer = census origin
+  kCensusDone,       // census returned to origin, a: measured ring size
   kCount,            // sentinel, keep last
 };
 

@@ -1,0 +1,118 @@
+#include "p2p/census_agent.h"
+
+#include <algorithm>
+
+namespace wow::p2p {
+
+namespace {
+
+/// In-flight merge targets kept at most this many — a census storm in a
+/// heavily fragmented overlay converges one bridge at a time instead of
+/// spraying link attempts.
+constexpr std::size_t kMaxPendingMerges = 8;
+
+}  // namespace
+
+void CensusAgent::maintain() {
+  if (config_.census_interval <= 0) return;
+  if (!hooks_.running() || !hooks_.routable()) return;
+  const SimTime now = timers_.now();
+  if (now - last_census_ < config_.census_interval) return;
+  const Connection* succ = table_.right_neighbor();
+  if (succ == nullptr || succ->is_relay()) return;  // nothing to walk
+  last_census_ = now;
+  CensusFrame probe;
+  probe.origin = table_.self();
+  probe.hops = 0;
+  probe.ttl = static_cast<std::uint16_t>(
+      std::clamp(config_.census_ttl, 1, 0xffff));
+  probe.origin_uris = hooks_.local_uris();
+  const Bytes wire = probe.serialize();
+  hooks_.send(succ->remote, wire);
+  // Inject a copy through every leaf link: a leaf into a well-known
+  // bootstrap endpoint may land in an independently-formed ring, and
+  // that is the only path a successor walk can never reach.
+  table_.for_each([&](const Connection& c) {
+    if (c.is_relay() || c.type != ConnectionType::kLeaf) return;
+    if (c.addr == succ->addr) return;
+    hooks_.send(c.remote, wire);
+  });
+  ++stats_.census_launched;
+  if (tracer_.enabled(TraceClass::kProtocol)) {
+    tracer_.event(now, "node", trace_node_, "census.launch",
+                  {{"ttl", std::to_string(probe.ttl)}});
+  }
+}
+
+void CensusAgent::handle(const CensusFrame& frame) {
+  if (!hooks_.running()) return;
+  const Address& self = table_.self();
+  const std::uint16_t hops = static_cast<std::uint16_t>(frame.hops + 1);
+  if (frame.origin == self) {
+    // Full loop: the walk came home, hops == live ring size.
+    ++stats_.census_completed;
+    if (hooks_.record_flight) {
+      hooks_.record_flight(FlightKind::kCensusDone, Address{}, hops, 0);
+    }
+    if (tracer_.enabled(TraceClass::kProtocol)) {
+      tracer_.event(timers_.now(), "node", trace_node_, "census.done",
+                    {{"size", std::to_string(hops)}});
+    }
+    return;
+  }
+  if (hops >= frame.ttl) return;  // strayed too far; bound the walk
+  const Connection* succ = table_.right_neighbor();
+  if (succ == nullptr) return;
+  // Merge rule: the origin sits inside our successor arc, so WE should
+  // be its predecessor — yet we do not know it.  Two rings formed
+  // independently; bridge them.
+  const bool origin_in_arc = self.clockwise_distance(frame.origin) <
+                             self.clockwise_distance(succ->addr);
+  if (origin_in_arc && !table_.contains(frame.origin)) {
+    ++stats_.merges_initiated;
+    if (hooks_.record_flight) {
+      hooks_.record_flight(FlightKind::kMergeStart, frame.origin, hops, 0);
+    }
+    if (tracer_.enabled(TraceClass::kProtocol)) {
+      tracer_.event(timers_.now(), "node", trace_node_, "census.merge_start",
+                    {{"origin", frame.origin.brief()},
+                     {"hops", std::to_string(hops)}});
+    }
+    const bool tracked =
+        std::find(pending_merges_.begin(), pending_merges_.end(),
+                  frame.origin) != pending_merges_.end();
+    if (!tracked && pending_merges_.size() < kMaxPendingMerges) {
+      pending_merges_.push_back(frame.origin);
+    }
+    if (!hooks_.link_attempting(frame.origin)) {
+      hooks_.link_start(frame.origin, ConnectionType::kStructuredNear,
+                        frame.origin_uris);
+    }
+    return;  // the probe's job is done; the bridge takes it from here
+  }
+  forward(frame, hops);
+}
+
+void CensusAgent::forward(const CensusFrame& frame, std::uint16_t hops) {
+  const Connection* succ = table_.right_neighbor();
+  if (succ == nullptr || succ->is_relay()) return;
+  CensusFrame next = frame;
+  next.hops = hops;
+  hooks_.send(succ->remote, next.serialize());
+}
+
+void CensusAgent::note_established(const Address& peer) {
+  auto it = std::find(pending_merges_.begin(), pending_merges_.end(), peer);
+  if (it == pending_merges_.end()) return;
+  pending_merges_.erase(it);
+  ++stats_.merges_completed;
+  if (hooks_.record_flight) {
+    hooks_.record_flight(FlightKind::kMergeDone, peer, 0, 0);
+  }
+  if (tracer_.enabled(TraceClass::kProtocol)) {
+    tracer_.event(timers_.now(), "node", trace_node_, "census.merge_done",
+                  {{"peer", peer.brief()}});
+  }
+}
+
+}  // namespace wow::p2p

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/time.h"
+#include "common/trace.h"
+#include "p2p/connection_table.h"
+#include "p2p/node_config.h"
+#include "p2p/node_stats.h"
+#include "p2p/packet.h"
+#include "sim/timer_service.h"
+
+namespace wow::p2p {
+
+/// Ring-census agent: the explicit partitioned-ring detection and merge
+/// protocol (self-stabilization à la the Chord/Brunet ring-unification
+/// literature).
+///
+/// Periodically (config.census_interval; 0 = off, the default — a
+/// census costs O(ring size) frames) a routable node launches a census
+/// probe that walks the successor chain: each hop increments the count
+/// and forwards to its own live successor, so a healthy ring returns
+/// the probe to its origin with hops == ring size.  The launch also
+/// injects a copy through every leaf link, because a leaf into a
+/// well-known bootstrap endpoint is exactly the bridge that can land in
+/// a DIFFERENT, independently-formed ring.
+///
+/// Merge rule: a node that receives a census whose origin falls inside
+/// its own successor arc — i.e. *it* should be the origin's
+/// predecessor — yet has no connection to the origin, has discovered a
+/// foreign ring segment.  It stops forwarding and instead starts a
+/// structured-near link to the origin using the URIs the probe carries;
+/// the resulting connection is the bridge across which ordinary CTM
+/// ring repair pulls the two rings into one.  A TTL bounds probes that
+/// stray into much larger foreign rings.
+class CensusAgent {
+ public:
+  struct Hooks {
+    std::function<bool()> running;
+    /// Both ring sides covered (census only launches from a routable
+    /// node — a half-joined node has no ring to measure).
+    std::function<bool()> routable;
+    std::function<std::vector<transport::Uri>()> local_uris;
+    /// Send a serialized frame to a direct remote endpoint.
+    std::function<void(const net::Endpoint& to, const Bytes& frame)> send;
+    std::function<bool(const Address& peer)> link_attempting;
+    std::function<void(const Address& peer, ConnectionType type,
+                       const std::vector<transport::Uri>& uris)>
+        link_start;
+    /// Post an entry on the owning node's flight recorder (optional).
+    std::function<void(FlightKind kind, const Address& peer, std::int32_t a,
+                       std::int32_t b)>
+        record_flight;
+  };
+
+  CensusAgent(sim::TimerService& timers, Tracer& tracer,
+              const NodeConfig& config, ConnectionTable& table,
+              NodeStats& stats, const std::string& trace_node, Hooks hooks)
+      : timers_(timers), tracer_(tracer), config_(config), table_(table),
+        stats_(stats), trace_node_(trace_node), hooks_(std::move(hooks)) {}
+
+  CensusAgent(const CensusAgent&) = delete;
+  CensusAgent& operator=(const CensusAgent&) = delete;
+
+  /// start(): the census clock anchors to now (first probe one full
+  /// interval later — never a launch storm at boot).
+  void on_start() {
+    last_census_ = timers_.now();
+    pending_merges_.clear();
+  }
+  void reset() { pending_merges_.clear(); }
+
+  /// Periodic tick from the owner's maintenance loop.
+  void maintain();
+
+  /// A census frame arrived (already parsed by the dispatch layer).
+  void handle(const CensusFrame& frame);
+
+  /// A connection to `peer` landed; completes a pending merge.
+  void note_established(const Address& peer);
+
+  /// Merges discovered but whose bridge link is still in flight.
+  [[nodiscard]] std::size_t pending_merge_count() const {
+    return pending_merges_.size();
+  }
+
+  [[nodiscard]] std::size_t state_bytes() const {
+    return pending_merges_.capacity() * sizeof(Address);
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + state_bytes();
+  }
+
+ private:
+  void forward(const CensusFrame& frame, std::uint16_t hops);
+
+  sim::TimerService& timers_;
+  Tracer& tracer_;
+  const NodeConfig& config_;
+  ConnectionTable& table_;
+  NodeStats& stats_;
+  const std::string& trace_node_;
+  Hooks hooks_;
+
+  SimTime last_census_ = 0;
+  /// Foreign origins whose merge link is in flight (bounded, deduped).
+  std::vector<Address> pending_merges_;
+};
+
+}  // namespace wow::p2p

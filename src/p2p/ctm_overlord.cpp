@@ -193,6 +193,33 @@ void CtmOverlord::handle_request(const RoutedPacket& packet) {
   if (pred != nullptr && pred != succ) {
     reply.neighbors.push_back(NeighborHint{pred->addr, pred->uris});
   }
+  // Gossip peer sampling, piggybacked on the join reply: a few random
+  // table peers beyond the bracket hints.  Joiners squirrel them into
+  // their bootstrap cache, so a flash crowd's rejoin load spreads over
+  // the whole overlay instead of re-converging on the well-known
+  // endpoints.
+  if (config_.gossip_samples > 0 &&
+      req->con_type == ConnectionType::kStructuredNear) {
+    std::vector<const Connection*> pool;
+    table_.for_each([&](const Connection& c) {
+      if (c.is_relay() || c.uris.empty()) return;
+      if (c.addr == packet.src) return;
+      if (succ != nullptr && c.addr == succ->addr) return;
+      if (pred != nullptr && c.addr == pred->addr) return;
+      pool.push_back(&c);
+    });
+    const int want = std::min<int>(config_.gossip_samples,
+                                   static_cast<int>(pool.size()));
+    for (int i = 0; i < want; ++i) {
+      // Partial Fisher-Yates off the shared RNG: deterministic under
+      // the seed, unbiased over the pool.
+      const auto j = static_cast<std::size_t>(rng_.uniform(
+          i, static_cast<std::int64_t>(pool.size()) - 1));
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+      const Connection* pick = pool[static_cast<std::size_t>(i)];
+      reply.samples.push_back(NeighborHint{pick->addr, pick->uris});
+    }
+  }
 
   RoutedPacket out;
   out.src = table_.self();
@@ -271,6 +298,14 @@ void CtmOverlord::handle_reply(const RoutedPacket& packet) {
       if (!wants_near(hint.addr)) continue;
       hooks_.link_start(hint.addr, ConnectionType::kStructuredNear,
                         hint.uris);
+    }
+  }
+  // Gossip samples never trigger links — they only warm the owner's
+  // bootstrap peer cache.
+  if (hooks_.note_peer) {
+    for (const NeighborHint& sample : reply->samples) {
+      if (sample.addr == table_.self()) continue;
+      hooks_.note_peer(sample.addr, sample.uris);
     }
   }
 }

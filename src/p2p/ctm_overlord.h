@@ -52,6 +52,11 @@ class CtmOverlord {
     /// isolation tests wire fewer hooks).
     std::function<void(FlightKind kind, const Address& peer, std::int32_t a)>
         record_flight;
+    /// A gossip peer sample arrived in a CTM reply (optional): the owner
+    /// feeds it to the bootstrap peer cache.
+    std::function<void(const Address& peer,
+                       const std::vector<transport::Uri>& uris)>
+        note_peer;
   };
 
   CtmOverlord(sim::TimerService& timers, Rng& rng, Tracer& tracer,

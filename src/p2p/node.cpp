@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "p2p/bootstrap_overlord.h"
+#include "p2p/census_agent.h"
 #include "p2p/ctm_overlord.h"
 #include "p2p/keepalive.h"
 #include "p2p/relay_agent.h"
@@ -25,7 +26,9 @@ Node::Node(NodeDeps deps, NodeConfig config)
     : timers_(*deps.timers), rng_(*deps.rng), logger_(*deps.logger),
       metrics_(*deps.metrics), tracer_(*deps.tracer),
       edges_(std::move(deps.edges)), config_(std::move(config)),
-      table_(config_.address), flight_(config_.flight_capacity) {
+      table_(config_.address),
+      peer_cache_(config_.peer_cache_capacity, config_.peer_cache_ttl),
+      flight_(config_.flight_capacity) {
   if (config_.address == Address{}) {
     config_.address = rng_.ring_id();
     table_ = ConnectionTable(config_.address);
@@ -131,6 +134,7 @@ void Node::start() {
   routable_since_.reset();
   ctm_->on_start();
   bootstrap_->on_start();
+  census_->on_start();
   flight_.record(timers_.now(), FlightKind::kStart, {},
                  std::int32_t{config_.port});
   if (tracer_.enabled(TraceClass::kLifecycle)) {
@@ -162,7 +166,10 @@ void Node::stop() {
   relays_->abort_all();
   table_.clear();
   ctm_->reset();
+  census_->reset();
   shortcuts_->reset();
+  // peer_cache_ deliberately survives: it models the on-disk bootstrap
+  // cache a restarted process reads back (see peer_cache()).
   edges_->close();
 }
 
@@ -473,13 +480,28 @@ void Node::on_link_established(const Address& peer,
         type == ConnectionType::kLeaf) {
       ctm_->note_neighborhood_change();
     }
+    if (type == ConnectionType::kLeaf) {
+      bootstrap_->note_leaf_established(peer);
+    }
+    census_->note_established(peer);
     if (connection_handler_) connection_handler_(*table_.find(peer));
   }
   update_routable();
 }
 
 void Node::on_link_failed(const Address& peer, ConnectionType type) {
-  if (!running_ || peer == Address{}) return;
+  if (!running_) return;
+  if (peer == Address{}) {
+    // A zero-keyed bootstrap probe exhausted its URIs: the endpoint is
+    // down.  Back it off and let the rotation move on.
+    bootstrap_->note_probe_failed();
+    return;
+  }
+  if (type == ConnectionType::kLeaf) {
+    // A leaf attempt toward a known address failed — if it was a
+    // cached-peer rejoin, the cache entry is dead.
+    bootstrap_->note_cache_failed(peer);
+  }
   Connection* existing = table_.find(peer);
   if (existing != nullptr && existing->is_relay()) {
     // An upgrade probe exhausted every URI: the pair is still mutually
@@ -672,8 +694,10 @@ void Node::maintenance() {
   if (!running_) return;
   bootstrap_->maintain_leaf();
   bootstrap_->maintain_bootstrap();
+  bootstrap_->refresh_cache();
   ctm_->maintain_near();
   ctm_->maintain_far();
+  census_->maintain();
   trim_connections();
   relays_->maintain();
   shortcuts_->sweep(timers_.now());
@@ -689,6 +713,10 @@ void Node::maintenance() {
 
 std::size_t Node::ping_state_count() const {
   return keepalive_->ping_state_count();
+}
+
+SimTime Node::bootstrap_retry_after(std::size_t i) const {
+  return bootstrap_->endpoint_retry_after(i);
 }
 
 std::size_t Node::pending_ctm_count() const { return ctm_->pending_count(); }

@@ -19,11 +19,13 @@
 #include "p2p/node_deps.h"
 #include "p2p/node_stats.h"
 #include "p2p/packet.h"
+#include "p2p/peer_cache.h"
 #include "sim/timer_service.h"
 
 namespace wow::p2p {
 
 class BootstrapOverlord;
+class CensusAgent;
 class CtmOverlord;
 class KeepaliveManager;
 class RelayAgent;
@@ -38,7 +40,8 @@ class ShortcutOverlord;
 ///   - KeepaliveManager   probes, RTT memory, flap quarantine
 ///   - CtmOverlord        CTM protocol + near/far acquisition policy
 ///   - RelayAgent         §V-B tunnels and upgrade probes
-///   - BootstrapOverlord  leaf bootstrap + ring-merge re-probe
+///   - BootstrapOverlord  multi-endpoint discovery + cached-peer rejoin
+///   - CensusAgent        ring census + partitioned-ring merge
 ///   - ShortcutOverlord   proximity shortcuts
 /// The node wires them together over shared state (ConnectionTable,
 /// NodeStats) and hook functions, and demuxes inbound frames through
@@ -116,6 +119,19 @@ class Node {
   /// The node's black box: a bounded ring of recent protocol events,
   /// dumped by the oracle/chaos post-mortem path on violation.
   [[nodiscard]] const FlightRecorder& flight() const { return flight_; }
+
+  /// Bounded recently-seen peer store (Wolinsky-style bootstrap cache).
+  /// Lives on the Node OBJECT, not the running incarnation: stop()
+  /// leaves it warm, so restart() can rejoin through a cached peer
+  /// without touching any bootstrap endpoint.
+  [[nodiscard]] const PeerCache& peer_cache() const { return peer_cache_; }
+  [[nodiscard]] PeerCache& mutable_peer_cache() { return peer_cache_; }
+
+  /// Ring-census / merge agent introspection (tests).
+  [[nodiscard]] const CensusAgent& census() const { return *census_; }
+  /// Endpoint-backoff introspection (tests): when bootstrap endpoint
+  /// `i` may be probed again (0 = immediately).
+  [[nodiscard]] SimTime bootstrap_retry_after(std::size_t i) const;
 
   /// True once the node holds structured-near connections on both ring
   /// sides (or is one of fewer than three nodes).  "Fully routable" in
@@ -246,6 +262,9 @@ class Node {
 
   NodeConfig config_;
   ConnectionTable table_;
+  /// Survives stop()/restart() by design (see peer_cache()).  Declared
+  /// after config_ — constructed from its capacity/TTL knobs.
+  PeerCache peer_cache_;
 
   // protocol services (construction order: keepalive before the
   // services whose hooks consult it is immaterial — hooks fire later —
@@ -254,6 +273,7 @@ class Node {
   std::unique_ptr<CtmOverlord> ctm_;
   std::unique_ptr<RelayAgent> relays_;
   std::unique_ptr<BootstrapOverlord> bootstrap_;
+  std::unique_ptr<CensusAgent> census_;
   std::unique_ptr<ShortcutOverlord> shortcuts_;
   /// Rebuilt on every start(): an aborted engine carries no stale
   /// attempt state into the next incarnation.

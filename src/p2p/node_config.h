@@ -86,6 +86,41 @@ struct NodeConfig {
   /// back together.  0 disables re-probing.
   SimDuration bootstrap_reprobe_interval = kMinute;
 
+  /// Per-endpoint bootstrap backoff (the PR 4 quarantine shape): after
+  /// each failed probe of an endpoint, that endpoint is skipped for
+  /// base * 2^(failures-1), capped at max, plus a uniform jitter of one
+  /// base so a flash crowd's retries never re-synchronize on a dead
+  /// endpoint.  The rotation moves on to the next endpoint meanwhile.
+  SimDuration bootstrap_backoff_base = 15 * kSecond;
+  SimDuration bootstrap_backoff_max = 2 * kMinute;
+
+  /// Cached-peer store (Wolinsky-style bootstrap): the most recently
+  /// seen live peers, refreshed from the connection table and from
+  /// gossip samples in CTM join replies.  It survives stop()/restart()
+  /// — the in-memory analog of the on-disk peer cache — so a restarted
+  /// node rejoins through a cached peer without touching any well-known
+  /// bootstrap endpoint.  0 disables the cache.
+  std::size_t peer_cache_capacity = 8;
+  /// Entries not refreshed within the TTL are evicted.
+  SimDuration peer_cache_ttl = 10 * kMinute;
+  /// How often the cache is refreshed from live connections.
+  SimDuration peer_cache_refresh_interval = 30 * kSecond;
+
+  /// Gossip peer-sampling: a join-CTM responder piggybacks up to this
+  /// many random table entries on its reply.  Joiners warm their peer
+  /// caches from the samples, spreading future (re)join load off the
+  /// bootstrap leaves.  0 disables sampling.
+  int gossip_samples = 2;
+
+  /// Ring-census cadence: walk a census probe around the successor
+  /// chain (and across leaf bridges) to measure ring size and detect
+  /// foreign ring segments; a discoverer links back to the origin, and
+  /// the join machinery merges the rings.  Each census costs O(ring
+  /// size) frames, so it is opt-in: 0 (the default) disables it.
+  SimDuration census_interval = 0;
+  /// Hop bound on a census probe.
+  int census_ttl = 512;
+
   /// Flight-recorder depth: recent protocol events kept per node for
   /// post-mortems (32 B each, always on).  0 disables recording — the
   /// memory-capped megascale profile.
@@ -131,6 +166,11 @@ struct NodeConfig {
     // minutes a 1M-node fleet re-probes ~3k times per simulated second
     // — noise next to its keepalive load.
     c.bootstrap_reprobe_interval = 5 * kMinute;
+    // The peer cache (~64 B/entry) and gossip samples are per-node
+    // amplifiers the 1 KiB/node protocol-state budget cannot afford;
+    // megascale fleets bootstrap off their constructed pool instead.
+    c.peer_cache_capacity = 0;
+    c.gossip_samples = 0;
     return c;
   }
 };

@@ -4,6 +4,7 @@
 #include "p2p/node.h"
 
 #include "p2p/bootstrap_overlord.h"
+#include "p2p/census_agent.h"
 #include "p2p/ctm_overlord.h"
 #include "p2p/keepalive.h"
 #include "p2p/relay_agent.h"
@@ -75,6 +76,23 @@ void Node::register_metrics() {
   add("node_parse_rejects", [this] { return double(stats_.parse_rejects); });
   add("node_connections", [this] { return double(table_.size()); });
   add("node_routable", [this] { return routable() ? 1.0 : 0.0; });
+  add("node_bootstrap_probes",
+      [this] { return double(stats_.bootstrap_probes); });
+  add("node_bootstrap_endpoint_failures",
+      [this] { return double(stats_.bootstrap_endpoint_failures); });
+  add("node_bootstrap_cache_rejoins",
+      [this] { return double(stats_.bootstrap_cache_rejoins); });
+  add("node_gossip_peers_learned",
+      [this] { return double(stats_.gossip_peers_learned); });
+  add("node_peer_cache_size", [this] { return double(peer_cache_.size()); });
+  add("node_census_launched",
+      [this] { return double(stats_.census_launched); });
+  add("node_census_completed",
+      [this] { return double(stats_.census_completed); });
+  add("node_merges_initiated",
+      [this] { return double(stats_.merges_initiated); });
+  add("node_merges_completed",
+      [this] { return double(stats_.merges_completed); });
 
   MetricLabels link_labels{trace_node_, "linking"};
   auto add_link = [&](const char* name, auto fn) {
@@ -119,14 +137,18 @@ Node::MemoryFootprint Node::memory_footprint() const {
   f.keepalive = keepalive_->memory_bytes();
   f.ctm = ctm_->memory_bytes();
   f.relay = relays_->memory_bytes();
-  f.bootstrap = bootstrap_->memory_bytes();
+  // The bootstrap figure covers the discovery service plus the peer
+  // cache and census agent it feeds (all part of the join plane).
+  f.bootstrap = bootstrap_->memory_bytes() + peer_cache_.memory_bytes() +
+                census_->memory_bytes();
   f.shortcut = shortcuts_->memory_bytes();
   // Rebuilt each start(); null while stopped.
   f.linking = linking_ ? linking_->memory_bytes() : 0;
   f.flight = flight_.memory_bytes();
   f.protocol_state = table_.state_bytes() + keepalive_->state_bytes() +
                      ctm_->state_bytes() + relays_->state_bytes() +
-                     shortcuts_->state_bytes() +
+                     bootstrap_->state_bytes() + peer_cache_.state_bytes() +
+                     census_->state_bytes() + shortcuts_->state_bytes() +
                      (linking_ ? linking_->state_bytes() : 0) +
                      flight_.state_bytes();
   return f;

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "p2p/bootstrap_overlord.h"
+#include "p2p/census_agent.h"
 #include "p2p/ctm_overlord.h"
 #include "p2p/keepalive.h"
 #include "p2p/node.h"
@@ -51,6 +52,14 @@ void Node::build_services() {
           [this] { count_parse_reject(); },
           [this](FlightKind kind, const Address& peer, std::int32_t a) {
             flight_.record(timers_.now(), kind, peer.brief(), a);
+          },
+          [this](const Address& peer,
+                 const std::vector<transport::Uri>& uris) {
+            // Gossip peer sample from a CTM reply: warm the bootstrap
+            // cache so a later rejoin skips the well-known endpoints.
+            if (peer == config_.address || uris.empty()) return;
+            peer_cache_.note(peer, transport::UriList(uris), timers_.now());
+            ++stats_.gossip_peers_learned;
           },
       });
 
@@ -99,7 +108,8 @@ void Node::build_services() {
       });
 
   bootstrap_ = std::make_unique<BootstrapOverlord>(
-      timers_, rng_, tracer_, config_, table_, *edges_, trace_node_,
+      timers_, rng_, tracer_, config_, table_, *edges_, stats_, peer_cache_,
+      trace_node_,
       BootstrapOverlord::Hooks{
           [this](const Address& peer) {
             return linking_ && linking_->attempting(peer);
@@ -107,6 +117,36 @@ void Node::build_services() {
           [this](const Address& peer, ConnectionType type,
                  const std::vector<transport::Uri>& uris) {
             linking_->start(peer, type, uris);
+          },
+          [this](FlightKind kind, const Address& peer, std::int32_t a,
+                 std::int32_t b) {
+            flight_.record(timers_.now(), kind, peer.brief(), a, b);
+          },
+          [this](const Address& peer) {
+            drop_connection(peer, /*send_close=*/true,
+                            DisconnectCause::kTrimmed);
+          },
+      });
+
+  census_ = std::make_unique<CensusAgent>(
+      timers_, tracer_, config_, table_, stats_, trace_node_,
+      CensusAgent::Hooks{
+          [this] { return running_; },
+          [this] { return routable(); },
+          [this] { return edges_->local_uris(); },
+          [this](const net::Endpoint& to, const Bytes& frame) {
+            edges_->send_to(to, frame);
+          },
+          [this](const Address& peer) {
+            return linking_ && linking_->attempting(peer);
+          },
+          [this](const Address& peer, ConnectionType type,
+                 const std::vector<transport::Uri>& uris) {
+            linking_->start(peer, type, uris);
+          },
+          [this](FlightKind kind, const Address& peer, std::int32_t a,
+                 std::int32_t b) {
+            flight_.record(timers_.now(), kind, peer.brief(), a, b);
           },
       });
 
@@ -161,6 +201,15 @@ void Node::register_handlers() {
                 auto relay = RelayFrame::parse(std::move(payload));
                 if (relay) {
                   relays_->handle_frame(std::move(*relay), from);
+                } else {
+                  count_parse_reject();
+                }
+              });
+  frames_.add(static_cast<std::uint8_t>(FrameKind::kCensus),
+              [this](SharedBytes payload, const net::Endpoint&) {
+                auto census = CensusFrame::parse(payload.view());
+                if (census) {
+                  census_->handle(*census);
                 } else {
                   count_parse_reject();
                 }

@@ -57,6 +57,22 @@ struct NodeStats {
   std::uint64_t delivered_hops = 0;
   /// Frames/payloads that failed to parse (truncated or corrupted).
   std::uint64_t parse_rejects = 0;
+  /// Bootstrap probes launched (leaf attempts + in-ring re-probes).
+  std::uint64_t bootstrap_probes = 0;
+  /// Bootstrap endpoint probe failures (each starts/extends a backoff).
+  std::uint64_t bootstrap_endpoint_failures = 0;
+  /// Rejoins completed through a cached peer, no bootstrap endpoint
+  /// touched.
+  std::uint64_t bootstrap_cache_rejoins = 0;
+  /// Peers learned from gossip samples in CTM join replies.
+  std::uint64_t gossip_peers_learned = 0;
+  /// Ring-census probes launched / returned to their origin.
+  std::uint64_t census_launched = 0;
+  std::uint64_t census_completed = 0;
+  /// Foreign-segment merges initiated (census discovery) / completed
+  /// (the merge link established).
+  std::uint64_t merges_initiated = 0;
+  std::uint64_t merges_completed = 0;
 };
 
 }  // namespace wow::p2p

@@ -25,6 +25,46 @@ namespace {
   return RingId{limbs};
 }
 
+/// Component label per live node (union-find over the near-pointer
+/// graph restricted to live addresses) — shared by ring_census() and
+/// the "ring_census" invariant, which also wants representatives.
+[[nodiscard]] std::vector<std::size_t> ring_components(
+    const std::vector<Node*>& live) {
+  std::map<Address, std::size_t> index;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    index[live[i]->address()] = i;
+  }
+  std::vector<std::size_t> parent(live.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[a] = b;
+  };
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const Connection* succ = live[i]->connections().right_neighbor();
+    if (succ != nullptr) {
+      auto it = index.find(succ->addr);
+      if (it != index.end()) unite(i, it->second);
+    }
+    const Connection* pred = live[i]->connections().left_neighbor();
+    if (pred != nullptr) {
+      auto it = index.find(pred->addr);
+      if (it != index.end()) unite(i, it->second);
+    }
+  }
+  std::vector<std::size_t> roots(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) roots[i] = find(i);
+  return roots;
+}
+
 [[nodiscard]] OracleReport violation(std::string invariant,
                                      std::string detail, SimTime now,
                                      std::uint64_t seed,
@@ -91,6 +131,29 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
                            "links on at least one side)",
                        now, config.seed,
                        {n->address().brief(), succ.brief(), pred.brief()});
+    }
+  }
+
+  // 1b. One ring, not several.  Invariant 2 also catches a split (some
+  // node's in-fragment successor cannot be the true global successor),
+  // but diagnosing "two independently-formed rings" from one bad
+  // pointer is miserable — count the components explicitly and report
+  // the split as what it is, with a representative per fragment.
+  if (ring.size() >= 2) {
+    std::vector<std::size_t> roots = ring_components(live);
+    std::map<std::size_t, std::size_t> sizes;
+    for (std::size_t r : roots) ++sizes[r];
+    if (sizes.size() > 1) {
+      std::vector<std::string> reps;
+      std::string detail = std::to_string(sizes.size()) +
+                           " ring components (sizes";
+      for (const auto& [root, count] : sizes) {
+        detail += " " + std::to_string(count);
+        if (reps.size() < 4) reps.push_back(live[root]->address().brief());
+      }
+      detail += ") — the overlay has not merged into a single ring";
+      return violation("ring_census", std::move(detail), now, config.seed,
+                       std::move(reps));
     }
   }
 
@@ -230,6 +293,14 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
   }
 
   return ok_report;
+}
+
+std::size_t Oracle::ring_census(const std::vector<Node*>& live) {
+  if (live.empty()) return 0;
+  std::vector<std::size_t> roots = ring_components(live);
+  std::sort(roots.begin(), roots.end());
+  return static_cast<std::size_t>(
+      std::unique(roots.begin(), roots.end()) - roots.begin());
 }
 
 }  // namespace wow::p2p

@@ -40,6 +40,10 @@ struct OracleReport {
 ///                        achievable: a node whose every live peer sits
 ///                        in one ring half can never cover both sides,
 ///                        and is held to invariant 2 instead.
+///   1b. ring_census    — the live near-pointer graph forms ONE
+///                        connected ring component; two or more means
+///                        independently-formed rings that have not
+///                        merged (see ring_census()).
 ///   2. near_is_live_successor / near_is_live_predecessor — each node's
 ///                        ring successor/predecessor in its connection
 ///                        table is the true nearest LIVE node on that
@@ -75,6 +79,16 @@ class Oracle {
   /// `live` — they are exactly what the stale checks test against.
   [[nodiscard]] static OracleReport check(const std::vector<Node*>& live,
                                           SimTime now, const Config& config);
+
+  /// Number of connected ring components over `live`: weak connectivity
+  /// of the successor/predecessor pointer graph restricted to live
+  /// addresses (a node whose near pointers all reference dead or absent
+  /// peers is its own component).  A converged overlay measures exactly
+  /// 1; two independently-formed rings measure 2 until a bridge merges
+  /// them.  This is both the measurement behind the "ring_census"
+  /// invariant in check() and the convergence signal the flash-crowd
+  /// and ring-merge suites poll.
+  [[nodiscard]] static std::size_t ring_census(const std::vector<Node*>& live);
 };
 
 }  // namespace wow::p2p

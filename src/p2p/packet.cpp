@@ -224,13 +224,21 @@ Bytes CtmReply::serialize() const {
   for (const NeighborHint& n : neighbors) {
     hint_bytes += 20 + uri_list_bytes(n.uris);
   }
+  for (const NeighborHint& n : samples) {
+    hint_bytes += 20 + uri_list_bytes(n.uris);
+  }
   ByteWriter w;
-  w.reserve(1 + 4 + uri_list_bytes(uris) + 1 + hint_bytes);
+  w.reserve(1 + 4 + uri_list_bytes(uris) + 2 + hint_bytes);
   w.u8(static_cast<std::uint8_t>(con_type));
   w.u32(token);
   transport::write_uri_list(w, uris);
   w.u8(static_cast<std::uint8_t>(neighbors.size()));
   for (const NeighborHint& n : neighbors) {
+    w.ring_id(n.addr);
+    transport::write_uri_list(w, n.uris);
+  }
+  w.u8(static_cast<std::uint8_t>(samples.size()));
+  for (const NeighborHint& n : samples) {
     w.ring_id(n.addr);
     transport::write_uri_list(w, n.uris);
   }
@@ -258,6 +266,15 @@ std::optional<CtmReply> CtmReply::parse(std::span<const std::uint8_t> body) {
     auto hint_uris = transport::read_uri_list(r);
     if (!hint_uris) return std::nullopt;
     rep.neighbors.push_back(NeighborHint{*addr, std::move(*hint_uris)});
+  }
+  auto sample_count = r.u8();
+  if (!sample_count) return std::nullopt;
+  for (int i = 0; i < *sample_count; ++i) {
+    auto addr = r.ring_id();
+    if (!addr) return std::nullopt;
+    auto hint_uris = transport::read_uri_list(r);
+    if (!hint_uris) return std::nullopt;
+    rep.samples.push_back(NeighborHint{*addr, std::move(*hint_uris)});
   }
   return rep;
 }
@@ -362,6 +379,43 @@ std::optional<RelayFrame> RelayFrame::parse(BytesView frame) {
   return parse(SharedBytes(Bytes(frame.begin(), frame.end())));
 }
 
+Bytes CensusFrame::serialize() const {
+  ByteWriter w;
+  w.reserve(1 + 4 + 20 + 2 + 2 + uri_list_bytes(origin_uris));
+  w.u8(static_cast<std::uint8_t>(FrameKind::kCensus));
+  w.u32(0);  // checksum, patched below once the frame is complete
+  w.ring_id(origin);
+  w.u16(hops);
+  w.u16(ttl);
+  transport::write_uri_list(w, origin_uris);
+  Bytes out = std::move(w).take();
+  store_u32(out.data() + 1, link_checksum(out));
+  return out;
+}
+
+std::optional<CensusFrame> CensusFrame::parse(
+    std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  auto kind = r.u8();
+  if (!kind || *kind != static_cast<std::uint8_t>(FrameKind::kCensus)) {
+    return std::nullopt;
+  }
+  auto csum = r.u32();
+  auto origin = r.ring_id();
+  auto hops = r.u16();
+  auto ttl = r.u16();
+  if (!csum || !origin || !hops || !ttl) return std::nullopt;
+  auto uris = transport::read_uri_list(r);
+  if (!uris) return std::nullopt;
+  if (*csum != link_checksum(frame)) return std::nullopt;
+  CensusFrame f;
+  f.origin = *origin;
+  f.hops = *hops;
+  f.ttl = *ttl;
+  f.origin_uris = std::move(*uris);
+  return f;
+}
+
 std::optional<FrameKind> frame_kind(std::span<const std::uint8_t> frame) {
   if (frame.empty()) return std::nullopt;
   std::uint8_t k = frame[0];
@@ -373,6 +427,9 @@ std::optional<FrameKind> frame_kind(std::span<const std::uint8_t> frame) {
   }
   if (k == static_cast<std::uint8_t>(FrameKind::kRelay)) {
     return FrameKind::kRelay;
+  }
+  if (k == static_cast<std::uint8_t>(FrameKind::kCensus)) {
+    return FrameKind::kCensus;
   }
   return std::nullopt;
 }

@@ -43,11 +43,13 @@ enum class FrameKind : std::uint8_t {
   kLink = 2,    // direct link-level message between two endpoints
   kRelay = 3,   // source-routed tunnel frame: src asks a mutual neighbor
                 // to hand the wrapped inner frame to dst (one hop only)
+  kCensus = 4,  // ring-census probe walking the successor chain; detects
+                // and merges independently-formed rings
 };
 
 /// Dispatch-table size for FrameKind (kinds are 1-based wire bytes, so
 /// the table has one unused slot at 0).
-inline constexpr std::size_t kFrameKindCount = 4;
+inline constexpr std::size_t kFrameKindCount = 5;
 
 /// Payload types carried inside a routed packet.
 enum class RoutedType : std::uint8_t {
@@ -167,6 +169,11 @@ struct CtmReply {
   std::vector<transport::Uri> uris;  // responder's URIs
   std::uint32_t token = 0;
   std::vector<NeighborHint> neighbors;
+  /// Gossip peer samples: random entries from the responder's table,
+  /// piggybacked on join replies so joiners warm their peer caches
+  /// without extra frames — future rejoins then spread off the
+  /// bootstrap leaves (Wolinsky-style cached-peer bootstrap).
+  std::vector<NeighborHint> samples;
 
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] static std::optional<CtmReply> parse(
@@ -246,6 +253,33 @@ struct RelayFrame {
 
  private:
   SharedBytes frame_;
+};
+
+/// A ring-census probe (self-stabilizing merge protocol).  The origin
+/// launches it at its successor; each hop increments `hops` and hands
+/// the probe to its own successor.  Back at the origin, `hops` is the
+/// ring size.  A node whose successor gap CONTAINS the origin — yet
+/// which holds no connection to it — has discovered a foreign ring
+/// segment: two overlays formed independently (flash crowd, healed
+/// partition, disjoint bootstrap lists) and must merge.  The discoverer
+/// links to the origin over the carried URIs, the join/stabilize
+/// machinery does the rest, and the probe stops there.
+///
+/// Wire layout: kind (1) + checksum (4) + origin ring id (20) + hops
+/// (2) + ttl (2) + origin URI list.  Hops changes at every hop, so the
+/// frame is re-serialized per hop (cheap: censuses are rare and tiny)
+/// and the checksum covers the full body, link-frame style.
+struct CensusFrame {
+  Address origin;
+  std::uint16_t hops = 0;
+  /// Walk bound: a probe that crossed into a foreign ring and missed
+  /// the merge window must die, not orbit forever.
+  std::uint16_t ttl = 0;
+  std::vector<transport::Uri> origin_uris;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<CensusFrame> parse(
+      std::span<const std::uint8_t> frame);
 };
 
 /// Peek the outer frame kind without a full parse.

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.h"
+#include "p2p/packet.h"
+#include "transport/uri.h"
+
+namespace wow::p2p {
+
+/// Bounded most-recently-seen peer store — the in-memory analog of the
+/// on-disk peer cache of Wolinsky et al.'s bootstrap work.  Refreshed
+/// from live connections and from gossip samples in CTM join replies;
+/// consulted by the bootstrap overlord on rejoin-after-restart so a
+/// warm node re-enters the overlay through a recently-live peer instead
+/// of piling onto the well-known bootstrap endpoints.
+///
+/// Owned by the Node OBJECT, not by its running incarnation: stop()
+/// clears the connection table but leaves the cache warm, exactly like
+/// a cache file surviving a process restart.  Entries are fixed-size
+/// (inline UriList), the store is a flat vector bounded by `capacity`,
+/// and eviction is strict LRU by last_seen with deterministic
+/// tie-breaking — the cache is part of the deterministic protocol
+/// state, never a source of nondeterminism.
+class PeerCache {
+ public:
+  struct Entry {
+    Address addr;
+    transport::UriList uris;
+    SimTime last_seen = 0;
+  };
+
+  PeerCache(std::size_t capacity, SimDuration ttl)
+      : capacity_(capacity), ttl_(ttl) {
+    entries_.reserve(capacity_);
+  }
+
+  /// Insert or refresh `addr`.  A full cache evicts its least recently
+  /// seen entry (first in iteration order on ties).
+  void note(const Address& addr, const transport::UriList& uris,
+            SimTime now) {
+    if (capacity_ == 0 || uris.empty()) return;
+    for (Entry& e : entries_) {
+      if (e.addr == addr) {
+        e.uris = uris;
+        if (now > e.last_seen) e.last_seen = now;
+        return;
+      }
+    }
+    if (entries_.size() < capacity_) {
+      entries_.push_back(Entry{addr, uris, now});
+      return;
+    }
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].last_seen < entries_[victim].last_seen) victim = i;
+    }
+    entries_[victim] = Entry{addr, uris, now};
+  }
+
+  /// Drop `addr` (a rejoin attempt through it just failed: it is dead).
+  void remove(const Address& addr) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].addr == addr) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Evict entries not refreshed within the TTL.
+  void evict_stale(SimTime now) {
+    std::erase_if(entries_,
+                  [&](const Entry& e) { return now - e.last_seen > ttl_; });
+  }
+
+  /// Freshest entry (highest last_seen; first on ties), or nullptr.
+  [[nodiscard]] const Entry* freshest() const {
+    const Entry* best = nullptr;
+    for (const Entry& e : entries_) {
+      if (best == nullptr || e.last_seen > best->last_seen) best = &e;
+    }
+    return best;
+  }
+
+  [[nodiscard]] bool contains(const Address& addr) const {
+    for (const Entry& e : entries_) {
+      if (e.addr == addr) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Live protocol-state bytes (the §14 budget metric); 0 when disabled.
+  [[nodiscard]] std::size_t state_bytes() const {
+    return entries_.size() * sizeof(Entry);
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t capacity_;
+  SimDuration ttl_;
+};
+
+}  // namespace wow::p2p

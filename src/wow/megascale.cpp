@@ -57,7 +57,20 @@ MegascaleNet::MegascaleNet(const MegascaleConfig& config)
     p2p::NodeConfig cfg =
         config_.flyweight ? p2p::NodeConfig::flyweight() : p2p::NodeConfig{};
     cfg.port = 17000;
-    if (i > 0) {
+    cfg.census_interval = config_.census_interval;
+    if (i > 0 && config_.wellknown_endpoints > 0) {
+      // Flash-crowd shape: every joiner shares the same well-known
+      // multi-endpoint list (the first K hosts), so the bootstrap
+      // service takes the whole join load and must spread it via
+      // rotation + backoff + gossip.  Early joiners only list hosts
+      // that exist before them.
+      int k = std::min(config_.wellknown_endpoints, i);
+      for (int j = 0; j < k; ++j) {
+        cfg.bootstrap.push_back(transport::Uri{
+            transport::TransportKind::kUdp,
+            net::Endpoint{hosts[static_cast<std::size_t>(j)]->ip(), 17000}});
+      }
+    } else if (i > 0) {
       // Up to bootstrap_pool distinct random earlier nodes; the first
       // joiner after node 0 necessarily gets node 0.
       int pool = std::min(config_.bootstrap_pool, i);
@@ -78,12 +91,28 @@ MegascaleNet::MegascaleNet(const MegascaleConfig& config)
   }
 }
 
+void MegascaleNet::start_burst(std::size_t count) {
+  if (start_times_.size() != nodes.size()) {
+    start_times_.assign(nodes.size(), SimTime{-1});
+  }
+  for (std::size_t i = 0; i < count && started_ < nodes.size(); ++i) {
+    start_times_[started_] = sim.now();
+    nodes[started_]->start();
+    ++started_;
+  }
+  ring_order_.clear();
+}
+
 std::optional<SimTime> MegascaleNet::run_until_converged() {
   // Join ramp: each node starts at i * join_stagger, riding on an
   // already-forming ring.
+  if (start_times_.size() != nodes.size()) {
+    start_times_.assign(nodes.size(), SimTime{-1});
+  }
   while (started_ < nodes.size()) {
     SimTime due = static_cast<SimTime>(started_) * config_.join_stagger;
     if (sim.now() < due) sim.run_until(due);
+    start_times_[started_] = sim.now();
     nodes[started_]->start();
     ++started_;
   }
@@ -197,6 +226,48 @@ MegascaleNet::MemoryReport MegascaleNet::memory_report() const {
   }
   r.network_bytes = network.memory_bytes();
   return r;
+}
+
+MegascaleNet::JoinStats MegascaleNet::join_latency_stats() const {
+  JoinStats js;
+  std::vector<double> lat;
+  lat.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i >= start_times_.size() || start_times_[i] < 0) continue;
+    std::optional<SimTime> since = nodes[i]->routable_since();
+    if (!since || *since < start_times_[i]) {
+      // Never routable, or only routable in a PREVIOUS incarnation
+      // (restart pending): still joining.
+      ++js.unjoined;
+      continue;
+    }
+    lat.push_back(to_seconds(*since - start_times_[i]));
+  }
+  js.joined = lat.size();
+  if (lat.empty()) return js;
+  std::sort(lat.begin(), lat.end());
+  double sum = 0;
+  for (double v : lat) sum += v;
+  js.mean_s = sum / static_cast<double>(lat.size());
+  auto at = [&](double p) {
+    auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(lat.size() - 1) / 100.0 + 0.5);
+    return lat[idx];
+  };
+  js.p50_s = at(50);
+  js.p95_s = at(95);
+  js.p99_s = at(99);
+  js.max_s = lat.back();
+  return js;
+}
+
+std::size_t MegascaleNet::ring_census() const {
+  std::vector<p2p::Node*> live;
+  live.reserve(nodes.size());
+  for (const auto& n : nodes) {
+    if (n->running()) live.push_back(n.get());
+  }
+  return p2p::Oracle::ring_census(live);
 }
 
 p2p::OracleReport MegascaleNet::oracle_check(std::size_t max_route_pairs) {

@@ -37,6 +37,15 @@ struct MegascaleConfig {
   /// Each joiner bootstraps off up to this many random earlier nodes
   /// (spreads the join load that a single well-known node would take).
   int bootstrap_pool = 3;
+  /// When > 0, joiners skip the random-pool draw and all share the SAME
+  /// multi-endpoint bootstrap list: the first `wellknown_endpoints`
+  /// hosts.  This is the flash-crowd shape — every newcomer hits the
+  /// well-known service, which must spread the load through endpoint
+  /// rotation, backoff, and gossip peer-sampling.
+  int wellknown_endpoints = 0;
+  /// Per-node ring-census probe period, forwarded into NodeConfig
+  /// (0 = off, the wire-silent default).
+  SimDuration census_interval = 0;
   /// Gap between consecutive node starts.  A ramped join lands each
   /// node on an already-formed ring, so the per-join cost stays
   /// O(log n) messages; 0 starts everyone at once (the stress shape).
@@ -62,6 +71,13 @@ class MegascaleNet {
   /// node routable and every successor pointer closing the ring) or
   /// the settle horizon lapses.  Returns the convergence sim-time.
   [[nodiscard]] std::optional<SimTime> run_until_converged();
+
+  /// Start up to `count` not-yet-started nodes at the CURRENT sim time,
+  /// without running the simulator between starts — the flash-crowd
+  /// burst.  run_until_converged() then skips the already-started
+  /// prefix, so a test can burst, inject faults (crash a bootstrap
+  /// endpoint mid-crowd), and only then wait for convergence.
+  void start_burst(std::size_t count);
 
   /// True when all nodes are routable and a successor walk from the
   /// smallest address visits every node exactly once (ring closure).
@@ -106,6 +122,24 @@ class MegascaleNet {
   };
   [[nodiscard]] MemoryReport memory_report() const;
 
+  /// Join-latency distribution: per node, seconds from start() to first
+  /// routable() (the flash-crowd CDF metric).  Nodes that started but
+  /// have not become routable count in `unjoined`.
+  struct JoinStats {
+    std::size_t joined = 0;
+    std::size_t unjoined = 0;
+    double mean_s = 0.0;
+    double p50_s = 0.0;
+    double p95_s = 0.0;
+    double p99_s = 0.0;
+    double max_s = 0.0;
+  };
+  [[nodiscard]] JoinStats join_latency_stats() const;
+
+  /// Connected ring components over the RUNNING fleet
+  /// (p2p::Oracle::ring_census): 1 = a single merged ring.
+  [[nodiscard]] std::size_t ring_census() const;
+
   /// Full structural-invariant sweep (Oracle) over the live fleet,
   /// with the routing sweep capped at `max_route_pairs` pairs.
   [[nodiscard]] p2p::OracleReport oracle_check(std::size_t max_route_pairs);
@@ -125,6 +159,9 @@ class MegascaleNet {
 
   MegascaleConfig config_;
   std::size_t started_ = 0;
+  /// start_times_[i] = sim time nodes[i] was started (-1 = not yet);
+  /// the join-latency baseline.
+  std::vector<SimTime> start_times_;
   /// Probe-only randomness (hop-sample pair picking), separate from the
   /// simulator's stream so sampling never perturbs the run.
   Rng probe_rng_;

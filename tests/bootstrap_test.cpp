@@ -1,0 +1,351 @@
+// Bootstrap-at-scale suite (DESIGN §15): multi-endpoint discovery with
+// per-endpoint backoff, cached-peer rejoin, census wire format, the
+// partitioned-ring merge protocol, and the flash-crowd scenarios —
+// a simultaneous join burst with a bootstrap endpoint crashing
+// mid-crowd must still converge to a single ring.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "p2p/node.h"
+#include "p2p/oracle.h"
+#include "p2p/packet.h"
+#include "p2p/peer_cache.h"
+#include "test_util.h"
+#include "transport/uri.h"
+#include "wow/megascale.h"
+
+namespace wow::p2p {
+namespace {
+
+using transport::TransportKind;
+using transport::Uri;
+
+Uri uri_of(net::Ipv4Addr ip, std::uint16_t port) {
+  return Uri{TransportKind::kUdp, net::Endpoint{ip, port}};
+}
+
+// --- census wire format --------------------------------------------------
+
+TEST(CensusWire, RoundTrip) {
+  Rng rng(41);
+  CensusFrame f;
+  f.origin = rng.ring_id();
+  f.hops = 7;
+  f.ttl = 99;
+  f.origin_uris = {uri_of(net::Ipv4Addr(10, 0, 0, 1), 100),
+                   uri_of(net::Ipv4Addr(10, 0, 0, 2), 200)};
+  Bytes wire = f.serialize();
+  EXPECT_EQ(frame_kind(wire), FrameKind::kCensus);
+  auto parsed = CensusFrame::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->origin, f.origin);
+  EXPECT_EQ(parsed->hops, f.hops);
+  EXPECT_EQ(parsed->ttl, f.ttl);
+  EXPECT_EQ(parsed->origin_uris, f.origin_uris);
+}
+
+TEST(CensusWire, RejectsCorruptionAndTruncation) {
+  Rng rng(43);
+  CensusFrame f;
+  f.origin = rng.ring_id();
+  f.ttl = 64;
+  f.origin_uris = {uri_of(net::Ipv4Addr(10, 0, 0, 3), 300)};
+  Bytes wire = f.serialize();
+  // Flip one payload byte: the link checksum must catch it.
+  Bytes flipped = wire;
+  flipped[flipped.size() / 2] ^= 0x40;
+  EXPECT_FALSE(CensusFrame::parse(flipped).has_value());
+  // Truncation at every boundary parses to nothing, never UB.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes shorter(wire.begin(),
+                  wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(CensusFrame::parse(shorter).has_value()) << "cut=" << cut;
+  }
+  // Drift guard: adding a FrameKind must revisit the wire suites.
+  EXPECT_EQ(kFrameKindCount, 5u);
+}
+
+// --- peer cache ----------------------------------------------------------
+
+TEST(PeerCacheUnit, BoundedWithLruEviction) {
+  Rng rng(5);
+  PeerCache cache(/*capacity=*/3, /*ttl=*/10 * kMinute);
+  std::vector<Address> peers;
+  for (int i = 0; i < 4; ++i) peers.push_back(rng.ring_id());
+  transport::UriList uris(std::vector<Uri>{
+      uri_of(net::Ipv4Addr(10, 0, 0, 9), 900)});
+
+  cache.note(peers[0], uris, 1 * kSecond);
+  cache.note(peers[1], uris, 2 * kSecond);
+  cache.note(peers[2], uris, 3 * kSecond);
+  EXPECT_EQ(cache.size(), 3u);
+  // Full: the least recently seen entry (peers[0]) is overwritten.
+  cache.note(peers[3], uris, 4 * kSecond);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.contains(peers[0]));
+  EXPECT_TRUE(cache.contains(peers[3]));
+  // The freshest entry wins the rejoin pick.
+  ASSERT_NE(cache.freshest(), nullptr);
+  EXPECT_EQ(cache.freshest()->addr, peers[3]);
+  // Refreshing an existing entry bumps it instead of duplicating.
+  cache.note(peers[1], uris, 9 * kSecond);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.freshest()->addr, peers[1]);
+}
+
+TEST(PeerCacheUnit, TtlEvictionRemovalAndDisabled) {
+  Rng rng(6);
+  PeerCache cache(/*capacity=*/4, /*ttl=*/kMinute);
+  transport::UriList uris(std::vector<Uri>{
+      uri_of(net::Ipv4Addr(10, 0, 0, 8), 800)});
+  Address a = rng.ring_id();
+  Address b = rng.ring_id();
+  cache.note(a, uris, 0);
+  cache.note(b, uris, 50 * kSecond);
+  cache.evict_stale(70 * kSecond);  // `a` is 70s old: past the TTL
+  EXPECT_FALSE(cache.contains(a));
+  EXPECT_TRUE(cache.contains(b));
+  cache.remove(b);
+  EXPECT_TRUE(cache.empty());
+  // Empty URI lists are never cached (nothing to rejoin through).
+  cache.note(a, transport::UriList{}, 0);
+  EXPECT_TRUE(cache.empty());
+  // A zero-capacity cache (the flyweight profile) stays empty and
+  // contributes no protocol state.
+  PeerCache off(/*capacity=*/0, /*ttl=*/kMinute);
+  off.note(a, uris, 0);
+  EXPECT_TRUE(off.empty());
+  EXPECT_EQ(off.state_bytes(), 0u);
+}
+
+// --- endpoint rotation + backoff ----------------------------------------
+
+TEST(BootstrapTest, RotatesPastDeadEndpointsWithBackoff) {
+  testing::PublicOverlay net(8, /*seed=*/21);
+  // Two dead well-known endpoints (hosts exist, no node listens) ahead
+  // of the live one: the joiner must rotate through them, back each
+  // off, and still land on the ring via the third.
+  net::Host::Config hc;
+  hc.name = "deadA";
+  auto& dead_a = net.network.add_host(net::Ipv4Addr(128, 9, 0, 1),
+                                      net::Network::kInternet, net.site, hc);
+  hc.name = "deadB";
+  auto& dead_b = net.network.add_host(net::Ipv4Addr(128, 9, 0, 2),
+                                      net::Network::kInternet, net.site, hc);
+  Node& joiner = *net.nodes[7];
+  joiner.mutable_config().bootstrap = {
+      uri_of(dead_a.ip(), 17000), uri_of(dead_b.ip(), 17000),
+      uri_of(net.hosts[0]->ip(), 17000)};
+
+  net.start_all();
+  net.sim.run_for(6 * kMinute);
+
+  EXPECT_TRUE(joiner.routable()) << "joiner never reached the ring";
+  // Both dead endpoints were probed, failed, and are now backed off.
+  EXPECT_GE(joiner.stats().bootstrap_endpoint_failures, 2u);
+  EXPECT_GE(joiner.stats().bootstrap_probes, 3u);
+  EXPECT_GT(joiner.bootstrap_retry_after(0), 0);
+  EXPECT_GT(joiner.bootstrap_retry_after(1), 0);
+}
+
+// --- cached-peer rejoin --------------------------------------------------
+
+TEST(BootstrapTest, CachedPeerRejoinWithoutAnyBootstrapEndpoint) {
+  testing::PublicOverlay net(5, /*seed=*/33);
+  net.start_all();
+  net.sim.run_for(5 * kMinute);  // converge + a few cache refreshes
+  ASSERT_EQ(net.routable_count(), 5);
+
+  Node& mover = *net.nodes[3];
+  ASSERT_GT(mover.peer_cache().size(), 0u)
+      << "cache never warmed from live connections";
+  EXPECT_LE(mover.peer_cache().size(), mover.peer_cache().capacity());
+
+  // Kill the ONLY bootstrap endpoint (node 0), then the mover.  On
+  // restart the mover holds no connections and cannot reach any
+  // well-known endpoint — only the warm peer cache gets it back in.
+  net.nodes[0]->stop();
+  mover.stop();
+  EXPECT_GT(mover.peer_cache().size(), 0u)
+      << "cache must survive stop() like an on-disk cache file";
+  net.sim.run_for(2 * kMinute);  // survivors drop the dead pair
+  mover.restart();
+  net.sim.run_for(4 * kMinute);
+
+  EXPECT_TRUE(mover.routable()) << "mover never rejoined";
+  EXPECT_GE(mover.stats().bootstrap_cache_rejoins, 1u)
+      << "rejoin did not go through the peer cache";
+}
+
+// --- two pre-formed rings merge -----------------------------------------
+
+TEST(BootstrapTest, TwoIndependentlyFormedRingsMergeIntoOne) {
+#ifdef NDEBUG
+  constexpr int kHalf = 100;
+#else
+  constexpr int kHalf = 12;  // debug builds: same protocol, smaller rings
+#endif
+  constexpr std::uint64_t kSeed = 47;
+  sim::Simulator sim(kSeed);
+  net::Network network(sim);
+  auto site = network.add_site("site0");
+
+  std::vector<net::Host*> hosts;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (int i = 0; i < 2 * kHalf; ++i) {
+    auto ip = net::Ipv4Addr(128, static_cast<std::uint8_t>(1 + i / 250), 0,
+                            static_cast<std::uint8_t>(1 + i % 250));
+    net::Host::Config hc;
+    hc.name = "host" + std::to_string(i);
+    auto& host = network.add_host(ip, net::Network::kInternet, site, hc);
+    hosts.push_back(&host);
+    NodeConfig cfg;
+    cfg.port = 17000;
+    cfg.census_interval = 30 * kSecond;
+    // Disjoint bootstrap universes: group A (0..kHalf-1) seeds off node
+    // 0, group B off node kHalf — two overlays that have never heard of
+    // each other.
+    int seed_node = i < kHalf ? 0 : kHalf;
+    if (i != seed_node) {
+      cfg.bootstrap = {uri_of(hosts[static_cast<std::size_t>(seed_node)]->ip(),
+                              17000)};
+    }
+    nodes.push_back(std::make_unique<Node>(
+        NodeDeps::sim(sim, network, host), cfg));
+  }
+  for (auto& n : nodes) n->start();
+
+  auto live = [&] {
+    std::vector<Node*> v;
+    for (auto& n : nodes) {
+      if (n->running()) v.push_back(n.get());
+    }
+    return v;
+  };
+
+  // Let both rings form and self-stabilize independently.
+  SimTime split_deadline = sim.now() + 20 * kMinute;
+  while (Oracle::ring_census(live()) != 2 && sim.now() < split_deadline) {
+    sim.run_for(10 * kSecond);
+  }
+  ASSERT_EQ(Oracle::ring_census(live()), 2u)
+      << "two separate rings never formed (seed=" << kSeed << ")";
+
+  // The heal: a handful of A nodes learn B's well-known endpoint (an
+  // updated bootstrap list).  Their in-ring re-probe bridges a leaf into
+  // ring B, the census probe crosses it, and the merge protocol pulls
+  // the rings together.
+  for (int i = 1; i <= 3; ++i) {
+    nodes[static_cast<std::size_t>(i)]->mutable_config().bootstrap.push_back(
+        uri_of(hosts[kHalf]->ip(), 17000));
+  }
+
+  SimTime merge_deadline = sim.now() + 40 * kMinute;
+  while (Oracle::ring_census(live()) != 1 && sim.now() < merge_deadline) {
+    sim.run_for(10 * kSecond);
+  }
+  EXPECT_EQ(Oracle::ring_census(live()), 1u)
+      << "rings never merged (seed=" << kSeed << ")";
+
+  std::uint64_t initiated = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t censuses = 0;
+  for (const auto& n : nodes) {
+    initiated += n->stats().merges_initiated;
+    completed += n->stats().merges_completed;
+    censuses += n->stats().census_launched;
+  }
+  EXPECT_GE(initiated, 1u) << "merge was never initiated by the census";
+  EXPECT_GE(completed, 1u) << "no merge bridge link completed";
+  EXPECT_GT(censuses, 0u);
+
+  // Full structural convergence follows the topological merge: let the
+  // near repair finish, then the oracle (which includes the ring_census
+  // invariant) must be green.
+  SimTime settle_deadline = sim.now() + 30 * kMinute;
+  Oracle::Config ocfg;
+  ocfg.seed = kSeed;
+  ocfg.max_route_pairs = 2000;
+  OracleReport report;
+  while (sim.now() < settle_deadline) {
+    sim.run_for(30 * kSecond);
+    report = Oracle::check(live(), sim.now(), ocfg);
+    if (report.ok) break;
+  }
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+// --- flash crowd ---------------------------------------------------------
+
+/// Shared flash-crowd scenario: `n` nodes join in one simultaneous
+/// burst against a 3-endpoint well-known bootstrap service; one
+/// endpoint crashes mid-crowd and restarts later.  The crowd must
+/// still converge to a single ring.
+void run_flash_crowd(int n, std::uint64_t seed, bool flyweight) {
+  MegascaleConfig cfg;
+  cfg.seed = seed;
+  cfg.nodes = n;
+  cfg.flyweight = flyweight;
+  cfg.wellknown_endpoints = 3;
+  cfg.join_stagger = 0;  // the burst
+  cfg.check_period = 15 * kSecond;
+  cfg.settle_horizon = 30 * kMinute;
+  MegascaleNet net(cfg);
+
+  net.start_burst(static_cast<std::size_t>(n));
+  ASSERT_EQ(net.started(), static_cast<std::size_t>(n));
+
+  // Mid-crowd fault: well-known endpoint #1 dies while the crowd is
+  // still joining, and comes back two minutes later.
+  net.sim.run_for(10 * kSecond);
+  net.nodes[1]->stop();
+  net.sim.run_for(2 * kMinute);
+  net.nodes[1]->restart();
+
+  auto converged_at = net.run_until_converged();
+  ASSERT_TRUE(converged_at.has_value())
+      << "flash crowd did not converge to a closed ring (seed=" << seed
+      << ", nodes=" << n << ")";
+  EXPECT_EQ(net.ring_census(), 1u);
+
+  p2p::OracleReport oracle = net.oracle_check(/*max_route_pairs=*/2000);
+  EXPECT_TRUE(oracle.ok) << oracle.to_string();
+
+  MegascaleNet::JoinStats js = net.join_latency_stats();
+  EXPECT_EQ(js.joined, static_cast<std::size_t>(n));
+  EXPECT_EQ(js.unjoined, 0u);
+  EXPECT_GT(js.p50_s, 0.0);
+  EXPECT_GE(js.p99_s, js.p50_s);
+  EXPECT_LE(js.max_s, to_seconds(net.sim.now()));
+  std::printf(
+      "flash crowd n=%d seed=%llu: single ring at t=%.0fs; join latency "
+      "p50=%.1fs p95=%.1fs p99=%.1fs max=%.1fs\n",
+      n, static_cast<unsigned long long>(seed), to_seconds(*converged_at),
+      js.p50_s, js.p95_s, js.p99_s, js.max_s);
+}
+
+TEST(FlashCrowdTest, BurstWithEndpointCrashConverges) {
+  // Default (full-service) profile: gossip peer-sampling and the peer
+  // cache are active, spreading the CTM join load off the three
+  // well-known endpoints.
+  run_flash_crowd(/*n=*/256, /*seed=*/13, /*flyweight=*/false);
+}
+
+// The acceptance-scale run: a 10k-node simultaneous burst with a
+// bootstrap endpoint crashing mid-crowd.  Needs an optimized build.
+TEST(FlashCrowdTest, TenThousandNodeBurstConverges) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "10k-node flash crowd needs an optimized build";
+#else
+  run_flash_crowd(/*n=*/10000, /*seed=*/1, /*flyweight=*/true);
+#endif
+}
+
+}  // namespace
+}  // namespace wow::p2p

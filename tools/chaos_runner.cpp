@@ -10,7 +10,7 @@
 // Usage:
 //   chaos_runner [--seed=N] [--schedule="kind@ms+ms:args;..."]
 //                [--nodes=N] [--events=N] [--trace=out.jsonl]
-//                [--profile=random|composite]
+//                [--profile=random|composite|flashcrowd]
 //                [--sample-rate=R] [--snapshots=out.jsonl]
 //                [--series=out.csv] [--snapshot-period=SEC]
 //                [--inject-violation] [--flyweight]
@@ -31,6 +31,14 @@
 // and loss, so an 8-seed matrix covers distinct interleavings.  An
 // explicit --schedule overrides the plan but keeps the NAT topology,
 // which is what the printed reproducer line relies on.
+//
+// --profile=flashcrowd is the bootstrap-at-scale shape (DESIGN §15):
+// every node shares the same three-endpoint well-known bootstrap list
+// and the whole fleet starts in one simultaneous burst; the fault plan
+// crashes well-known endpoint #1 while the crowd is still joining and
+// heals it two minutes later.  The ring census runs (census_interval
+// on), so the oracle's ring_census invariant judges that the crowd
+// ended as ONE ring.
 
 #include <algorithm>
 #include <cinttypes>
@@ -64,6 +72,7 @@ struct Options {
   int events = 10;
   std::string trace_path;
   bool composite = false;
+  bool flashcrowd = false;
   /// kPacket-class trace sampling rate; 1.0 keeps the trace
   /// byte-identical to an unsampled run.
   double sample_rate = 1.0;
@@ -87,8 +96,13 @@ constexpr int kMaxFlyweightNodes = 1 << 20;
 
 /// The soak topology: public hosts spread round-robin over three WAN
 /// sites, all bootstrapping off node 0 (which faults never touch).
+/// The flashcrowd profile instead gives every joiner the SAME
+/// three-endpoint well-known list (hosts 0..2) and turns the ring
+/// census on, so endpoint rotation, backoff, and the merge protocol
+/// all carry real load.
 struct SoakNet {
-  SoakNet(std::uint64_t seed, int node_count, bool with_nat, bool flyweight)
+  SoakNet(std::uint64_t seed, int node_count, bool with_nat, bool flyweight,
+          bool flashcrowd)
       : sim(seed), network(sim) {
     network.set_default_wan(
         net::LinkModel{30 * kMillisecond, 2 * kMillisecond, 0.002});
@@ -115,7 +129,15 @@ struct SoakNet {
       p2p::NodeConfig cfg =
           flyweight ? p2p::NodeConfig::flyweight() : p2p::NodeConfig{};
       cfg.port = 17000;
-      if (i > 0) {
+      if (flashcrowd) {
+        cfg.census_interval = kMinute;
+        for (int j = 0; j < std::min(3, i); ++j) {
+          cfg.bootstrap.push_back(transport::Uri{
+              transport::TransportKind::kUdp,
+              net::Endpoint{hosts[static_cast<std::size_t>(j)]->ip(),
+                            17000}});
+        }
+      } else if (i > 0) {
         cfg.bootstrap = {transport::Uri{
             transport::TransportKind::kUdp,
             net::Endpoint{hosts[0]->ip(), 17000}}};
@@ -218,6 +240,22 @@ net::FaultPlan composite_plan(const SoakNet& soak) {
   return plan;
 }
 
+/// The flash-crowd fault: well-known endpoint #1 crashes while the
+/// burst is still joining and comes back two minutes later.  Node 0
+/// stays untouched, so the crowd always has at least one live endpoint
+/// — what it tests is that the crowd ROUTES AROUND the dead one
+/// (rotation + backoff) instead of stalling on it.
+net::FaultPlan flashcrowd_plan(const SoakNet& soak) {
+  net::FaultPlan plan;
+  net::FaultSpec crash;
+  crash.kind = net::FaultKind::kCrashHost;
+  crash.at = 30 * kSecond;
+  crash.duration = 2 * kMinute;
+  crash.host = soak.hosts[1]->id();
+  plan.events.push_back(crash);
+  return plan;
+}
+
 bool write_file(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -271,7 +309,8 @@ int run(const Options& opt) {
   // Declared before the overlay: node destructors still emit trace
   // events, so the sink must outlive SoakNet.
   std::unique_ptr<FileTraceSink> sink;
-  SoakNet soak(opt.seed, opt.nodes, opt.composite, opt.flyweight);
+  SoakNet soak(opt.seed, opt.nodes, opt.composite, opt.flyweight,
+               opt.flashcrowd);
 
   net::FaultPlan plan;
   if (!opt.schedule.empty()) {
@@ -284,6 +323,8 @@ int run(const Options& opt) {
     plan = std::move(*parsed);
   } else if (opt.composite) {
     plan = composite_plan(soak);
+  } else if (opt.flashcrowd) {
+    plan = flashcrowd_plan(soak);
   } else {
     net::FaultPlan::RandomParams params;
     params.events = opt.events;
@@ -301,7 +342,9 @@ int run(const Options& opt) {
   // (NAT domains) that the schedule's domain ids refer to.
   const std::string reproducer =
       "chaos_runner --seed=" + std::to_string(opt.seed) +
-      (opt.composite ? std::string(" --profile=composite") : std::string()) +
+      (opt.composite ? std::string(" --profile=composite")
+       : opt.flashcrowd ? std::string(" --profile=flashcrowd")
+                        : std::string()) +
       " --schedule=\"" + plan.describe() + "\"";
 
   if (!opt.trace_path.empty()) {
@@ -339,12 +382,17 @@ int run(const Options& opt) {
   };
 
   for (auto& n : soak.nodes) n->start();
+  // The flashcrowd fault must land mid-crowd — while the simultaneous
+  // burst that just started is still joining — so its plan is armed
+  // immediately.  Other profiles give the ring a quiet three-minute
+  // formation window first.
+  if (opt.flashcrowd) soak.network.faults().schedule(plan);
   while (soak.sim.now() < 3 * kMinute) {
     soak.sim.run_for(
         std::min<SimDuration>(opt.snapshot_period, 3 * kMinute - soak.sim.now()));
     maybe_sample();
   }
-  soak.network.faults().schedule(plan);
+  if (!opt.flashcrowd) soak.network.faults().schedule(plan);
 
   // Horizon = the last heal instant; run traffic through it.
   SimTime horizon = 3 * kMinute;
@@ -466,10 +514,11 @@ int main(int argc, char** argv) {
                    opt.trace_path = std::string(v);
                    return true;
                  });
-  flags.on_value("profile", "random|composite", "fault mix",
+  flags.on_value("profile", "random|composite|flashcrowd", "fault mix",
                  [&](std::string_view v) {
                    opt.composite = v == "composite";
-                   return opt.composite || v == "random";
+                   opt.flashcrowd = v == "flashcrowd";
+                   return opt.composite || opt.flashcrowd || v == "random";
                  });
   flags.on_value("sample-rate", "R", "packet-class trace sampling (0..1)",
                  [&](std::string_view v) {
