@@ -27,6 +27,10 @@ const char* to_string(FlightKind kind) {
     case FlightKind::kMergeStart: return "merge.start";
     case FlightKind::kMergeDone: return "merge.done";
     case FlightKind::kCensusDone: return "census.done";
+    case FlightKind::kMisbehavior: return "defense.misbehavior";
+    case FlightKind::kRateShed: return "defense.rate_shed";
+    case FlightKind::kReplayHit: return "defense.replay_hit";
+    case FlightKind::kForgedRelay: return "defense.forged_relay";
     case FlightKind::kCount: break;
   }
   return "unknown";

@@ -34,6 +34,12 @@ enum class FlightKind : std::uint8_t {
   kMergeStart,       // foreign ring segment found, peer = census origin
   kMergeDone,        // merge link established, peer = census origin
   kCensusDone,       // census returned to origin, a: measured ring size
+  kMisbehavior,      // ledger threshold crossed, peer = who (if held),
+                     // a: evidence weight of the final note
+  kRateShed,         // control frame shed by the token bucket
+  kReplayHit,        // replayed CTM caught, peer = claimed src
+  kForgedRelay,      // relay frame failed sanity checks, peer = claimed
+                     // src, a: reject reason tag
   kCount,            // sentinel, keep last
 };
 

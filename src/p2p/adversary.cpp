@@ -1,0 +1,183 @@
+#include "p2p/adversary.h"
+
+#include <vector>
+
+namespace wow::p2p {
+
+void AdversaryAgent::start() {
+  if (active_) return;
+  active_ = true;
+  timer_ = timers_.schedule(rng_.jitter(interval_) + interval_ / 2,
+                            [this] { tick(); });
+}
+
+void AdversaryAgent::stop() {
+  if (!active_) return;
+  active_ = false;
+  timers_.cancel(timer_);
+}
+
+Address AdversaryAgent::phantom_near(const Address& anchor) {
+  // anchor + tiny clockwise offset: inside the anchor's successor gap
+  // with overwhelming probability (gaps average 2^160/n), and never a
+  // real identity (real ids are uniformly random 160-bit draws).
+  return anchor +
+         Address{static_cast<std::uint64_t>(rng_.uniform(1, 1 << 20))};
+}
+
+void AdversaryAgent::inject(const net::Endpoint& to, Bytes frame) {
+  if (frame.empty()) return;
+  ++stats_.frames_injected;
+  node_.edges().send_to(to, std::move(frame));
+}
+
+void AdversaryAgent::tick() {
+  if (!active_) return;
+  timer_ = timers_.schedule(interval_ + rng_.jitter(interval_ / 4),
+                            [this] { tick(); });
+  if (!node_.running()) return;
+  ++stats_.ticks;
+  // Victims: every direct connection this (honestly joined) adversary
+  // holds — its ring neighbors, exactly the honest nodes whose near
+  // pointers the containment invariants protect.
+  std::vector<const Connection*> victims;
+  node_.connections().for_each([&](const Connection& c) {
+    if (!c.is_relay()) victims.push_back(&c);
+  });
+  if (victims.empty()) return;
+  const Connection& victim = *victims[static_cast<std::size_t>(
+      rng_.uniform(0, static_cast<std::int64_t>(victims.size()) - 1))];
+  attack(victim);
+}
+
+void AdversaryAgent::attack(const Connection& victim) {
+  const Address self = node_.address();
+  const std::vector<transport::Uri> my_uris = node_.edges().local_uris();
+  auto next_guess = [this] {
+    std::uint32_t g = guess_;
+    guess_ = guess_ % 64 + 1;
+    return g;
+  };
+
+  if (behaviors_.spoof_ctm) {
+    // Spoofed-source CTM reply: claims a phantom responder, sprays a
+    // guessed token, and advertises OUR endpoint so a victim that bites
+    // would link toward an identity we can answer for.
+    CtmReply reply;
+    reply.con_type = ConnectionType::kStructuredNear;
+    reply.token = next_guess();
+    reply.uris = my_uris;
+    RoutedPacket pkt;
+    pkt.src = phantom_near(victim.addr);
+    pkt.dst = victim.addr;
+    pkt.type = RoutedType::kCtmReply;
+    pkt.mode = DeliveryMode::kExact;
+    pkt.set_payload(reply.serialize());
+    inject(victim.remote, pkt.serialize());
+    ++stats_.spoofed_ctm_replies;
+
+    // Forged link reply: completes a handshake we never saw, under a
+    // phantom sender — the phantom-install primitive when tokens are
+    // guessable and the reply identity goes unchecked.
+    LinkFrame lf;
+    lf.type = LinkType::kReply;
+    lf.sender = phantom_near(victim.addr);
+    lf.con_type = ConnectionType::kStructuredNear;
+    lf.token = next_guess();
+    lf.observed = victim.remote;
+    lf.uris = my_uris;
+    inject(victim.remote, lf.serialize());
+    ++stats_.forged_link_replies;
+  }
+
+  if (behaviors_.replay_ctm) {
+    // Replay a "captured" CTM join request: same claimed src, same
+    // token, every tick — an honest node answers the first and must
+    // answer every duplicate minimally (no link attempts, no gossip).
+    if (replay_token_ == 0) {
+      replay_token_ = static_cast<std::uint32_t>(rng_.uniform(1, 0x7fffffff));
+      replay_src_ = phantom_near(self);
+    }
+    CtmRequest req;
+    req.con_type = ConnectionType::kStructuredNear;
+    req.token = replay_token_;
+    req.uris = my_uris;
+    RoutedPacket pkt;
+    pkt.src = replay_src_;
+    pkt.dst = victim.addr;
+    pkt.type = RoutedType::kCtmRequest;
+    pkt.mode = DeliveryMode::kExact;
+    pkt.set_payload(req.serialize());
+    Bytes wire = pkt.serialize();
+    inject(victim.remote, wire);
+    inject(victim.remote, std::move(wire));  // the replay itself
+    stats_.replayed_requests += 2;
+  }
+
+  if (behaviors_.forge_relay) {
+    // (a) Tunnel request under a phantom identity, naming OURSELVES as
+    // the agent: the victim holds a real connection to us, so without
+    // the mutual-interest gate this installs a phantom relay peer with
+    // no handshake at all — the defenses-off reproducer.
+    Address phantom = phantom_near(victim.addr);
+    LinkFrame req;
+    req.type = LinkType::kRequest;
+    req.sender = phantom;
+    req.con_type = ConnectionType::kRelay;
+    req.token = static_cast<std::uint32_t>(rng_.uniform(1, 0x7fffffff));
+    req.uris = my_uris;
+    inject(victim.remote,
+           RelayFrame::wrap(phantom, self, victim.addr, req.serialize()));
+    ++stats_.forged_relay_frames;
+
+    // (b) Forged-src forwarding request: asks the victim (as agent) to
+    // launder a frame whose claimed source we do not own.
+    LinkFrame ping;
+    ping.type = LinkType::kPing;
+    ping.sender = phantom;
+    ping.con_type = ConnectionType::kRelay;
+    inject(victim.remote,
+           RelayFrame::wrap(phantom, victim.addr, phantom_near(self),
+                            ping.serialize()));
+    ++stats_.forged_relay_frames;
+  }
+
+  if (behaviors_.forge_census && stats_.ticks % 4 == 1) {
+    // Fabricated census: an in-arc foreign origin (triggers the merge
+    // rule toward an identity that does not exist) with a TTL double
+    // the default census bound (conscripts the ring into a long walk
+    // unless the inbound cap clamps it).  Every 4th tick: the phantom
+    // origin never terminates the walk, so each forged frame burns its
+    // FULL TTL in forwarding work and a steady drip is ample load.
+    CensusFrame census;
+    census.origin = phantom_near(victim.addr);
+    census.hops = 1;
+    census.ttl = 1024;
+    census.origin_uris = my_uris;
+    inject(victim.remote, census.serialize());
+    ++stats_.forged_census_frames;
+  }
+
+  if (behaviors_.poison_gossip) {
+    // Gossip poisoning: a CTM reply stuffed with phantom peer samples
+    // at our endpoint, all attributed (by the victim) to the claimed
+    // responder — the per-source insert cap's whole reason to exist.
+    CtmReply reply;
+    reply.con_type = ConnectionType::kStructuredNear;
+    reply.token = next_guess();
+    reply.uris = my_uris;
+    for (int i = 0; i < 4; ++i) {
+      reply.samples.push_back(NeighborHint{phantom_near(self), my_uris});
+      ++stats_.poisoned_samples;
+    }
+    RoutedPacket pkt;
+    pkt.src = phantom_near(self);
+    pkt.dst = victim.addr;
+    pkt.type = RoutedType::kCtmReply;
+    pkt.mode = DeliveryMode::kExact;
+    pkt.set_payload(reply.serialize());
+    inject(victim.remote, pkt.serialize());
+  }
+}
+
+}  // namespace wow::p2p

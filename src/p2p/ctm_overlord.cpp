@@ -11,12 +11,29 @@ void CtmOverlord::reset() {
   pending_ctms_.clear();
   ctm_srtt_ = 0;
   ctm_rttvar_ = 0;
+  replay_window_.clear();
+  replay_cursor_ = 0;
+}
+
+bool CtmOverlord::check_replay(const Address& src, std::uint32_t token) {
+  for (const AnsweredCtm& seen : replay_window_) {
+    if (seen.token == token && seen.src == src) return true;
+  }
+  const auto cap = static_cast<std::size_t>(
+      std::max(config_.ctm_replay_window, 1));
+  if (replay_window_.size() < cap) {
+    replay_window_.push_back(AnsweredCtm{src, token});
+  } else {
+    replay_window_[replay_cursor_] = AnsweredCtm{src, token};
+    replay_cursor_ = (replay_cursor_ + 1) % cap;
+  }
+  return false;
 }
 
 void CtmOverlord::initiate(const Address& target, ConnectionType type) {
   if (!hooks_.running() || table_.empty()) return;
   if (hooks_.is_quarantined(target)) return;
-  std::uint32_t token = next_ctm_token_++;
+  std::uint32_t token = mint_token();
 
   CtmRequest req;
   req.con_type = type;
@@ -86,7 +103,7 @@ void CtmOverlord::send_join() {
   for (const Connection* agent : agents) {
     if (agent == nullptr) continue;
 
-    std::uint32_t token = next_ctm_token_++;
+    std::uint32_t token = mint_token();
     CtmRequest req;
     req.con_type = ConnectionType::kStructuredNear;
     req.token = token;
@@ -139,7 +156,8 @@ bool CtmOverlord::wants_near(const Address& peer) const {
   return closer < config_.near_per_side;
 }
 
-void CtmOverlord::handle_request(const RoutedPacket& packet) {
+void CtmOverlord::handle_request(const RoutedPacket& packet,
+                                 const net::Endpoint& from) {
   if (packet.src == table_.self()) return;  // our own announcement
   ++stats_.ctm_received;
   auto req = CtmRequest::parse(packet.payload());
@@ -154,6 +172,46 @@ void CtmOverlord::handle_request(const RoutedPacket& packet) {
                    {"token", unsigned(req->token)},
                    {"pkt", packet.trace_id},
                    {"hops", int(packet.hops)}});
+  }
+
+  // Replay window (DESIGN §16): a (src, token) pair we already answered
+  // is either a captured-and-replayed CTM or a legit retransmission
+  // whose reply was lost — indistinguishable without crypto.  Answer
+  // minimally (our URIs, no hints, no gossip, no link_start) so a real
+  // retransmitter still converges, while a replayed join can neither
+  // re-trigger link attempts nor drain gossip samples, and — because
+  // the minimal reply draws no RNG — cannot perturb determinism.  The
+  // claimed src is unauthenticated, so replays are counted, never
+  // scored against it (an adversary replaying an honest node's join
+  // must not get that node quarantined).
+  if (config_.defenses_enabled && req->token != 0 &&
+      check_replay(packet.src, req->token)) {
+    ++stats_.replays_detected;
+    if (hooks_.record_flight) {
+      hooks_.record_flight(FlightKind::kReplayHit, packet.src,
+                           static_cast<std::int32_t>(req->token));
+    }
+    if (tracer_.enabled(TraceClass::kProtocol)) {
+      tracer_.event(timers_.now(), "node", trace_node_, "ctm.replay",
+                    {{"src", packet.src.brief()},
+                     {"token", unsigned(req->token)},
+                     {"from", from.to_string()}});
+    }
+    CtmReply minimal;
+    minimal.con_type = req->con_type;
+    minimal.token = req->token;
+    minimal.uris = hooks_.local_uris();
+    RoutedPacket out;
+    out.src = table_.self();
+    out.dst = packet.src;
+    out.via = req->forwarder;
+    out.ttl = config_.ttl;
+    out.mode = DeliveryMode::kExact;
+    out.type = RoutedType::kCtmReply;
+    out.trace_id = tracer_.next_trace_id();
+    out.set_payload(minimal.serialize());
+    hooks_.route(std::move(out));
+    return;
   }
 
   // A join announce is consumed by the gap endpoints AND (via the
@@ -239,14 +297,35 @@ void CtmOverlord::handle_request(const RoutedPacket& packet) {
   }
 }
 
-void CtmOverlord::handle_reply(const RoutedPacket& packet) {
+void CtmOverlord::handle_reply(const RoutedPacket& packet,
+                               const net::Endpoint& from) {
   auto reply = CtmReply::parse(packet.payload());
   if (!reply) {
     hooks_.count_parse_reject();
     return;
   }
   auto pending = pending_ctms_.find(reply->token);
-  if (pending == pending_ctms_.end()) return;
+  if (pending == pending_ctms_.end()) {
+    // No matching request.  Honest causes exist (both gap endpoints of
+    // a kNearest join announce reply with the same token; the first
+    // erases the pending entry) — but so does forged-token spray, so
+    // the count is the byzantine soak's signal.  Never scored: the
+    // claimed src is unauthenticated and duplicates are routine
+    // (DESIGN §16).
+    ++stats_.unsolicited_replies;
+    if (tracer_.enabled(TraceClass::kProtocol)) {
+      const Connection* direct = table_.find(packet.src);
+      tracer_.event(timers_.now(), "node", trace_node_, "ctm.unsolicited",
+                    {{"src", packet.src.brief()},
+                     {"token", unsigned(reply->token)},
+                     {"endpoint_consistent",
+                      direct != nullptr && !direct->is_relay() &&
+                              direct->remote == from
+                          ? 1
+                          : 0}});
+    }
+    return;
+  }
   ConnectionType type = pending->second.type;
   SimDuration rtt = timers_.now() - pending->second.sent;
   if (pending->second.span != 0) {
@@ -305,7 +384,7 @@ void CtmOverlord::handle_reply(const RoutedPacket& packet) {
   if (hooks_.note_peer) {
     for (const NeighborHint& sample : reply->samples) {
       if (sample.addr == table_.self()) continue;
-      hooks_.note_peer(sample.addr, sample.uris);
+      hooks_.note_peer(sample.addr, sample.uris, packet.src);
     }
   }
 }

@@ -12,6 +12,7 @@
 #include "common/time.h"
 #include "common/trace.h"
 #include "p2p/connection_table.h"
+#include "p2p/misbehavior.h"
 #include "p2p/node_config.h"
 #include "p2p/node_stats.h"
 #include "p2p/packet.h"
@@ -53,9 +54,12 @@ class CtmOverlord {
     std::function<void(FlightKind kind, const Address& peer, std::int32_t a)>
         record_flight;
     /// A gossip peer sample arrived in a CTM reply (optional): the owner
-    /// feeds it to the bootstrap peer cache.
+    /// feeds it to the bootstrap peer cache.  `source` is the responder
+    /// that offered the sample — the cache's poison-resistance tracks
+    /// per-source provenance (DESIGN §16).
     std::function<void(const Address& peer,
-                       const std::vector<transport::Uri>& uris)>
+                       const std::vector<transport::Uri>& uris,
+                       const Address& source)>
         note_peer;
   };
 
@@ -79,8 +83,12 @@ class CtmOverlord {
   /// Announce ourselves to our own ring position via forwarding agents.
   void send_join();
 
-  void handle_request(const RoutedPacket& packet);
-  void handle_reply(const RoutedPacket& packet);
+  /// `from` is the endpoint the datagram carrying the packet arrived
+  /// from (empty for locally-looped packets) — observability only: CTM
+  /// packets travel multi-hop, so their claimed src is unauthenticated
+  /// and never feeds the misbehavior ledger (DESIGN §16).
+  void handle_request(const RoutedPacket& packet, const net::Endpoint& from);
+  void handle_reply(const RoutedPacket& packet, const net::Endpoint& from);
 
   /// Ring stabilization cadence (fast while the neighborhood is in
   /// flux, slow once quiet).
@@ -103,9 +111,16 @@ class CtmOverlord {
     return pending_ctms_.size();
   }
 
-  /// Estimated heap bytes of dynamic state (pending CTMs).
+  /// Replayed requests the window has caught (tests).
+  [[nodiscard]] std::size_t replay_window_size() const {
+    return replay_window_.size();
+  }
+
+  /// Estimated heap bytes of dynamic state (pending CTMs + the replay
+  /// window ring).
   [[nodiscard]] std::size_t state_bytes() const {
-    return mem::tree_map_bytes(pending_ctms_);
+    return mem::tree_map_bytes(pending_ctms_) +
+           replay_window_.capacity() * sizeof(AnsweredCtm);
   }
   [[nodiscard]] std::size_t memory_bytes() const {
     return sizeof(*this) + state_bytes();
@@ -126,6 +141,27 @@ class CtmOverlord {
     /// must not feed the CTM RTT estimator.
     bool retransmitted = false;
   };
+
+  /// One answered request the replay window remembers: a duplicate
+  /// (src, token) inside the window is a replay (or a retransmission
+  /// whose reply was lost — indistinguishable without crypto, so the
+  /// duplicate is answered minimally rather than dropped).
+  struct AnsweredCtm {
+    Address src;
+    std::uint32_t token = 0;
+  };
+
+  /// True when (src, token) was already answered; records it otherwise.
+  [[nodiscard]] bool check_replay(const Address& src, std::uint32_t token);
+
+  /// Next request token: keyed-hash stream with defenses on (guessed-
+  /// token reply spray misses, DESIGN §16), sequential otherwise.
+  [[nodiscard]] std::uint32_t mint_token() {
+    if (!config_.defenses_enabled) return next_ctm_token_++;
+    std::uint32_t token = defense_token(table_.self(), next_ctm_token_++);
+    while (token == 0 || pending_ctms_.count(token) != 0) ++token;
+    return token;
+  }
 
   /// Retransmit a pending CTM that timed out.
   void retry(std::uint32_t token, PendingCtm& pending);
@@ -149,6 +185,11 @@ class CtmOverlord {
 
   std::map<std::uint32_t, PendingCtm> pending_ctms_;
   std::uint32_t next_ctm_token_ = 1;
+  /// Bounded ring of recently-answered (src, token) pairs — the CTM
+  /// replay window (DESIGN §16).  Sized by config_.ctm_replay_window;
+  /// only populated while defenses are enabled.
+  std::vector<AnsweredCtm> replay_window_;
+  std::size_t replay_cursor_ = 0;
   /// CTM round-trip estimator (request → reply over the overlay), node
   /// level: CTM latency is dominated by multi-hop routing, not by any
   /// single peer's link.

@@ -173,6 +173,38 @@ void KeepaliveManager::note_flap(const Address& peer, SimDuration lifetime) {
   }
 }
 
+void KeepaliveManager::punish(const Address& peer) {
+  // The misbehavior ledger crossed its threshold: quarantine NOW, no
+  // flap accounting.  Reuses the flap-episode escalation schedule so
+  // a repeat offender waits exponentially longer each time.
+  SimTime now = timers_.now();
+  PeerHealth& h = peer_health_[peer];
+  SimDuration duration = config_.quarantine_base;
+  for (int i = 0; i < h.quarantine_level; ++i) {
+    duration = std::min(duration * 2, config_.quarantine_max);
+  }
+  ++h.quarantine_level;
+  h.quarantine_until = now + duration;
+  h.flaps = 0;
+  h.last_update = now;
+  ++stats_.quarantines;
+  WOW_LOG(logger_, LogLevel::kInfo, now, log_component_,
+          "punished " + peer.brief() + ": quarantined for " +
+              std::to_string(to_seconds(duration)) + "s (level " +
+              std::to_string(h.quarantine_level) + ")");
+  if (hooks_.record_flight) {
+    hooks_.record_flight(FlightKind::kQuarantine, peer, h.quarantine_level,
+                         static_cast<std::int32_t>(to_seconds(duration)));
+  }
+  if (tracer_.enabled(TraceClass::kLifecycle)) {
+    tracer_.event(now, "node", trace_node_, "quarantine.begin",
+                  {{"peer", peer.brief()},
+                   {"level", h.quarantine_level},
+                   {"duration_s", to_seconds(duration)},
+                   {"reason", "misbehavior"}});
+  }
+}
+
 void KeepaliveManager::seed_estimator(Connection& c) const {
   auto health = peer_health_.find(c.addr);
   if (health != peer_health_.end()) {

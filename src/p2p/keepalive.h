@@ -80,6 +80,12 @@ class KeepaliveManager {
   /// worked (last_heard - established).
   void note_flap(const Address& peer, SimDuration lifetime);
 
+  /// Begin (or escalate) a quarantine episode immediately, bypassing
+  /// flap accounting — the misbehavior ledger's verdict (DESIGN §16).
+  /// Same escalation schedule as flap quarantine: base * 2^level capped
+  /// at quarantine_max.
+  void punish(const Address& peer);
+
   /// Warm-start a fresh connection's RTT estimator from the peer's
   /// durable health record.
   void seed_estimator(Connection& c) const;

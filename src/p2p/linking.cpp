@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "p2p/misbehavior.h"
+
 namespace wow::p2p {
 
 std::vector<transport::Uri> LinkingEngine::order_uris(
@@ -62,7 +64,20 @@ void LinkingEngine::start(const Address& target, ConnectionType type,
     }
   }
   ++stats_.attempts_started;
-  std::uint32_t token = next_token_++;
+  if (target != Address{}) {
+    recent_[recent_cursor_] = RecentAttempt{target, timers_.now()};
+    recent_cursor_ = (recent_cursor_ + 1) % recent_.size();
+  }
+  // Keyed-hash token stream with defenses on: a forged reply needs the
+  // token, and a sequential mint would hand it to anyone counting our
+  // attempts (DESIGN §16).  No RNG drawn either way.
+  std::uint32_t token;
+  if (defenses_) {
+    token = defense_token(self_, next_token_++);
+    while (token == 0 || attempts_.count(token) != 0) ++token;
+  } else {
+    token = next_token_++;
+  }
   Attempt attempt;
   attempt.target = target;
   attempt.type = type;
@@ -288,6 +303,31 @@ void LinkingEngine::handle_frame(const LinkFrame& frame,
     case LinkType::kReply: {
       Attempt* attempt = by_token(frame.token);
       if (attempt == nullptr) return;  // late duplicate
+      if (defenses_) {
+        // Identity check (DESIGN §16): a targeted attempt must be
+        // answered by the identity it targets — a forged reply with a
+        // guessed token would otherwise install a phantom under the
+        // forger's chosen address.  Zero-target bootstrap probes learn
+        // the peer's identity FROM the reply, so the only thing we can
+        // pin is the endpoint we probed.
+        bool forged =
+            attempt->target != Address{}
+                ? frame.sender != attempt->target
+                : from != attempt->uris[attempt->uri_index].endpoint;
+        if (forged) {
+          ++stats_.replies_rejected;
+          if (tracer_.enabled(TraceClass::kProtocol)) {
+            tracer_.event(timers_.now(), "linking", self_.brief(),
+                          "link.reply_forged",
+                          {{"claimed", frame.sender.brief()},
+                           {"expected", attempt->target.brief()},
+                           {"from", from.to_string()}},
+                          attempt->span);
+          }
+          if (callbacks_.reply_rejected) callbacks_.reply_rejected(from);
+          return;  // attempt stays live; the real reply may still land
+        }
+      }
       // We learn our NAT-assigned public endpoint from the reply.
       if (callbacks_.on_observed_uri && !frame.observed.ip.is_zero()) {
         callbacks_.on_observed_uri(

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -55,13 +56,22 @@ class LinkingEngine {
     /// to this peer.  Passive accepts are never gated, so a one-sided
     /// quarantine still converges.  Optional.
     std::function<bool(const Address& peer)> is_quarantined;
+    /// An identity-mismatched link reply was rejected (observability
+    /// only).  Deliberately NOT a misbehavior score: an honest node
+    /// answering a misdirected probe with its true identity looks
+    /// exactly like this — e.g. after a forged census planted a phantom
+    /// origin carrying a REAL node's URIs, the probed node's truthful
+    /// reply would otherwise get it quarantined (adversary-steered
+    /// framing).  Rejection alone is the containment.  Optional.
+    std::function<void(const net::Endpoint& from)> reply_rejected;
   };
 
   LinkingEngine(sim::TimerService& timers, Rng& rng, Tracer& tracer,
                 EdgeFactory& edges, Address self, LinkConfig config,
-                Callbacks callbacks)
+                Callbacks callbacks, bool defenses = true)
       : timers_(timers), rng_(rng), tracer_(tracer), edges_(edges),
-        self_(self), config_(config), callbacks_(std::move(callbacks)) {}
+        self_(self), config_(config), callbacks_(std::move(callbacks)),
+        defenses_(defenses) {}
 
   ~LinkingEngine() { abort_all(); }
   LinkingEngine(const LinkingEngine&) = delete;
@@ -81,6 +91,17 @@ class LinkingEngine {
   /// race backoff).
   [[nodiscard]] bool attempting(const Address& target) const;
 
+  /// True if an attempt to `target` was STARTED recently (bounded ring
+  /// memory, regardless of outcome).  The relay agent's mutual-interest
+  /// gate uses this: a tunnel request from a peer we never tried to link
+  /// to is unsolicited (DESIGN §16).
+  [[nodiscard]] bool recently_tried(const Address& target) const {
+    for (const RecentAttempt& r : recent_) {
+      if (r.when != 0 && r.target == target) return true;
+    }
+    return false;
+  }
+
   /// Cancel all in-flight attempts (node shutdown / migration).
   void abort_all();
 
@@ -94,6 +115,10 @@ class LinkingEngine {
     std::uint64_t race_errors_sent = 0;
     std::uint64_t race_aborts = 0;
     std::uint64_t failures = 0;
+    /// Replies whose claimed sender did not match the attempt's target
+    /// (or, for zero-target bootstrap probes, whose source endpoint was
+    /// not the one probed) — rejected as forged.
+    std::uint64_t replies_rejected = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -151,6 +176,12 @@ class LinkingEngine {
   [[nodiscard]] std::vector<transport::Uri> order_uris(
       std::vector<transport::Uri> uris) const;
 
+  /// One slot of the recent-attempt memory (zero `when` = empty).
+  struct RecentAttempt {
+    Address target;
+    SimTime when = 0;
+  };
+
   sim::TimerService& timers_;
   Rng& rng_;
   Tracer& tracer_;
@@ -158,8 +189,13 @@ class LinkingEngine {
   Address self_;
   LinkConfig config_;
   Callbacks callbacks_;
+  bool defenses_;
   std::uint32_t next_token_ = 1;
   std::map<std::uint32_t, Attempt> attempts_;
+  /// Bounded rolling memory of recent attempt targets (see
+  /// recently_tried); fixed-size, overwritten oldest-first.
+  std::array<RecentAttempt, 16> recent_{};
+  std::size_t recent_cursor_ = 0;
   Stats stats_;
 };
 

@@ -20,6 +20,17 @@ constexpr std::int32_t kDropNoRoute = 2;
 constexpr std::int32_t kDropTtl = 3;
 constexpr std::int32_t kDropWrongConsumer = 4;
 constexpr std::int32_t kDropNoConnection = 5;
+
+// Control-vs-data shed priority (DESIGN §16): everything except a
+// routed DATA payload is a control frame the token bucket may shed.
+// The routed type byte sits at a fixed header offset, so the peek costs
+// one compare — no parse.
+bool is_control_frame(FrameKind kind, BytesView payload) {
+  if (kind != FrameKind::kRouted) return true;
+  return payload.size() <= RoutedPacket::kTypeOffset ||
+         payload[RoutedPacket::kTypeOffset] !=
+             static_cast<std::uint8_t>(RoutedType::kData);
+}
 }  // namespace
 
 Node::Node(NodeDeps deps, NodeConfig config)
@@ -27,8 +38,13 @@ Node::Node(NodeDeps deps, NodeConfig config)
       metrics_(*deps.metrics), tracer_(*deps.tracer),
       edges_(std::move(deps.edges)), config_(std::move(config)),
       table_(config_.address),
-      peer_cache_(config_.peer_cache_capacity, config_.peer_cache_ttl),
-      flight_(config_.flight_capacity) {
+      peer_cache_(config_.peer_cache_capacity, config_.peer_cache_ttl,
+                  config_.gossip_per_source_cap),
+      flight_(config_.flight_capacity),
+      ledger_(MisbehaviorParams{config_.misbehavior_threshold,
+                                config_.misbehavior_window,
+                                config_.rate_limit_burst,
+                                config_.rate_limit_per_sec}) {
   if (config_.address == Address{}) {
     config_.address = rng_.ring_id();
     table_ = ConnectionTable(config_.address);
@@ -128,7 +144,12 @@ void Node::start() {
           [this](const Address& peer) {
             return keepalive_->is_quarantined(peer);
           },
-      });
+          [this](const net::Endpoint& from) {
+            (void)from;
+            ++stats_.forged_replies_rejected;
+          },
+      },
+      config_.defenses_enabled);
 
   running_ = true;
   routable_since_.reset();
@@ -197,6 +218,20 @@ void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
   auto kind = frame_kind(payload.view());
   if (!kind) {
     count_parse_reject();
+    // Garbage is evidence: a source spraying unparseable bytes (or a
+    // path mangling them) accumulates toward quarantine.
+    note_misbehavior(from, kMisbehaviorParseReject);
+    return;
+  }
+
+  // Control-frame admission (DESIGN §16): a per-source token bucket
+  // sheds control floods before they reach a parser or handler.  Data
+  // frames never shed — an attacker flooding CTMs must not take the
+  // data plane down with them.
+  if (config_.defenses_enabled && is_control_frame(*kind, payload.view()) &&
+      !ledger_.admit_control(from, timers_.now())) {
+    ++stats_.rate_limit_sheds;
+    flight_.record(timers_.now(), FlightKind::kRateShed);
     return;
   }
 
@@ -211,6 +246,34 @@ void Node::on_datagram(const net::Endpoint& from, SharedBytes payload) {
     // Valid kind byte but no service claimed it: count and drop, never
     // crash (the registry is the announce table of §III).
     count_parse_reject();
+  }
+}
+
+void Node::note_misbehavior(const net::Endpoint& from, int weight) {
+  if (!config_.defenses_enabled || !running_) return;
+  if (!ledger_.note(from, weight, timers_.now())) return;
+  // Threshold crossed: quarantine whoever answers from that endpoint
+  // and drop the connection.  The endpoint may back no held peer (a
+  // drive-by forger) — then the ledger verdict alone is the defense:
+  // the rate limiter keeps shedding and the score re-arms.
+  Address offender;
+  bool held = false;
+  table_.for_each([&](const Connection& c) {
+    if (!held && !c.is_relay() && c.remote == from) {
+      offender = c.addr;
+      held = true;
+    }
+  });
+  ++stats_.misbehavior_quarantines;
+  std::string brief = held ? offender.brief() : std::string{};
+  flight_.record(timers_.now(), FlightKind::kMisbehavior, brief, weight);
+  WOW_LOG(logger_, LogLevel::kInfo, timers_.now(), log_component_,
+          "misbehavior threshold crossed for " + from.to_string() +
+              (held ? " (peer " + offender.brief() + ")" : " (no held peer)"));
+  if (held) {
+    keepalive_->punish(offender);
+    drop_connection(offender, /*send_close=*/false,
+                    DisconnectCause::kMisbehavior);
   }
 }
 
@@ -263,17 +326,17 @@ void Node::send_link_frame(const Connection& c, const LinkFrame& frame) {
                                              c.addr, frame.serialize()));
 }
 
-void Node::handle_routed(RoutedPacket packet, const net::Endpoint&) {
-  route(std::move(packet));
+void Node::handle_routed(RoutedPacket packet, const net::Endpoint& from) {
+  route(std::move(packet), from);
 }
 
 // --- routing -----------------------------------------------------------------
 
-void Node::route(RoutedPacket packet) {
+void Node::route(RoutedPacket packet, const net::Endpoint& from) {
   if (packet.bounced) {
     // A copy handed across a ring gap is consumed where it lands;
     // re-routing it would only bounce it back.
-    deliver_local(packet);
+    deliver_local(packet, from);
     return;
   }
   if (packet.via == config_.address) packet.via = Address{};
@@ -281,7 +344,7 @@ void Node::route(RoutedPacket packet) {
   const Address& target = has_via ? packet.via : packet.dst;
 
   if (!has_via && packet.dst == config_.address) {
-    deliver_local(packet);
+    deliver_local(packet, from);
     return;
   }
 
@@ -302,7 +365,7 @@ void Node::route(RoutedPacket packet) {
   }
   if (packet.mode == DeliveryMode::kNearest) {
     maybe_bounce(packet);
-    deliver_local(packet);
+    deliver_local(packet, from);
     return;
   }
   // Exact-delivery packet stranded at the nearest node: the destination
@@ -362,8 +425,10 @@ void Node::maybe_bounce(const RoutedPacket& packet) {
   }
 }
 
-void Node::deliver_local(const RoutedPacket& packet) {
-  if (!routed_.dispatch(static_cast<std::uint8_t>(packet.type), packet)) {
+void Node::deliver_local(const RoutedPacket& packet,
+                         const net::Endpoint& from) {
+  if (!routed_.dispatch(static_cast<std::uint8_t>(packet.type), packet,
+                        from)) {
     // Unknown payload type: the wire parser already rejects these, so
     // this only fires for an unregistered-but-valid type — same policy,
     // count and drop.

@@ -15,6 +15,7 @@
 #include "p2p/connection_table.h"
 #include "p2p/dispatch.h"
 #include "p2p/linking.h"
+#include "p2p/misbehavior.h"
 #include "p2p/node_config.h"
 #include "p2p/node_deps.h"
 #include "p2p/node_stats.h"
@@ -129,6 +130,17 @@ class Node {
 
   /// Ring-census / merge agent introspection (tests).
   [[nodiscard]] const CensusAgent& census() const { return *census_; }
+
+  /// Self-defense bookkeeping introspection (tests): the per-endpoint
+  /// misbehavior ledger + control-frame rate limiter (DESIGN §16).
+  [[nodiscard]] const MisbehaviorLedger& misbehavior() const {
+    return ledger_;
+  }
+  /// Accumulate misbehavior evidence against a source endpoint; crossing
+  /// the threshold quarantines + drops whichever held peer answers from
+  /// it.  No-op while defenses are off.  Exposed for the protocol
+  /// services (via hooks) and the byzantine tests.
+  void note_misbehavior(const net::Endpoint& from, int weight);
   /// Endpoint-backoff introspection (tests): when bootstrap endpoint
   /// `i` may be probed again (0 = immediately).
   [[nodiscard]] SimTime bootstrap_retry_after(std::size_t i) const;
@@ -215,9 +227,13 @@ class Node {
   /// Construct the protocol services and their hooks (ctor).
   void build_services();
 
-  // routing
-  void route(RoutedPacket packet);
-  void deliver_local(const RoutedPacket& packet);
+  // routing.  `from` is the source endpoint of the datagram that
+  // carried the packet (empty for locally-originated packets) — the
+  // only authenticated identity a frame has, threaded through to the
+  // consumers so misbehavior evidence lands on the endpoint and never
+  // on a forgeable claimed ring address (DESIGN §16).
+  void route(RoutedPacket packet, const net::Endpoint& from = {});
+  void deliver_local(const RoutedPacket& packet, const net::Endpoint& from);
   void deliver_data(const RoutedPacket& packet);
   void maybe_bounce(const RoutedPacket& packet);
   void forward_to(const Connection& next, RoutedPacket packet);
@@ -283,7 +299,8 @@ class Node {
   /// payload types (RoutedType), both dense 1-based kind bytes.
   HandlerRegistry<SharedBytes, const net::Endpoint&> frames_{
       kFrameKindCount};
-  HandlerRegistry<const RoutedPacket&> routed_{kRoutedTypeCount};
+  HandlerRegistry<const RoutedPacket&, const net::Endpoint&> routed_{
+      kRoutedTypeCount};
 
   DataHandler data_handler_;
   ConnectionHandler connection_handler_;
@@ -296,6 +313,9 @@ class Node {
   /// Always-on bounded post-mortem ring (constructed from
   /// config_.flight_capacity, so it must be declared after config_).
   FlightRecorder flight_;
+  /// Per-endpoint misbehavior scores + control-frame token buckets
+  /// (constructed from the defense knobs; declared after config_).
+  MisbehaviorLedger ledger_;
   /// Cached labels: ring-address brief for traces/metrics, and the
   /// hierarchical logger component ("node/<brief>").
   std::string trace_node_;

@@ -126,6 +126,47 @@ struct NodeConfig {
   /// memory-capped megascale profile.
   std::size_t flight_capacity = 64;
 
+  /// Protocol self-defense against byzantine peers (DESIGN §16): the
+  /// per-endpoint MisbehaviorLedger + control-frame rate limiter, the
+  /// CTM replay window, relay-header sanity checks, link-reply identity
+  /// verification, and peer-cache poison resistance.  All defenses are
+  /// deterministic (integer arithmetic, zero RNG) so the default path
+  /// stays byte-identical; off is the ablation baseline the byzantine
+  /// soak uses to prove the attacks actually land.
+  bool defenses_enabled = true;
+  /// Misbehavior score that quarantines the source (weights in
+  /// misbehavior.h) and the quiet window after which a score decays.
+  int misbehavior_threshold = 8;
+  SimDuration misbehavior_window = kMinute;
+  /// Recently-answered CTM (src, token) pairs remembered per node; a
+  /// duplicate inside the window is answered minimally (no link_start,
+  /// no gossip) so replayed joins cannot re-trigger link attempts.
+  int ctm_replay_window = 64;
+  /// Token bucket on inbound CONTROL frames per source endpoint (burst
+  /// capacity / sustained per-second refill).  Data frames never shed.
+  /// Sized for a RING LINK, not a single peer's chatter: one endpoint
+  /// bucket absorbs every multi-hop control frame the neighbor forwards
+  /// — census walks, fast-cadence stabilization announces, CTM relays —
+  /// which peaks around 10-20/s during a ring merge.  A shed anywhere
+  /// along a census walk kills the whole walk, so the sustained rate
+  /// carries ~10x headroom over that peak while still sitting orders of
+  /// magnitude under the floods it sheds.
+  int rate_limit_burst = 256;
+  int rate_limit_per_sec = 128;
+  /// Unverified peer-cache entries accepted per gossip source: a single
+  /// byzantine responder can plant at most this many phantoms in the
+  /// cache, and verified (live-connection) entries always outrank them.
+  std::size_t gossip_per_source_cap = 2;
+
+  /// Census sub-ring sampling: when > 0, census probes walk a bounded
+  /// arc of this many successor hops instead of the full ring.  Arc
+  /// probes cannot measure ring size (they never return to the origin)
+  /// but they still detect foreign-origin segments along the arc, which
+  /// is the part the merge protocol needs — and their cost is O(arc)
+  /// per launch, so the census can stay always-on at megascale.
+  /// 0 keeps the full-ring walk.
+  int census_arc_hops = 0;
+
   /// Period of the maintenance tick driving the leaf/near/far overlords
   /// (jittered per node to avoid lockstep).
   SimDuration maintenance_period = 2 * kSecond;
@@ -171,6 +212,10 @@ struct NodeConfig {
     // megascale fleets bootstrap off their constructed pool instead.
     c.peer_cache_capacity = 0;
     c.gossip_samples = 0;
+    // The misbehavior ledger is another per-node map the 1 KiB budget
+    // cannot carry; megascale soaks model a hostile environment, not
+    // hostile members.
+    c.defenses_enabled = false;
     return c;
   }
 };

@@ -19,6 +19,7 @@ const char* to_string(DisconnectCause cause) {
     case DisconnectCause::kLinkError: return "link_error";
     case DisconnectCause::kRelayDown: return "relay_down";
     case DisconnectCause::kTrimmed: return "trimmed";
+    case DisconnectCause::kMisbehavior: return "misbehavior";
     case DisconnectCause::kCount: break;
   }
   return "unknown";
@@ -93,6 +94,22 @@ void Node::register_metrics() {
       [this] { return double(stats_.merges_initiated); });
   add("node_merges_completed",
       [this] { return double(stats_.merges_completed); });
+  add("node_census_arc_bounded",
+      [this] { return double(stats_.census_arc_bounded); });
+  add("node_replays_detected",
+      [this] { return double(stats_.replays_detected); });
+  add("node_unsolicited_replies",
+      [this] { return double(stats_.unsolicited_replies); });
+  add("node_forged_replies_rejected",
+      [this] { return double(stats_.forged_replies_rejected); });
+  add("node_forged_relay_rejects",
+      [this] { return double(stats_.forged_relay_rejects); });
+  add("node_gossip_poison_rejects",
+      [this] { return double(stats_.gossip_poison_rejects); });
+  add("node_rate_limit_sheds",
+      [this] { return double(stats_.rate_limit_sheds); });
+  add("node_misbehavior_quarantines",
+      [this] { return double(stats_.misbehavior_quarantines); });
 
   MetricLabels link_labels{trace_node_, "linking"};
   auto add_link = [&](const char* name, auto fn) {
@@ -150,7 +167,7 @@ Node::MemoryFootprint Node::memory_footprint() const {
                      bootstrap_->state_bytes() + peer_cache_.state_bytes() +
                      census_->state_bytes() + shortcuts_->state_bytes() +
                      (linking_ ? linking_->state_bytes() : 0) +
-                     flight_.state_bytes();
+                     flight_.state_bytes() + ledger_.state_bytes();
   return f;
 }
 

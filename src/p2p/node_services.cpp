@@ -53,13 +53,21 @@ void Node::build_services() {
           [this](FlightKind kind, const Address& peer, std::int32_t a) {
             flight_.record(timers_.now(), kind, peer.brief(), a);
           },
-          [this](const Address& peer,
-                 const std::vector<transport::Uri>& uris) {
+          [this](const Address& peer, const std::vector<transport::Uri>& uris,
+                 const Address& source) {
             // Gossip peer sample from a CTM reply: warm the bootstrap
             // cache so a later rejoin skips the well-known endpoints.
+            // Samples are hearsay — with defenses on they enter the
+            // cache unverified, attributed to the responder, and capped
+            // per source (poison resistance, DESIGN §16).
             if (peer == config_.address || uris.empty()) return;
-            peer_cache_.note(peer, transport::UriList(uris), timers_.now());
-            ++stats_.gossip_peers_learned;
+            bool verified = !config_.defenses_enabled;
+            if (peer_cache_.note(peer, transport::UriList(uris),
+                                 timers_.now(), verified, source)) {
+              ++stats_.gossip_peers_learned;
+            } else {
+              ++stats_.gossip_poison_rejects;
+            }
           },
       });
 
@@ -82,6 +90,15 @@ void Node::build_services() {
           [this] { return edges_->local_uris(); },
           [this](const Address& peer) {
             return linking_ && linking_->attempting(peer);
+          },
+          [this](const Address& peer) {
+            return linking_ && linking_->recently_tried(peer);
+          },
+          [this](const Address& peer) {
+            return keepalive_->is_quarantined(peer);
+          },
+          [this](const net::Endpoint& from, int weight) {
+            note_misbehavior(from, weight);
           },
           [this](const Address& peer, ConnectionType type,
                  const std::vector<transport::Uri>& uris) {
@@ -216,15 +233,17 @@ void Node::register_handlers() {
               });
 
   routed_.add(static_cast<std::uint8_t>(RoutedType::kData),
-              [this](const RoutedPacket& packet) { deliver_data(packet); });
+              [this](const RoutedPacket& packet, const net::Endpoint&) {
+                deliver_data(packet);
+              });
   routed_.add(static_cast<std::uint8_t>(RoutedType::kCtmRequest),
-              [this](const RoutedPacket& packet) {
-                ctm_->handle_request(packet);
+              [this](const RoutedPacket& packet, const net::Endpoint& from) {
+                ctm_->handle_request(packet, from);
               });
   routed_.add(static_cast<std::uint8_t>(RoutedType::kCtmReply),
-              [this](const RoutedPacket& packet) {
+              [this](const RoutedPacket& packet, const net::Endpoint& from) {
                 if (packet.dst == config_.address) {
-                  ctm_->handle_reply(packet);
+                  ctm_->handle_reply(packet, from);
                 }
               });
 }

@@ -15,6 +15,7 @@ enum class DisconnectCause : std::uint8_t {
   kLinkError,             // re-link to a held peer exhausted every URI
   kRelayDown,             // relay agent died; the tunnel dies with it
   kTrimmed,               // stale near link outside the near set (§14)
+  kMisbehavior,           // misbehavior ledger crossed its threshold
   kCount,                 // sentinel, keep last
 };
 
@@ -73,6 +74,30 @@ struct NodeStats {
   /// (the merge link established).
   std::uint64_t merges_initiated = 0;
   std::uint64_t merges_completed = 0;
+  /// Census probes that hit the bounded-arc hop limit (arc sampling
+  /// mode, census_arc_hops > 0) — the arc was fully walked.
+  std::uint64_t census_arc_bounded = 0;
+  /// Self-defense (DESIGN §16).  Replayed CTM requests caught by the
+  /// replay window.
+  std::uint64_t replays_detected = 0;
+  /// CTM replies whose token matched nothing pending (late duplicates
+  /// count here too; a flood of them is forged-token spray).
+  std::uint64_t unsolicited_replies = 0;
+  /// Link replies rejected because the claimed sender did not match the
+  /// attempt's target (or a bootstrap probe's reply came from the wrong
+  /// endpoint) — the forged-identity install path.
+  std::uint64_t forged_replies_rejected = 0;
+  /// Relay frames rejected by header sanity checks (forged src/relay
+  /// fields, endpoint inconsistency, no mutual link interest).
+  std::uint64_t forged_relay_rejects = 0;
+  /// Gossip samples refused by peer-cache poison resistance (per-source
+  /// unverified cap).
+  std::uint64_t gossip_poison_rejects = 0;
+  /// Inbound control frames shed by the per-endpoint token bucket.
+  std::uint64_t rate_limit_sheds = 0;
+  /// Peers quarantined + dropped because their misbehavior score
+  /// crossed the threshold.
+  std::uint64_t misbehavior_quarantines = 0;
 };
 
 }  // namespace wow::p2p

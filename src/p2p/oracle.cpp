@@ -110,6 +110,41 @@ OracleReport Oracle::check(const std::vector<Node*>& live, SimTime now,
         std::lower_bound(ring.begin(), ring.end(), a) - ring.begin());
   };
 
+  // 0. Containment: no phantom identities (DESIGN §16).  With the full
+  // identity roster known, any table entry pointing OUTSIDE it is an
+  // identity that never existed — it can only have entered the table
+  // through a forged frame.  This is the byzantine suite's primary
+  // containment invariant: defenses on, it must hold at any adversary
+  // fraction; defenses off, the adversary fabric reproduces it.
+  if (!config.known_addresses.empty()) {
+    std::vector<Address> known = config.known_addresses;
+    std::sort(known.begin(), known.end());
+    for (Node* n : live) {
+      OracleReport result = ok_report;
+      n->connections().for_each([&](const Connection& c) {
+        if (!result.ok) return;
+        if (std::binary_search(known.begin(), known.end(), c.addr)) return;
+        std::vector<std::string> who{n->address().brief(), c.addr.brief()};
+        std::string detail = "node " + n->address().brief() + " holds " +
+                             to_string(c.type) + " connection to phantom " +
+                             c.addr.brief() +
+                             " — no such identity exists (adversary-forged)";
+        if (!config.adversary_addresses.empty()) {
+          detail += "; adversaries:";
+          std::size_t listed = 0;
+          for (const Address& a : config.adversary_addresses) {
+            if (listed++ >= 3) break;
+            detail += " " + a.brief();
+            who.push_back(a.brief());
+          }
+        }
+        result = violation("phantom_identity", std::move(detail), now,
+                           config.seed, std::move(who));
+      });
+      if (!result.ok) return result;
+    }
+  }
+
   // 1. Every live node is routable — where routability is achievable.
   // routable() wants a structured-near link in each ring half, which no
   // repair can provide when every other live address sits in one half

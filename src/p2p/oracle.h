@@ -34,6 +34,9 @@ struct OracleReport {
 /// it, so we use it — in the spirit of Chord's ring-invariant analysis).
 ///
 /// Invariants checked, in order (the first violation is reported):
+///   0. phantom_identity — (only when Config::known_addresses is set)
+///                        no live node's table references an identity
+///                        outside the run's full roster; see Config.
 ///   1. routable        — every live node reports routable() (holds
 ///                        structured-near links on both ring sides),
 ///                        where the live address set makes that
@@ -72,6 +75,16 @@ class Oracle {
     /// Cap on (src, dst) pairs in the routing sweep, taken in a
     /// deterministic stride over the full pair set; 0 = exhaustive.
     std::size_t max_route_pairs = 0;
+    /// Containment (DESIGN §16): the complete set of identities that
+    /// exist in the run — every node ever created, honest or byzantine.
+    /// When non-empty, invariant 0 (phantom_identity) asserts no live
+    /// node's table holds a connection to an identity outside this set:
+    /// such an identity was never instantiated and can only have been
+    /// FORGED into the table.  Empty = check skipped (backward compat).
+    std::vector<Address> known_addresses;
+    /// Identities operated by adversaries; echoed into violation briefs
+    /// so a containment failure names its likely authors.
+    std::vector<Address> adversary_addresses;
   };
 
   /// Check all invariants over `live` (the nodes currently running) at

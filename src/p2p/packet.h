@@ -83,6 +83,10 @@ struct RoutedPacket {
   /// followed by the in-flight-mutable tail the checksum skips: ttl,
   /// hops, bounced (1 each) + via ring id (20).
   static constexpr std::size_t kHeaderBytes = 78;
+  /// Wire offset of the RoutedType byte — fixed so the datagram path
+  /// can classify control vs data with one compare, no parse (the rate
+  /// limiter's shed-priority peek, DESIGN §16).
+  static constexpr std::size_t kTypeOffset = 6;
   /// Ceiling on the payload a routed frame may carry (a simulated UDP
   /// datagram); serialize() fails loudly above it.
   static constexpr std::size_t kMaxPayloadBytes = 0xffff;

@@ -29,34 +29,65 @@ class PeerCache {
     Address addr;
     transport::UriList uris;
     SimTime last_seen = 0;
+    /// Poison resistance (DESIGN §16).  `verified` marks first-hand
+    /// evidence — the entry was refreshed from a live connection we
+    /// held.  Unverified entries carry the gossip `source` (the CTM
+    /// responder that offered the sample) so a byzantine responder's
+    /// plantings are capped per source and evicted first.
+    bool verified = true;
+    Address source;
   };
 
-  PeerCache(std::size_t capacity, SimDuration ttl)
-      : capacity_(capacity), ttl_(ttl) {
+  PeerCache(std::size_t capacity, SimDuration ttl,
+            std::size_t per_source_cap = 0)
+      : capacity_(capacity), ttl_(ttl), per_source_cap_(per_source_cap) {
     entries_.reserve(capacity_);
   }
 
   /// Insert or refresh `addr`.  A full cache evicts its least recently
-  /// seen entry (first in iteration order on ties).
-  void note(const Address& addr, const transport::UriList& uris,
-            SimTime now) {
-    if (capacity_ == 0 || uris.empty()) return;
+  /// seen UNVERIFIED entry if one exists (hearsay dies before
+  /// first-hand evidence), else its least recently seen entry overall.
+  /// Returns false when the insert was refused by the per-source cap
+  /// (the owner counts the poison reject).
+  bool note(const Address& addr, const transport::UriList& uris, SimTime now,
+            bool verified = true, const Address& source = Address{}) {
+    if (capacity_ == 0 || uris.empty()) return true;
     for (Entry& e : entries_) {
       if (e.addr == addr) {
-        e.uris = uris;
+        // Refresh.  Verification only ratchets up: gossip about a peer
+        // we have first-hand evidence of must not strip that evidence
+        // (nor overwrite the URIs we verified).
+        if (!e.verified || verified) e.uris = uris;
+        if (verified) {
+          e.verified = true;
+          e.source = Address{};
+        }
         if (now > e.last_seen) e.last_seen = now;
-        return;
+        return true;
       }
     }
+    if (!verified && per_source_cap_ > 0) {
+      std::size_t from_source = 0;
+      for (const Entry& e : entries_) {
+        if (!e.verified && e.source == source) ++from_source;
+      }
+      if (from_source >= per_source_cap_) return false;
+    }
     if (entries_.size() < capacity_) {
-      entries_.push_back(Entry{addr, uris, now});
-      return;
+      entries_.push_back(Entry{addr, uris, now, verified, source});
+      return true;
     }
-    std::size_t victim = 0;
-    for (std::size_t i = 1; i < entries_.size(); ++i) {
-      if (entries_[i].last_seen < entries_[victim].last_seen) victim = i;
+    std::size_t victim = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (victim == entries_.size() ||
+          (!entries_[i].verified && entries_[victim].verified) ||
+          (entries_[i].verified == entries_[victim].verified &&
+           entries_[i].last_seen < entries_[victim].last_seen)) {
+        victim = i;
+      }
     }
-    entries_[victim] = Entry{addr, uris, now};
+    entries_[victim] = Entry{addr, uris, now, verified, source};
+    return true;
   }
 
   /// Drop `addr` (a rejoin attempt through it just failed: it is dead).
@@ -75,13 +106,29 @@ class PeerCache {
                   [&](const Entry& e) { return now - e.last_seen > ttl_; });
   }
 
-  /// Freshest entry (highest last_seen; first on ties), or nullptr.
+  /// Freshest entry, verified entries first (liveness-probe-before-
+  /// trust: a rejoin prefers a peer we held a live connection to over
+  /// one we merely heard about — a poisoned sample cannot capture the
+  /// rejoin while any first-hand entry survives).  Ties by highest
+  /// last_seen, first on exact ties; nullptr when empty.
   [[nodiscard]] const Entry* freshest() const {
     const Entry* best = nullptr;
     for (const Entry& e : entries_) {
-      if (best == nullptr || e.last_seen > best->last_seen) best = &e;
+      if (best == nullptr || (e.verified && !best->verified) ||
+          (e.verified == best->verified && e.last_seen > best->last_seen)) {
+        best = &e;
+      }
     }
     return best;
+  }
+
+  /// Verified (first-hand) entries currently held (tests).
+  [[nodiscard]] std::size_t verified_count() const {
+    std::size_t n = 0;
+    for (const Entry& e : entries_) {
+      if (e.verified) ++n;
+    }
+    return n;
   }
 
   [[nodiscard]] bool contains(const Address& addr) const {
@@ -108,6 +155,8 @@ class PeerCache {
   std::vector<Entry> entries_;
   std::size_t capacity_;
   SimDuration ttl_;
+  /// Unverified entries allowed per gossip source (0 = uncapped).
+  std::size_t per_source_cap_;
 };
 
 }  // namespace wow::p2p

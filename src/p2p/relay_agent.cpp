@@ -2,13 +2,57 @@
 
 #include <algorithm>
 
+#include "p2p/misbehavior.h"
+
 namespace wow::p2p {
+
+void RelayAgent::reject_forged(const Address& claimed,
+                               const net::Endpoint& from, const char* reason,
+                               bool score) {
+  ++stats_.forged_relay_rejects;
+  if (hooks_.record_flight) {
+    hooks_.record_flight(FlightKind::kForgedRelay, claimed);
+  }
+  if (tracer_.enabled(TraceClass::kProtocol)) {
+    tracer_.event(timers_.now(), "node", trace_node_, "relay.forged",
+                  {{"claimed", claimed.brief()},
+                   {"from", from.to_string()},
+                   {"reason", reason},
+                   {"scored", score}});
+  }
+  if (score && hooks_.note_misbehavior) {
+    hooks_.note_misbehavior(from, kMisbehaviorForgedRelay);
+  }
+}
 
 void RelayAgent::handle_frame(RelayFrame relay, const net::Endpoint& from) {
   if (relay.dst != table_.self()) {
     // We are the agent.  Forward exactly once, and only over a direct
     // connection — tunnels never chain.
     if (relay.hops != 0) return;
+    if (config_.defenses_enabled) {
+      // Header sanity (DESIGN §16).  A frame asking us to forward must
+      // name US as the agent — honest initiators only ever hand a
+      // relay frame to the agent written into it.  Its claimed src must
+      // be a peer we hold a direct connection to, speaking from that
+      // connection's endpoint — otherwise the src is spoofed and
+      // forwarding would launder the forger's identity behind ours.
+      if (relay.relay != table_.self()) {
+        reject_forged(relay.src, from, "wrong_agent", /*score=*/true);
+        return;
+      }
+      const Connection* srcc = table_.find(relay.src);
+      if (srcc == nullptr || srcc->is_relay()) {
+        // Unknown src: spoof OR a drop race with an honest tunnel user
+        // — indistinguishable, so refuse without scoring.
+        reject_forged(relay.src, from, "unknown_src", /*score=*/false);
+        return;
+      }
+      if (srcc->remote != from) {
+        reject_forged(relay.src, from, "src_endpoint", /*score=*/true);
+        return;
+      }
+    }
     const Connection* next = table_.find(relay.dst);
     if (next == nullptr || next->is_relay()) {
       if (tracer_.enabled(TraceClass::kProtocol)) {
@@ -25,8 +69,13 @@ void RelayAgent::handle_frame(RelayFrame relay, const net::Endpoint& from) {
 
   // We are the tunnel endpoint: an inner frame from relay.src reached us
   // through the agent — that is this connection's liveness signal.
+  // With defenses on, only frames arriving from the tunnel's recorded
+  // agent endpoint count (a spoofer must not keep a dead tunnel alive).
   if (Connection* c = table_.find(relay.src)) {
-    if (c->is_relay()) c->last_heard = timers_.now();
+    if (c->is_relay() &&
+        (!config_.defenses_enabled || c->remote == from)) {
+      c->last_heard = timers_.now();
+    }
   }
 
   BytesView inner = relay.payload();
@@ -45,7 +94,7 @@ void RelayAgent::handle_frame(RelayFrame relay, const net::Endpoint& from) {
   } else if (*kind == FrameKind::kLink) {
     auto frame = LinkFrame::parse(inner);
     if (frame) {
-      handle_relay_link(*frame, relay);
+      handle_relay_link(*frame, relay, from);
     } else {
       hooks_.count_parse_reject();
     }
@@ -55,7 +104,16 @@ void RelayAgent::handle_frame(RelayFrame relay, const net::Endpoint& from) {
 }
 
 void RelayAgent::handle_relay_link(const LinkFrame& frame,
-                                   const RelayFrame& outer) {
+                                   const RelayFrame& outer,
+                                   const net::Endpoint& from) {
+  // Every honest tunneled link frame speaks for the tunnel source
+  // itself: inner sender == outer src (the endpoint and the initiator
+  // both wrap their own frames).  A mismatch is a ventriloquist — e.g.
+  // a tunneled kClose naming a third party to sever its connections.
+  if (config_.defenses_enabled && frame.sender != outer.src) {
+    reject_forged(frame.sender, from, "ventriloquist", /*score=*/false);
+    return;
+  }
   switch (frame.type) {
     case LinkType::kRequest: {
       if (frame.con_type != ConnectionType::kRelay) return;
@@ -64,6 +122,32 @@ void RelayAgent::handle_relay_link(const LinkFrame& frame,
       // that agent directly ourselves (it is a mutual neighbor).
       const Connection* agent = table_.find(outer.relay);
       if (agent == nullptr || agent->is_relay()) return;
+      if (config_.defenses_enabled) {
+        if (agent->remote != from) {
+          // Claims to have traveled via an agent we hold, but arrived
+          // from some other endpoint: the path is forged first-hand.
+          reject_forged(frame.sender, from, "agent_endpoint",
+                        /*score=*/true);
+          return;
+        }
+        // Mutual-interest gate (DESIGN §16): a tunnel installs a
+        // connection WITHOUT a direct handshake, so accept only peers
+        // we ourselves wanted — an in-flight or recent link attempt, or
+        // RTT history from an earlier conversation.  Closes the
+        // no-handshake phantom install.
+        bool wanted =
+            (hooks_.link_attempting && hooks_.link_attempting(frame.sender)) ||
+            (hooks_.recently_tried && hooks_.recently_tried(frame.sender)) ||
+            (hooks_.peer_rto_hint && hooks_.peer_rto_hint(frame.sender) > 0);
+        if (!wanted ||
+            (hooks_.is_quarantined && hooks_.is_quarantined(frame.sender))) {
+          // Not scored: the frame arrived through an honest agent that
+          // merely forwarded it.
+          reject_forged(frame.sender, from, "unsolicited",
+                        /*score=*/false);
+          return;
+        }
+      }
       add_relay_connection(frame.sender, outer.relay, agent->remote,
                            frame.uris);
       LinkFrame reply;
@@ -86,6 +170,13 @@ void RelayAgent::handle_relay_link(const LinkFrame& frame,
       const Address& agent = it->second.candidates[it->second.index];
       const Connection* agent_conn = table_.find(agent);
       if (agent_conn == nullptr || agent_conn->is_relay()) return;
+      if (config_.defenses_enabled && agent_conn->remote != from) {
+        // A token-matched reply must arrive via the candidate agent we
+        // asked; a guessed-token forgery from elsewhere must not plant
+        // its URIs into the tunnel connection.
+        reject_forged(frame.sender, from, "reply_endpoint", /*score=*/true);
+        return;
+      }
       add_relay_connection(frame.sender, agent, agent_conn->remote,
                            frame.uris);
       finish_attempt(frame.sender, "relay.established");

@@ -47,6 +47,16 @@ class RelayAgent {
     std::function<std::vector<transport::Uri>()> local_uris;
     /// Is a link handshake toward `peer` already in flight?
     std::function<bool(const Address& peer)> link_attempting;
+    /// Was a link attempt toward `peer` started recently (bounded
+    /// memory)?  Optional; part of the tunnel-request mutual-interest
+    /// gate (DESIGN §16).
+    std::function<bool(const Address& peer)> recently_tried;
+    /// Is `peer` quarantined by the keepalive health store?  Optional.
+    std::function<bool(const Address& peer)> is_quarantined;
+    /// Score the SOURCE ENDPOINT of a forged relay frame on the owner's
+    /// misbehavior ledger (never a claimed address).  Optional.
+    std::function<void(const net::Endpoint& from, int weight)>
+        note_misbehavior;
     /// Begin a direct link handshake (the upgrade probe).
     std::function<void(const Address& peer, ConnectionType type,
                        const std::vector<transport::Uri>& uris)>
@@ -127,8 +137,15 @@ class RelayAgent {
     std::uint64_t span = 0;
   };
 
-  /// Link-level frame that arrived wrapped in a relay tunnel.
-  void handle_relay_link(const LinkFrame& frame, const RelayFrame& outer);
+  /// Link-level frame that arrived wrapped in a relay tunnel.  `from`
+  /// is the datagram's source endpoint (normally the agent) — defense
+  /// attribution only.
+  void handle_relay_link(const LinkFrame& frame, const RelayFrame& outer,
+                         const net::Endpoint& from);
+  /// Count + record a rejected forged/unsolicited relay frame; scores
+  /// `from` only when `score` is set (evidence must be first-hand).
+  void reject_forged(const Address& claimed, const net::Endpoint& from,
+                     const char* reason, bool score);
   void send_request(const Address& peer);
   void on_timeout(const Address& peer);
   /// Install a kRelay connection tunneled through `agent`.

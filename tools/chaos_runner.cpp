@@ -10,7 +10,8 @@
 // Usage:
 //   chaos_runner [--seed=N] [--schedule="kind@ms+ms:args;..."]
 //                [--nodes=N] [--events=N] [--trace=out.jsonl]
-//                [--profile=random|composite|flashcrowd]
+//                [--profile=random|composite|flashcrowd|byzantine]
+//                [--adversary-fraction=F] [--no-defenses]
 //                [--sample-rate=R] [--snapshots=out.jsonl]
 //                [--series=out.csv] [--snapshot-period=SEC]
 //                [--inject-violation] [--flyweight]
@@ -31,6 +32,18 @@
 // and loss, so an 8-seed matrix covers distinct interleavings.  An
 // explicit --schedule overrides the plan but keeps the NAT topology,
 // which is what the printed reproducer line relies on.
+//
+// --profile=byzantine is the adversary soak (DESIGN §16): no network
+// faults at all — instead every k-th node (k from --adversary-fraction,
+// default 10%) runs an AdversaryAgent that abuses its honestly-joined
+// position to inject spoofed, replayed, forged, and poisoned frames at
+// its ring neighbors for the whole run.  The final oracle sweep gets
+// the complete identity roster, so its phantom_identity containment
+// invariant proves no honest node ever installed a forged identity.
+// --no-defenses turns NodeConfig::defenses_enabled off fleet-wide; the
+// same seed then reproduces at least one containment violation, which
+// is the calibration run proving the oracle can see the attacks the
+// defenses absorb.
 //
 // --profile=flashcrowd is the bootstrap-at-scale shape (DESIGN §15):
 // every node shares the same three-endpoint well-known bootstrap list
@@ -54,6 +67,7 @@
 #include "common/trace.h"
 #include "net/faults.h"
 #include "net/network.h"
+#include "p2p/adversary.h"
 #include "p2p/node_inspector.h"
 #include "p2p/oracle.h"
 #include "p2p/node.h"
@@ -73,6 +87,14 @@ struct Options {
   std::string trace_path;
   bool composite = false;
   bool flashcrowd = false;
+  bool byzantine = false;
+  /// Fraction of the fleet run by adversaries under --profile=byzantine
+  /// (every k-th node, k = round(1/F); node 0 stays honest — it is the
+  /// bootstrap everyone joins through).
+  double adversary_fraction = 0.10;
+  /// Fleet-wide NodeConfig::defenses_enabled = false: the calibration
+  /// run that must REPRODUCE a containment violation.
+  bool no_defenses = false;
   /// kPacket-class trace sampling rate; 1.0 keeps the trace
   /// byte-identical to an unsampled run.
   double sample_rate = 1.0;
@@ -101,9 +123,19 @@ constexpr int kMaxFlyweightNodes = 1 << 20;
 /// census on, so endpoint rotation, backoff, and the merge protocol
 /// all carry real load.
 struct SoakNet {
-  SoakNet(std::uint64_t seed, int node_count, bool with_nat, bool flyweight,
-          bool flashcrowd)
-      : sim(seed), network(sim) {
+  explicit SoakNet(const Options& opt)
+      : sim(opt.seed), network(sim) {
+    const int node_count = opt.nodes;
+    const bool with_nat = opt.composite;
+    const bool flyweight = opt.flyweight;
+    const bool flashcrowd = opt.flashcrowd;
+    // Deterministic adversary placement: every k-th node, skipping the
+    // bootstrap.  A stride (rather than a random draw) keeps the cast
+    // identical across seeds, so an 8-seed matrix varies the ATTACK
+    // interleavings, not who the attackers are.
+    const int stride = opt.byzantine
+        ? std::max(2, static_cast<int>(1.0 / opt.adversary_fraction + 0.5))
+        : 0;
     network.set_default_wan(
         net::LinkModel{30 * kMillisecond, 2 * kMillisecond, 0.002});
     for (int s = 0; s < 3; ++s) {
@@ -129,6 +161,8 @@ struct SoakNet {
       p2p::NodeConfig cfg =
           flyweight ? p2p::NodeConfig::flyweight() : p2p::NodeConfig{};
       cfg.port = 17000;
+      if (opt.no_defenses) cfg.defenses_enabled = false;
+      if (opt.byzantine) cfg.census_interval = kMinute;
       if (flashcrowd) {
         cfg.census_interval = kMinute;
         for (int j = 0; j < std::min(3, i); ++j) {
@@ -144,6 +178,12 @@ struct SoakNet {
       }
       nodes.push_back(std::make_unique<p2p::Node>(
           p2p::NodeDeps::sim(sim, network, host), cfg));
+      if (stride != 0 && i > 0 && i % stride == 0) {
+        adversaries.push_back(std::make_unique<p2p::AdversaryAgent>(
+            *nodes.back(), sim,
+            opt.seed ^ (0x9e3779b97f4a7c15ull *
+                        (static_cast<std::uint64_t>(i) + 1))));
+      }
     }
     if (with_nat) {
       // Two NAT domains with two hosts each: targets for kNatReboot, and
@@ -205,6 +245,9 @@ struct SoakNet {
   /// Physical hosts, parallel to `nodes`.
   std::vector<net::Host*> hosts;
   std::vector<std::unique_ptr<p2p::Node>> nodes;
+  /// Byzantine fabric (--profile=byzantine): agents riding the every
+  /// k-th node, each on its own derived seed.
+  std::vector<std::unique_ptr<p2p::AdversaryAgent>> adversaries;
   /// HostId -> index into hosts/nodes, for O(1) fault dispatch.
   std::unordered_map<net::HostId, std::size_t> host_index;
 };
@@ -309,11 +352,13 @@ int run(const Options& opt) {
   // Declared before the overlay: node destructors still emit trace
   // events, so the sink must outlive SoakNet.
   std::unique_ptr<FileTraceSink> sink;
-  SoakNet soak(opt.seed, opt.nodes, opt.composite, opt.flyweight,
-               opt.flashcrowd);
+  SoakNet soak(opt);
 
   net::FaultPlan plan;
-  if (!opt.schedule.empty()) {
+  if (opt.byzantine) {
+    // The adversaries ARE the fault plan: no network events, so any
+    // oracle violation is attributable to forged frames alone.
+  } else if (!opt.schedule.empty()) {
     auto parsed = net::FaultPlan::parse(opt.schedule);
     if (!parsed) {
       std::fprintf(stderr, "chaos_runner: malformed --schedule: %s\n",
@@ -340,12 +385,22 @@ int run(const Options& opt) {
   }
   // --profile must ride along in the reproducer: it shapes the topology
   // (NAT domains) that the schedule's domain ids refer to.
-  const std::string reproducer =
+  std::string reproducer =
       "chaos_runner --seed=" + std::to_string(opt.seed) +
+      " --nodes=" + std::to_string(opt.nodes) +
       (opt.composite ? std::string(" --profile=composite")
        : opt.flashcrowd ? std::string(" --profile=flashcrowd")
-                        : std::string()) +
-      " --schedule=\"" + plan.describe() + "\"";
+       : opt.byzantine ? std::string(" --profile=byzantine")
+                       : std::string());
+  if (opt.byzantine) {
+    char frac[32];
+    std::snprintf(frac, sizeof frac, " --adversary-fraction=%.3f",
+                  opt.adversary_fraction);
+    reproducer += frac;
+    if (opt.no_defenses) reproducer += " --no-defenses";
+  } else {
+    reproducer += " --schedule=\"" + plan.describe() + "\"";
+  }
 
   if (!opt.trace_path.empty()) {
     sink = std::make_unique<FileTraceSink>(opt.trace_path);
@@ -382,6 +437,9 @@ int run(const Options& opt) {
   };
 
   for (auto& n : soak.nodes) n->start();
+  // Adversaries attack from the first tick: the honest ring has to FORM
+  // under fire, not merely survive it.
+  for (auto& a : soak.adversaries) a->start();
   // The flashcrowd fault must land mid-crowd — while the simultaneous
   // burst that just started is still joining — so its plan is armed
   // immediately.  Other profiles give the ring a quiet three-minute
@@ -394,8 +452,11 @@ int run(const Options& opt) {
   }
   if (!opt.flashcrowd) soak.network.faults().schedule(plan);
 
-  // Horizon = the last heal instant; run traffic through it.
-  SimTime horizon = 3 * kMinute;
+  // Horizon = the last heal instant; run traffic through it.  Byzantine
+  // soaks have no heal instants — their horizon is a fixed attack
+  // window long enough for every defense (quarantine windows, replay
+  // rings, rate buckets) to cycle several times.
+  SimTime horizon = opt.byzantine ? 10 * kMinute : 3 * kMinute;
   for (const net::FaultSpec& e : plan.events) {
     horizon = std::max(horizon, e.at + e.duration);
   }
@@ -471,9 +532,42 @@ int run(const Options& opt) {
   }
   // Exhaustive O(n^2) routing sweeps stop scaling past a few hundred
   // nodes; larger fleets get a deterministic stride over the pair set.
-  const std::size_t route_pairs = live.size() > 256 ? 50000 : 0;
-  auto report = p2p::Oracle::check(
-      live, soak.sim.now(), {.seed = opt.seed, .max_route_pairs = route_pairs});
+  p2p::Oracle::Config oracle_cfg;
+  oracle_cfg.seed = opt.seed;
+  oracle_cfg.max_route_pairs = live.size() > 256 ? 50000 : 0;
+  if (opt.byzantine) {
+    // The complete identity roster arms the phantom_identity
+    // containment invariant; the adversary cast is echoed into any
+    // violation brief.
+    p2p::AdversaryAgent::Stats totals;
+    for (const auto& n : soak.nodes) {
+      oracle_cfg.known_addresses.push_back(n->address());
+    }
+    for (const auto& a : soak.adversaries) {
+      oracle_cfg.adversary_addresses.push_back(a->node().address());
+      const auto& s = a->stats();
+      totals.frames_injected += s.frames_injected;
+      totals.spoofed_ctm_replies += s.spoofed_ctm_replies;
+      totals.forged_link_replies += s.forged_link_replies;
+      totals.replayed_requests += s.replayed_requests;
+      totals.forged_relay_frames += s.forged_relay_frames;
+      totals.forged_census_frames += s.forged_census_frames;
+      totals.poisoned_samples += s.poisoned_samples;
+    }
+    std::printf(
+        "byzantine: %zu adversaries (%.0f%%) defenses=%s injected=%" PRIu64
+        " (spoofed_ctm=%" PRIu64 " forged_reply=%" PRIu64 " replayed=%" PRIu64
+        " forged_relay=%" PRIu64 " forged_census=%" PRIu64
+        " poisoned=%" PRIu64 ")\n",
+        soak.adversaries.size(),
+        100.0 * static_cast<double>(soak.adversaries.size()) /
+            static_cast<double>(soak.nodes.size()),
+        opt.no_defenses ? "off" : "on", totals.frames_injected,
+        totals.spoofed_ctm_replies, totals.forged_link_replies,
+        totals.replayed_requests, totals.forged_relay_frames,
+        totals.forged_census_frames, totals.poisoned_samples);
+  }
+  auto report = p2p::Oracle::check(live, soak.sim.now(), oracle_cfg);
   std::printf("%s\n", report.to_string().c_str());
   if (!report.ok) {
     std::printf("reproduce: %s\n", reproducer.c_str());
@@ -514,12 +608,27 @@ int main(int argc, char** argv) {
                    opt.trace_path = std::string(v);
                    return true;
                  });
-  flags.on_value("profile", "random|composite|flashcrowd", "fault mix",
+  flags.on_value("profile", "random|composite|flashcrowd|byzantine",
+                 "fault mix",
                  [&](std::string_view v) {
                    opt.composite = v == "composite";
                    opt.flashcrowd = v == "flashcrowd";
-                   return opt.composite || opt.flashcrowd || v == "random";
+                   opt.byzantine = v == "byzantine";
+                   return opt.composite || opt.flashcrowd || opt.byzantine ||
+                          v == "random";
                  });
+  flags.on_value("adversary-fraction", "F",
+                 "byzantine node fraction (0..0.5, default 0.10)",
+                 [&](std::string_view v) {
+                   opt.adversary_fraction =
+                       std::strtod(std::string(v).c_str(), nullptr);
+                   return opt.adversary_fraction > 0.0 &&
+                          opt.adversary_fraction <= 0.5;
+                 });
+  flags.on_flag("no-defenses",
+                "disable protocol self-defense fleet-wide (calibration: "
+                "the byzantine fabric must then trip the oracle)",
+                [&] { opt.no_defenses = true; });
   flags.on_value("sample-rate", "R", "packet-class trace sampling (0..1)",
                  [&](std::string_view v) {
                    opt.sample_rate =
@@ -572,6 +681,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "chaos_runner: --nodes=%d exceeds the limit of %d\n",
                    opt.nodes, max_nodes);
     }
+    return 2;
+  }
+  if (opt.flyweight && opt.byzantine) {
+    // NodeConfig::flyweight() already strips the defense plane (ledgers,
+    // flight rings); a byzantine soak there would be --no-defenses in
+    // disguise.
+    std::fprintf(stderr,
+                 "chaos_runner: --flyweight cannot run --profile=byzantine "
+                 "(the flyweight profile disables the defense plane)\n");
+    return 2;
+  }
+  if (opt.no_defenses && !opt.byzantine) {
+    std::fprintf(stderr,
+                 "chaos_runner: --no-defenses requires --profile=byzantine\n");
     return 2;
   }
   if (opt.flyweight && opt.composite) {
