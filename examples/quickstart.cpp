@@ -72,7 +72,8 @@ int main() {
     // everyone and hide the multi-hop -> shortcut transition we want to
     // demonstrate; compute nodes lean on near links + shortcuts.
     cfg.p2p.far_target = 0;
-    return std::make_unique<ipop::IpopNode>(sim, network, host, cfg);
+    return std::make_unique<ipop::IpopNode>(
+          p2p::NodeDeps::sim(sim, network, host), cfg);
   };
   auto alice = make_vm("alice", site_a, 1, net::Ipv4Addr(172, 16, 1, 2));
   auto bob = make_vm("bob", site_b, 2, net::Ipv4Addr(172, 16, 1, 3));
@@ -96,8 +97,8 @@ int main() {
   // Ping bob's virtual IP from alice once a second.  The first replies
   // are routed through the loaded routers; after enough traffic the
   // ShortcutConnectionOverlord builds a direct hole-punched link.
-  ipop::IcmpService ping_alice(sim, *alice);
-  ipop::IcmpService ping_bob(sim, *bob);  // installs bob's echo responder
+  ipop::IcmpService ping_alice(*alice);
+  ipop::IcmpService ping_bob(*bob);  // installs bob's echo responder
   (void)ping_bob;
 
   ping_alice.set_reply_handler([&](net::Ipv4Addr from, std::uint16_t,

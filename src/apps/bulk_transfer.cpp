@@ -2,7 +2,7 @@
 
 namespace wow::apps {
 
-BulkSource::BulkSource(sim::Simulator&, vtcp::TcpStack& stack,
+BulkSource::BulkSource(sim::TimerService&, vtcp::TcpStack& stack,
                        std::uint16_t port, std::uint64_t bytes)
     : bytes_(bytes) {
   stack.listen(port, [this](std::shared_ptr<vtcp::TcpSocket> socket) {
@@ -30,23 +30,23 @@ void BulkSource::serve(std::shared_ptr<vtcp::TcpSocket> socket) {
   socket->set_writable_handler(feed);
 }
 
-BulkSink::BulkSink(sim::Simulator& simulator, vtcp::TcpStack& stack)
-    : sim_(simulator), stack_(stack) {}
+BulkSink::BulkSink(sim::TimerService& timers, vtcp::TcpStack& stack)
+    : clock_(timers), stack_(stack) {}
 
 void BulkSink::fetch(net::Ipv4Addr src, std::uint16_t port, Done done) {
   received_ = 0;
-  started_ = sim_.now();
+  started_ = clock_.now();
   socket_ = stack_.connect(src, port);
   socket_->set_data_handler([this](const Bytes& data) {
     received_ += data.size();
-    if (progress_) progress_(received_, sim_.now());
+    if (progress_) progress_(received_, clock_.now());
   });
   socket_->set_closed_handler(
       [this, done = std::move(done)](bool) {
         Result result;
         result.bytes = received_;
         result.started = started_;
-        result.finished = sim_.now();
+        result.finished = clock_.now();
         if (done) done(result);
       });
 }

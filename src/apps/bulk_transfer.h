@@ -5,7 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "sim/timer_service.h"
 #include "vtcp/tcp.h"
 
 namespace wow::apps {
@@ -16,7 +16,7 @@ namespace wow::apps {
 /// what the experiments measure is the byte stream, not the file format.
 class BulkSource {
  public:
-  BulkSource(sim::Simulator& simulator, vtcp::TcpStack& stack,
+  BulkSource(sim::TimerService& timers, vtcp::TcpStack& stack,
              std::uint16_t port, std::uint64_t bytes);
 
   void set_size(std::uint64_t bytes) { bytes_ = bytes; }
@@ -50,7 +50,7 @@ class BulkSink {
   using Progress = std::function<void(std::uint64_t bytes, SimTime now)>;
   using Done = std::function<void(const Result&)>;
 
-  BulkSink(sim::Simulator& simulator, vtcp::TcpStack& stack);
+  BulkSink(sim::TimerService& timers, vtcp::TcpStack& stack);
 
   /// Begin a transfer from `src:port`.
   void fetch(net::Ipv4Addr src, std::uint16_t port, Done done);
@@ -65,7 +65,7 @@ class BulkSink {
   }
 
  private:
-  sim::Simulator& sim_;
+  sim::Clock& clock_;
   vtcp::TcpStack& stack_;
   std::shared_ptr<vtcp::TcpSocket> socket_;
   Progress progress_;

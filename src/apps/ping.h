@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "ipop/icmp_service.h"
-#include "sim/simulator.h"
+#include "sim/timer_service.h"
 
 namespace wow::apps {
 
@@ -32,8 +32,8 @@ class PingApp {
 
   using Done = std::function<void(const std::vector<Shot>&)>;
 
-  PingApp(sim::Simulator& simulator, ipop::IcmpService& icmp, Config config)
-      : sim_(simulator), icmp_(icmp), config_(config),
+  PingApp(sim::TimerService& timers, ipop::IcmpService& icmp, Config config)
+      : timers_(timers), icmp_(icmp), config_(config),
         shots_(static_cast<std::size_t>(config.count)) {}
 
   /// Fire the train; `done` receives one Shot per sequence number
@@ -55,17 +55,17 @@ class PingApp {
  private:
   void send_next(int seq) {
     if (seq > config_.count) {
-      sim_.schedule(config_.drain, [this] {
+      timers_.schedule(config_.drain, [this] {
         if (done_) done_(shots_);
       });
       return;
     }
     icmp_.ping(config_.target, config_.ident,
                static_cast<std::uint16_t>(seq), config_.padding);
-    sim_.schedule(config_.interval, [this, seq] { send_next(seq + 1); });
+    timers_.schedule(config_.interval, [this, seq] { send_next(seq + 1); });
   }
 
-  sim::Simulator& sim_;
+  sim::TimerService& timers_;
   ipop::IcmpService& icmp_;
   Config config_;
   std::vector<Shot> shots_;

@@ -8,7 +8,7 @@ void IcmpService::ping(net::Ipv4Addr dst, std::uint16_t ident,
   echo.type = IcmpEcho::kEchoRequest;
   echo.ident = ident;
   echo.seq = seq;
-  echo.timestamp = sim_.now();
+  echo.timestamp = clock_.now();
   echo.padding = padding;
 
   IpPacket packet;
@@ -36,7 +36,7 @@ void IcmpService::on_packet(const IpPacket& packet) {
   ++stats_.replies_received;
   if (reply_handler_) {
     reply_handler_(packet.src, echo->ident, echo->seq,
-                   sim_.now() - echo->timestamp);
+                   clock_.now() - echo->timestamp);
   }
 }
 

@@ -17,8 +17,9 @@ class IcmpService {
   using ReplyHandler = std::function<void(net::Ipv4Addr, std::uint16_t,
                                           std::uint16_t, SimDuration)>;
 
-  IcmpService(sim::Simulator& simulator, IpopNode& node)
-      : sim_(simulator), node_(node) {
+  /// Binds to the node's ICMP protocol slot; timestamps come from the
+  /// node's own clock seam, so the service runs over any backend.
+  explicit IcmpService(IpopNode& node) : clock_(node.timers()), node_(node) {
     node_.set_protocol_handler(IpProto::kIcmp, [this](const IpPacket& p) {
       on_packet(p);
     });
@@ -42,7 +43,7 @@ class IcmpService {
  private:
   void on_packet(const IpPacket& packet);
 
-  sim::Simulator& sim_;
+  sim::Clock& clock_;
   IpopNode& node_;
   ReplyHandler reply_handler_;
   Stats stats_;

@@ -18,12 +18,10 @@ p2p::Address address_for_vip(net::Ipv4Addr vip) {
   return p2p::Address{limbs};
 }
 
-IpopNode::IpopNode(sim::Simulator& simulator, net::Network& network,
-                   net::Host& host, Config config)
-    : sim_(simulator), config_(config) {
+IpopNode::IpopNode(p2p::NodeDeps deps, Config config)
+    : timers_(*deps.timers), metrics_(*deps.metrics), config_(config) {
   config_.p2p.address = address_for_vip(config_.vip);
-  node_ = std::make_unique<p2p::Node>(
-      p2p::NodeDeps::sim(simulator, network, host), config_.p2p);
+  node_ = std::make_unique<p2p::Node>(std::move(deps), config_.p2p);
   node_->set_data_handler(
       [this](const p2p::Address& src, BytesView payload) {
         on_overlay_data(src, payload);
@@ -36,7 +34,7 @@ void IpopNode::send_ip(IpPacket packet) {
   if (packet.dst == config_.vip) {
     // Loopback: deliver in the next event so callers never reenter.
     Bytes raw = packet.serialize();
-    sim_.schedule(0, [this, raw = std::move(raw)] {
+    timers_.schedule(0, [this, raw = std::move(raw)] {
       on_overlay_data(node_->address(), raw);
     });
     return;
@@ -51,7 +49,7 @@ void IpopNode::on_overlay_data(const p2p::Address&, BytesView payload) {
     ++stats_.parse_rejects;
     if (parse_reject_ == nullptr) {
       parse_reject_ =
-          &sim_.metrics().counter("parse_reject", MetricLabels{"", "ipop"});
+          &metrics_.counter("parse_reject", MetricLabels{"", "ipop"});
     }
     parse_reject_->inc();
     return;

@@ -6,9 +6,8 @@
 #include <memory>
 
 #include "ipop/ip_packet.h"
-#include "net/network.h"
 #include "p2p/node.h"
-#include "sim/simulator.h"
+#include "sim/timer_service.h"
 
 namespace wow::ipop {
 
@@ -23,8 +22,11 @@ namespace wow::ipop {
 /// virtual IP, and injects arriving packets back into the guest (§III-B).
 ///
 /// The guest side registers per-protocol handlers (the tap "wire"); the
-/// overlay side is a p2p::Node bound to the (possibly NATed) physical
-/// host.  stop()/restart() model killing and restarting the user-level
+/// overlay side is a p2p::Node built from whatever NodeDeps bundle the
+/// host environment provides — the simulated WAN (NodeDeps::sim), the
+/// in-process loopback harness, or the real UDP backend the wowd daemon
+/// wires up.  Nothing in this layer knows which one it got.
+/// stop()/restart() model killing and restarting the user-level
 /// IPOP process, the paper's mechanism for surviving VM migration: the
 /// virtual IP — and hence the ring address — is preserved, only the
 /// physical overlay state is rebuilt (§V-C).
@@ -37,17 +39,23 @@ class IpopNode {
 
   using IpHandler = std::function<void(const IpPacket&)>;
 
-  IpopNode(sim::Simulator& simulator, net::Network& network, net::Host& host,
-           Config config);
+  IpopNode(p2p::NodeDeps deps, Config config);
 
   void start() { node_->start(); }
   void stop() { node_->stop(); }
+  void stop_gracefully() { node_->stop_gracefully(); }
   void restart() { node_->restart(); }
   [[nodiscard]] bool running() const { return node_->running(); }
 
   [[nodiscard]] net::Ipv4Addr vip() const { return config_.vip; }
   [[nodiscard]] p2p::Node& p2p() { return *node_; }
   [[nodiscard]] const p2p::Node& p2p() const { return *node_; }
+
+  /// The environment seams this node was built over, re-exposed so the
+  /// layers stacked on top (vtcp, ICMP, applications) inherit the same
+  /// backend instead of reaching for a simulator.
+  [[nodiscard]] sim::TimerService& timers() { return timers_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
 
   /// Guest → overlay: tunnel one IP packet.  Packets to our own virtual
   /// IP loop back locally (as a real stack would).
@@ -70,7 +78,8 @@ class IpopNode {
  private:
   void on_overlay_data(const p2p::Address& src, BytesView payload);
 
-  sim::Simulator& sim_;
+  sim::TimerService& timers_;
+  MetricsRegistry& metrics_;
   Config config_;
   std::unique_ptr<p2p::Node> node_;
   std::map<IpProto, IpHandler> handlers_;

@@ -5,23 +5,30 @@
 namespace wow::net {
 
 std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  // Strict dotted-quad: exactly four decimal octets, 0-255, no leading
+  // zeros ("010.0.0.1" is octal 8 to inet_aton and decimal 10 to naive
+  // parsers — an ambiguity with a security history, so it is rejected
+  // outright), at most 3 digits per octet.  parse(to_string(a)) == a
+  // and accepted strings are exactly the canonical spellings.
   std::uint32_t parts[4] = {0, 0, 0, 0};
   int part = 0;
-  bool digit_seen = false;
+  int digits = 0;
   for (char c : s) {
     if (c >= '0' && c <= '9') {
+      if (digits == 3) return std::nullopt;
+      if (digits > 0 && parts[part] == 0) return std::nullopt;  // "01"
       parts[part] = parts[part] * 10 + static_cast<std::uint32_t>(c - '0');
       if (parts[part] > 255) return std::nullopt;
-      digit_seen = true;
+      ++digits;
     } else if (c == '.') {
-      if (!digit_seen || part == 3) return std::nullopt;
+      if (digits == 0 || part == 3) return std::nullopt;
       ++part;
-      digit_seen = false;
+      digits = 0;
     } else {
       return std::nullopt;
     }
   }
-  if (part != 3 || !digit_seen) return std::nullopt;
+  if (part != 3 || digits == 0) return std::nullopt;
   return Ipv4Addr(static_cast<std::uint8_t>(parts[0]),
                   static_cast<std::uint8_t>(parts[1]),
                   static_cast<std::uint8_t>(parts[2]),

@@ -2,6 +2,28 @@
 
 #include "net/host.h"
 #include "net/network.h"
+#include "p2p/node_deps.h"
+#include "sim/simulator.h"
+
+namespace wow::p2p {
+
+// Defined here, not in src/p2p: the canonical simulator-backed bundle
+// is a property of the sim backend, and src/p2p's include closure must
+// stay free of sim/simulator.h and net/network.h (DESIGN §17).  The
+// declaration in node_deps.h only forward-declares the backend types.
+NodeDeps NodeDeps::sim(sim::Simulator& simulator, net::Network& network,
+                       net::Host& host) {
+  NodeDeps deps;
+  deps.timers = &simulator;
+  deps.rng = &simulator.rng();
+  deps.logger = &simulator.logger();
+  deps.metrics = &simulator.metrics();
+  deps.tracer = &simulator.trace();
+  deps.edges = std::make_unique<net::SimEdgeFactory>(network, host);
+  return deps;
+}
+
+}  // namespace wow::p2p
 
 namespace wow::net {
 

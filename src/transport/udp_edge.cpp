@@ -1,0 +1,306 @@
+#include "transport/udp_edge.h"
+
+#include <arpa/inet.h>
+#include <linux/errqueue.h>
+#include <sys/epoll.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace wow::transport {
+
+namespace {
+
+[[nodiscard]] sockaddr_in to_sockaddr(const net::Endpoint& ep) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(ep.port);
+  sa.sin_addr.s_addr = htonl(ep.ip.value());
+  return sa;
+}
+
+[[nodiscard]] net::Endpoint from_sockaddr(const sockaddr_in& sa) {
+  return net::Endpoint{net::Ipv4Addr{ntohl(sa.sin_addr.s_addr)},
+                       ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+/// Per-remote view over the shared socket; a map entry, not a socket.
+class UdpEdgeFactory::UdpEdge final : public p2p::Edge {
+ public:
+  UdpEdge(UdpEdgeFactory& factory, net::Endpoint remote)
+      : factory_(factory), remote_(remote) {}
+
+  void send(SharedBytes payload) override {
+    if (closed_) return;
+    factory_.send_to(remote_, std::move(payload));
+  }
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    factory_.edges_.erase(remote_);  // deletes *this
+  }
+  [[nodiscard]] bool closed() const override { return closed_; }
+  [[nodiscard]] Uri local_uri() const override {
+    return factory_.local_uri();
+  }
+  [[nodiscard]] Uri remote_uri() const override {
+    return Uri{TransportKind::kUdp, remote_};
+  }
+  void set_receiver(Receiver receiver) override {
+    receiver_ = std::move(receiver);
+  }
+
+  Receiver receiver_;
+
+ private:
+  UdpEdgeFactory& factory_;
+  net::Endpoint remote_;
+  bool closed_ = false;
+};
+
+UdpEdgeFactory::UdpEdgeFactory(RealtimeEventLoop& loop,
+                               net::Ipv4Addr advertise_ip)
+    : loop_(loop), advertise_ip_(advertise_ip) {}
+
+UdpEdgeFactory::~UdpEdgeFactory() { close(); }
+
+void UdpEdgeFactory::bind(std::uint16_t port) {
+  if (is_open()) close();
+  adverts_.forget();
+
+  fd_ = socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    std::perror("wow: udp socket");
+    return;
+  }
+  int on = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof on);
+  // Route ICMP unreachables back through the error queue instead of
+  // failing some later unrelated send with a stale errno.
+  setsockopt(fd_, IPPROTO_IP, IP_RECVERR, &on, sizeof on);
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    std::perror("wow: udp bind");
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof sa;
+  getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len);
+  port_ = ntohs(sa.sin_port);
+
+  recv_bufs_.assign(kRecvBatch, Bytes(kMaxDatagram));
+  loop_.watch_fd(fd_, [this](std::uint32_t events) { on_ready(events); });
+  flusher_token_ = loop_.add_flusher([this] { flush(); });
+}
+
+void UdpEdgeFactory::close() {
+  if (!is_open()) return;
+  if (retry_timer_.valid()) {
+    loop_.cancel(retry_timer_);
+    retry_timer_ = {};
+  }
+  loop_.remove_flusher(flusher_token_);
+  loop_.unwatch_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  pending_.clear();
+  recv_bufs_.clear();
+}
+
+void UdpEdgeFactory::send_to(const net::Endpoint& dst, SharedBytes payload) {
+  if (!is_open() || payload.size() > kMaxDatagram) return;
+  if (pending_.size() >= kMaxBacklog) {
+    ++stats_.dropped_backlog;
+    return;
+  }
+  pending_.emplace_back(dst, std::move(payload));
+  if (pending_.size() >= kSendBatch) flush();
+}
+
+void UdpEdgeFactory::flush() {
+  if (fd_ < 0 || pending_.empty()) return;
+  std::size_t done = 0;
+  bool blocked = false;
+
+  while (done < pending_.size() && !blocked) {
+    std::size_t n = std::min(kSendBatch, pending_.size() - done);
+    sockaddr_in addrs[kSendBatch];
+    iovec iovs[kSendBatch];
+    mmsghdr msgs[kSendBatch];
+    std::memset(msgs, 0, n * sizeof(mmsghdr));
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [dst, payload] = pending_[done + i];
+      addrs[i] = to_sockaddr(dst);
+      // sendmmsg only reads the buffer; the const_cast never mutates.
+      iovs[i] = {const_cast<std::uint8_t*>(payload.data()), payload.size()};
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof addrs[i];
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    int sent = sendmmsg(fd_, msgs, static_cast<unsigned>(n), 0);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        blocked = true;
+        break;
+      }
+      // sendmmsg fails on the FIRST datagram: report it, drop it, keep
+      // the rest of the batch moving.
+      ++stats_.send_errors;
+      handle_socket_error(pending_[done].first, errno);
+      ++done;
+      continue;
+    }
+    ++stats_.send_batches;
+    stats_.datagrams_sent += static_cast<std::uint64_t>(sent);
+    done += static_cast<std::size_t>(sent);
+    if (static_cast<std::size_t>(sent) < n) blocked = true;  // buffer full
+  }
+
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(done));
+  if (blocked && !pending_.empty() && !retry_timer_.valid()) {
+    retry_timer_ = loop_.schedule(kMillisecond, [this] {
+      retry_timer_ = {};
+      flush();
+    });
+  }
+}
+
+void UdpEdgeFactory::on_ready(std::uint32_t events) {
+  // EPOLLERR means the error queue has ICMP reports; drain those first
+  // so edge closes precede the delivery of unrelated datagrams.
+  if ((events & EPOLLERR) != 0) drain_error_queue();
+  if ((events & EPOLLIN) != 0) drain_socket();
+}
+
+void UdpEdgeFactory::drain_socket() {
+  for (;;) {
+    sockaddr_in addrs[kRecvBatch];
+    iovec iovs[kRecvBatch];
+    mmsghdr msgs[kRecvBatch];
+    std::memset(msgs, 0, sizeof msgs);
+    for (std::size_t i = 0; i < kRecvBatch; ++i) {
+      iovs[i] = {recv_bufs_[i].data(), kMaxDatagram};
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof addrs[i];
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    int n = recvmmsg(fd_, msgs, kRecvBatch, 0, nullptr);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // EAGAIN: drained
+    }
+    ++stats_.recv_batches;
+    for (int i = 0; i < n; ++i) {
+      if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+        ++stats_.dropped_oversize;
+        continue;
+      }
+      net::Endpoint src = from_sockaddr(addrs[i]);
+      // Zero-copy handoff: the preposted buffer becomes the frame and
+      // the slot re-arms with a fresh one.
+      Bytes buf = std::move(recv_bufs_[i]);
+      buf.resize(msgs[i].msg_len);
+      recv_bufs_[i] = Bytes(kMaxDatagram);
+      SharedBytes frame{std::move(buf)};
+      ++stats_.datagrams_received;
+
+      auto it = edges_.find(src);
+      if (it != edges_.end() && it->second->receiver_) {
+        it->second->receiver_(std::move(frame));
+      } else {
+        deliver(src, std::move(frame));
+      }
+      if (fd_ < 0) return;  // a handler closed us mid-batch
+    }
+    if (n < static_cast<int>(kRecvBatch)) return;
+  }
+}
+
+void UdpEdgeFactory::drain_error_queue() {
+  for (;;) {
+    sockaddr_in sa{};
+    char control[512];
+    char dummy[1];
+    iovec iov{dummy, sizeof dummy};
+    msghdr msg{};
+    msg.msg_name = &sa;
+    msg.msg_namelen = sizeof sa;
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof control;
+    if (recvmsg(fd_, &msg, MSG_ERRQUEUE | MSG_DONTWAIT) < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: queue drained
+    }
+    for (cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+         cm = CMSG_NXTHDR(&msg, cm)) {
+      if (cm->cmsg_level != IPPROTO_IP || cm->cmsg_type != IP_RECVERR) {
+        continue;
+      }
+      sock_extended_err err{};
+      std::memcpy(&err, CMSG_DATA(cm), sizeof err);
+      ++stats_.icmp_errors;
+      // msg_name carries the original destination of the failed send.
+      handle_socket_error(from_sockaddr(sa),
+                          static_cast<int>(err.ee_errno));
+    }
+    if (fd_ < 0) return;
+  }
+}
+
+void UdpEdgeFactory::handle_socket_error(const net::Endpoint& remote,
+                                         int err) {
+  p2p::DisconnectCause cause = classify_socket_error(err);
+  auto it = edges_.find(remote);
+  if (it != edges_.end()) {
+    // The kernel told us this remote is gone; the edge handle dies with
+    // it (matching the Edge contract: references valid until close).
+    edges_.erase(it);
+  }
+  if (error_handler_) error_handler_(remote, cause, err);
+}
+
+p2p::DisconnectCause UdpEdgeFactory::classify_socket_error(int err) {
+  switch (err) {
+    // ICMP port unreachable: the host answered, nothing is listening.
+    // The daemon exited — morally a close frame, not a flaky link.
+    case ECONNREFUSED:
+      return p2p::DisconnectCause::kCloseFrame;
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case ENETDOWN:
+    case EHOSTDOWN:
+    case ETIMEDOUT:
+    case EMSGSIZE:
+    default:
+      return p2p::DisconnectCause::kLinkError;
+  }
+}
+
+p2p::Edge& UdpEdgeFactory::edge_to(const net::Endpoint& remote) {
+  auto it = edges_.find(remote);
+  if (it == edges_.end()) {
+    it = edges_.emplace(remote, std::make_unique<UdpEdge>(*this, remote))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace wow::transport

@@ -31,18 +31,31 @@ std::optional<Uri> Uri::parse(std::string_view text) {
     return std::nullopt;
   }
 
+  // Bracketed IPv6 literals ("[::1]:17001") are recognized and
+  // DELIBERATELY rejected rather than mis-parsed: the overlay's wire
+  // format carries endpoints as a u32 IPv4 address (write_uri), so an
+  // IPv6 URI could be parsed but never advertised, linked, or routed.
+  // Growing the wire format is the prerequisite, not the parser.
+  if (!rest.empty() && rest.front() == '[') return std::nullopt;
+
   auto colon = rest.rfind(':');
   if (colon == std::string_view::npos) return std::nullopt;
   auto ip = net::Ipv4Addr::parse(rest.substr(0, colon));
   if (!ip) return std::nullopt;
+
+  // Strict port: 1-65535, decimal, no leading zeros (":017001" is as
+  // ambiguous as a leading-zero octet), no empty, no trailing junk.
+  // Port 0 means "kernel, pick one" on a bind — it can never name a
+  // peer, so a URI carrying it is garbage, not a wildcard.
   std::string_view port_text = rest.substr(colon + 1);
   if (port_text.empty() || port_text.size() > 5) return std::nullopt;
+  if (port_text.size() > 1 && port_text.front() == '0') return std::nullopt;
   std::uint32_t port = 0;
   for (char c : port_text) {
     if (c < '0' || c > '9') return std::nullopt;
     port = port * 10 + static_cast<std::uint32_t>(c - '0');
   }
-  if (port > 65535) return std::nullopt;
+  if (port == 0 || port > 65535) return std::nullopt;
   return Uri{kind, net::Endpoint{*ip, static_cast<std::uint16_t>(port)}};
 }
 

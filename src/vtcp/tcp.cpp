@@ -23,8 +23,8 @@ TcpSocket::TcpSocket(TcpStack& stack, net::Ipv4Addr remote_ip,
 }
 
 TcpSocket::~TcpSocket() {
-  stack_.simulator().cancel(rto_timer_);
-  stack_.simulator().cancel(delack_timer_);
+  stack_.timers().cancel(rto_timer_);
+  stack_.timers().cancel(delack_timer_);
 }
 
 void TcpSocket::start_connect() {
@@ -131,7 +131,7 @@ void TcpSocket::transmit(std::uint64_t seq, std::size_t len, bool rexmit) {
   } else {
     stats_.bytes_sent += len;
     if (!rtt_probe_) {
-      rtt_probe_ = {seq + len, stack_.simulator().now()};
+      rtt_probe_ = {seq + len, stack_.timers().now()};
     }
   }
   stack_.send_segment(remote_ip_, std::move(seg));
@@ -153,15 +153,15 @@ void TcpSocket::send_ack() { send_control(kAck, snd_nxt_); }
 
 void TcpSocket::send_pending_ack() {
   unacked_segments_ = 0;
-  stack_.simulator().cancel(delack_timer_);
+  stack_.timers().cancel(delack_timer_);
   delack_timer_ = {};
   send_ack();
 }
 
 void TcpSocket::arm_timer() {
-  stack_.simulator().cancel(rto_timer_);
+  stack_.timers().cancel(rto_timer_);
   auto weak = weak_from_this();
-  rto_timer_ = stack_.simulator().schedule(rto_, [weak] {
+  rto_timer_ = stack_.timers().schedule(rto_, [weak] {
     if (auto self = weak.lock()) self->on_rto();
   });
 }
@@ -277,7 +277,7 @@ void TcpSocket::on_ack(std::uint64_t ack, std::uint32_t wnd) {
   }
 
   if (rtt_probe_ && ack >= rtt_probe_->first) {
-    update_rtt(stack_.simulator().now() - rtt_probe_->second);
+    update_rtt(stack_.timers().now() - rtt_probe_->second);
     rtt_probe_.reset();
   }
 
@@ -313,7 +313,7 @@ void TcpSocket::on_ack(std::uint64_t ack, std::uint32_t wnd) {
   }
 
   if (snd_una_ >= snd_nxt_) {
-    stack_.simulator().cancel(rto_timer_);
+    stack_.timers().cancel(rto_timer_);
     rto_timer_ = {};
   } else {
     arm_timer();
@@ -388,7 +388,7 @@ void TcpSocket::on_segment(const Segment& seg) {
         send_pending_ack();
       } else if (!delack_timer_.valid()) {
         auto weak = weak_from_this();
-        delack_timer_ = stack_.simulator().schedule(
+        delack_timer_ = stack_.timers().schedule(
             config_.delayed_ack, [weak] {
               if (auto self = weak.lock()) self->send_pending_ack();
             });
@@ -451,9 +451,9 @@ void TcpSocket::enter_established() {
 void TcpSocket::finish(bool error) {
   if (state_ == State::kClosed) return;
   state_ = State::kClosed;
-  stack_.simulator().cancel(rto_timer_);
+  stack_.timers().cancel(rto_timer_);
   rto_timer_ = {};
-  stack_.simulator().cancel(delack_timer_);
+  stack_.timers().cancel(delack_timer_);
   delack_timer_ = {};
   if (closed_ && !eof_notified_) {
     eof_notified_ = true;
@@ -464,9 +464,9 @@ void TcpSocket::finish(bool error) {
 
 // ---------------------------------------------------------------- TcpStack
 
-TcpStack::TcpStack(sim::Simulator& simulator, ipop::IpopNode& node,
+TcpStack::TcpStack(sim::TimerService& timers, ipop::IpopNode& node,
                    TcpConfig config)
-    : sim_(simulator), node_(node), config_(config) {
+    : timers_(timers), node_(node), config_(config) {
   node_.set_protocol_handler(ipop::IpProto::kTcp,
                              [this](const ipop::IpPacket& packet) {
                                on_ip_packet(packet);
@@ -512,7 +512,7 @@ void TcpStack::on_ip_packet(const ipop::IpPacket& packet) {
     // reject cleanly and count it.
     if (parse_reject_ == nullptr) {
       parse_reject_ =
-          &sim_.metrics().counter("parse_reject", MetricLabels{"", "vtcp"});
+          &node_.metrics().counter("parse_reject", MetricLabels{"", "vtcp"});
     }
     parse_reject_->inc();
     return;

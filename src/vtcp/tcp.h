@@ -8,7 +8,7 @@
 #include <optional>
 
 #include "ipop/ipop_node.h"
-#include "sim/simulator.h"
+#include "sim/timer_service.h"
 #include "vtcp/segment.h"
 
 namespace wow::vtcp {
@@ -207,7 +207,11 @@ class TcpStack {
  public:
   using AcceptHandler = std::function<void(std::shared_ptr<TcpSocket>)>;
 
-  TcpStack(sim::Simulator& simulator, ipop::IpopNode& node,
+  /// `timers` is the backend timer seam; every existing call site
+  /// passes the Simulator (which IS a TimerService), but the stack — like
+  /// everything above the p2p layer — runs unchanged over the loopback
+  /// harness or the wowd daemon's realtime loop.
+  TcpStack(sim::TimerService& timers, ipop::IpopNode& node,
            TcpConfig config = {});
 
   TcpStack(const TcpStack&) = delete;
@@ -222,7 +226,7 @@ class TcpStack {
   std::shared_ptr<TcpSocket> connect(net::Ipv4Addr dst,
                                      std::uint16_t dst_port);
 
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::TimerService& timers() { return timers_; }
   [[nodiscard]] ipop::IpopNode& node() { return node_; }
   [[nodiscard]] const TcpConfig& config() const { return config_; }
   [[nodiscard]] net::Ipv4Addr vip() const { return node_.vip(); }
@@ -243,7 +247,7 @@ class TcpStack {
   void detach(TcpSocket& socket);
   [[nodiscard]] std::uint16_t ephemeral_port();
 
-  sim::Simulator& sim_;
+  sim::TimerService& timers_;
   ipop::IpopNode& node_;
   TcpConfig config_;
   std::map<ConnKey, std::shared_ptr<TcpSocket>> sockets_;

@@ -244,9 +244,10 @@ Testbed::ComputeNode Testbed::build_compute(
   icfg.p2p = base_node_config();
   icfg.p2p.port = 17000;
   icfg.p2p.bootstrap = bootstrap_;
-  node.ipop = std::make_unique<ipop::IpopNode>(sim_, *network_, host, icfg);
+  node.ipop = std::make_unique<ipop::IpopNode>(
+      p2p::NodeDeps::sim(sim_, *network_, host), icfg);
   node.tcp = std::make_unique<vtcp::TcpStack>(sim_, *node.ipop);
-  node.icmp = std::make_unique<ipop::IcmpService>(sim_, *node.ipop);
+  node.icmp = std::make_unique<ipop::IcmpService>(*node.ipop);
   node.cpu = std::make_unique<mw::CpuExecutor>(sim_, cpu_speed);
   return node;
 }

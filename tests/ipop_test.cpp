@@ -70,8 +70,8 @@ TEST(IpopTunnel, PingAcrossOverlay) {
   net.start_all();
   net.sim.run_until(kMinute);
 
-  IcmpService icmp0(net.sim, *net.nodes[0]);
-  IcmpService icmp2(net.sim, *net.nodes[2]);
+  IcmpService icmp0(*net.nodes[0]);
+  IcmpService icmp2(*net.nodes[2]);
 
   int replies = 0;
   SimDuration last_rtt = 0;
@@ -93,7 +93,7 @@ TEST(IpopTunnel, LoopbackPing) {
   net.start_all();
   net.sim.run_until(30 * kSecond);
 
-  IcmpService icmp(net.sim, *net.nodes[0]);
+  IcmpService icmp(*net.nodes[0]);
   int replies = 0;
   icmp.set_reply_handler([&](net::Ipv4Addr, std::uint16_t, std::uint16_t,
                              SimDuration) { ++replies; });
@@ -107,7 +107,7 @@ TEST(IpopTunnel, UnknownVipIsDropped) {
   net.start_all();
   net.sim.run_until(kMinute);
 
-  IcmpService icmp(net.sim, *net.nodes[0]);
+  IcmpService icmp(*net.nodes[0]);
   int replies = 0;
   icmp.set_reply_handler([&](net::Ipv4Addr, std::uint16_t, std::uint16_t,
                              SimDuration) { ++replies; });
@@ -124,8 +124,8 @@ TEST(IpopTunnel, PacketsDroppedWhileSenderNotJoined) {
   net.nodes[2]->start();
   net.sim.run_until(kMinute);
 
-  IcmpService icmp0(net.sim, *net.nodes[0]);
-  IcmpService icmp1(net.sim, *net.nodes[1]);
+  IcmpService icmp0(*net.nodes[0]);
+  IcmpService icmp1(*net.nodes[1]);
   (void)icmp1;  // its constructor installs the echo responder
 
   int replies = 0;
@@ -149,8 +149,8 @@ TEST(IpopTunnel, StatsCountTunnelledPackets) {
   IpopOverlay net(2);
   net.start_all();
   net.sim.run_until(kMinute);
-  IcmpService icmp0(net.sim, *net.nodes[0]);
-  IcmpService icmp1(net.sim, *net.nodes[1]);
+  IcmpService icmp0(*net.nodes[0]);
+  IcmpService icmp1(*net.nodes[1]);
   (void)icmp1;
   icmp0.ping(net.vip(1), 1, 1);
   net.sim.run_for(5 * kSecond);

@@ -13,6 +13,7 @@
 #include "p2p/node_stats.h"
 #include "p2p/packet.h"
 #include "test_util.h"
+#include "transport/uri.h"
 #include "vtcp/segment.h"
 
 namespace wow {
@@ -486,6 +487,119 @@ TEST(ParseFuzz, OverlaySurvivesWireCorruption) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+// --- text parsers (URI / dotted quad) -----------------------------------
+
+/// The strict Uri grammar: accepted spellings are exactly the canonical
+/// ones, and parse/to_string round-trip both ways.
+TEST(ParseFuzz, UriAcceptsOnlyCanonicalSpellings) {
+  auto ok = [](std::string_view s) {
+    return transport::Uri::parse(s).has_value();
+  };
+  EXPECT_TRUE(ok("brunet.udp://192.0.1.1:1024"));
+  EXPECT_TRUE(ok("brunet.tcp://10.0.0.1:1"));
+  EXPECT_TRUE(ok("brunet.udp://255.255.255.255:65535"));
+  EXPECT_TRUE(ok("brunet.udp://0.0.0.0:17001"));
+
+  // Garbage shapes.
+  EXPECT_FALSE(ok(""));
+  EXPECT_FALSE(ok("brunet.udp://"));
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4"));       // no port
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:"));      // empty port
+  EXPECT_FALSE(ok("udp://1.2.3.4:80"));           // unknown scheme
+  EXPECT_FALSE(ok("brunet.sctp://1.2.3.4:80"));
+  EXPECT_FALSE(ok("brunet.udp:/1.2.3.4:80"));     // malformed separator
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:80 "));   // trailing junk
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:80x"));
+
+  // Out-of-range / non-canonical ports.
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:0"));      // port 0 names nothing
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:65536"));
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:99999"));
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:123456"));
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:017001"));  // leading zero
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:00"));
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4:-1"));
+
+  // Non-canonical / hostile dotted quads.
+  EXPECT_FALSE(ok("brunet.udp://1.2.3:80"));
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.4.5:80"));
+  EXPECT_FALSE(ok("brunet.udp://256.0.0.1:80"));
+  EXPECT_FALSE(ok("brunet.udp://010.0.0.1:80"));   // octal-ambiguous
+  EXPECT_FALSE(ok("brunet.udp://1.2.3.0004:80"));
+  EXPECT_FALSE(ok("brunet.udp://.1.2.3.4:80"));
+  EXPECT_FALSE(ok("brunet.udp://1..2.3:80"));
+  EXPECT_FALSE(ok("brunet.udp://example.com:80"));  // no DNS in URIs
+
+  // IPv6 literals are recognized and deliberately rejected: the wire
+  // format carries endpoints as u32 IPv4 (write_uri), so accepting
+  // them here would create un-advertisable, un-routable endpoints.
+  EXPECT_FALSE(ok("brunet.udp://[::1]:17001"));
+  EXPECT_FALSE(ok("brunet.udp://[2001:db8::1]:17001"));
+  EXPECT_FALSE(ok("brunet.udp://::1:17001"));
+}
+
+TEST(ParseFuzz, UriRoundTripsBothWays) {
+  std::mt19937_64 rng(7777);
+  for (int round = 0; round < 2000; ++round) {
+    transport::Uri uri;
+    uri.kind = (rng() & 1) != 0 ? transport::TransportKind::kUdp
+                                : transport::TransportKind::kTcp;
+    uri.endpoint.ip = net::Ipv4Addr{static_cast<std::uint32_t>(rng())};
+    uri.endpoint.port = static_cast<std::uint16_t>(1 + rng() % 65535);
+    auto back = transport::Uri::parse(uri.to_string());
+    ASSERT_TRUE(back.has_value()) << uri.to_string();
+    EXPECT_EQ(*back, uri);
+  }
+}
+
+TEST(ParseFuzz, UriTextMutationsNeverCrash) {
+  // Character-level mutations of a valid URI: every outcome is either
+  // nullopt or a URI that re-serializes canonically — never UB.
+  std::mt19937_64 rng(31337);
+  const std::string seed_text = "brunet.udp://192.168.1.17:17001";
+  for (int round = 0; round < 4000; ++round) {
+    std::string mutant = seed_text;
+    int edits = 1 + static_cast<int>(rng() % 4);
+    for (int e = 0; e < edits; ++e) {
+      std::size_t at = rng() % mutant.size();
+      switch (rng() % 3) {
+        case 0: mutant[at] = static_cast<char>(rng() % 256); break;
+        case 1: mutant.erase(at, 1); break;
+        default:
+          mutant.insert(at, 1, static_cast<char>('0' + rng() % 10));
+      }
+      if (mutant.empty()) break;
+    }
+    auto parsed = transport::Uri::parse(mutant);
+    if (parsed) {
+      auto again = transport::Uri::parse(parsed->to_string());
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(*again, *parsed);
+    }
+  }
+}
+
+TEST(ParseFuzz, Ipv4StrictGrammar) {
+  auto ip = [](std::string_view s) { return net::Ipv4Addr::parse(s); };
+  ASSERT_TRUE(ip("10.128.0.1").has_value());
+  EXPECT_EQ(ip("10.128.0.1")->to_string(), "10.128.0.1");
+  EXPECT_TRUE(ip("0.0.0.0").has_value());
+  EXPECT_TRUE(ip("255.255.255.255").has_value());
+
+  EXPECT_FALSE(ip("").has_value());
+  EXPECT_FALSE(ip("1.2.3").has_value());
+  EXPECT_FALSE(ip("1.2.3.4.5").has_value());
+  EXPECT_FALSE(ip("1.2.3.256").has_value());
+  EXPECT_FALSE(ip("01.2.3.4").has_value());     // leading zero
+  EXPECT_FALSE(ip("1.2.3.04").has_value());
+  EXPECT_FALSE(ip("0001.2.3.4").has_value());   // >3 digits
+  EXPECT_FALSE(ip("1.2.3.4 ").has_value());
+  EXPECT_FALSE(ip(" 1.2.3.4").has_value());
+  EXPECT_FALSE(ip("1.2.3.a").has_value());
+  EXPECT_FALSE(ip("1,2,3,4").has_value());
+  EXPECT_FALSE(ip("::1").has_value());
 }
 
 }  // namespace

@@ -1,0 +1,232 @@
+// The real-clock backend end to end: UdpEdgeFactory over genuine
+// 127.0.0.1 sockets, driven by RealtimeEventLoop.  The headline test
+// brings up two p2p::Nodes over real UDP inside one process — the same
+// stack the wowd daemon runs, minus the process boundary.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <memory>
+#include <vector>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/trace.h"
+#include "p2p/node.h"
+#include "transport/realtime.h"
+#include "transport/udp_edge.h"
+
+namespace wow {
+namespace {
+
+const net::Ipv4Addr kLocalhost(127, 0, 0, 1);
+
+/// Drive the loop in small slices until `done` holds or `cap` of real
+/// time elapses.  Returns whether the condition was met.
+template <typename Pred>
+bool drive_until(transport::RealtimeEventLoop& loop, Pred done,
+                 SimDuration cap = 5 * kSecond) {
+  SimTime deadline = loop.now() + cap;
+  while (!done() && loop.now() < deadline) {
+    loop.run_for(10 * kMillisecond);
+  }
+  return done();
+}
+
+TEST(UdpEdgeFactory, DatagramsFlowBothWays) {
+  transport::RealtimeEventLoop loop;
+  transport::UdpEdgeFactory a(loop, kLocalhost);
+  transport::UdpEdgeFactory b(loop, kLocalhost);
+  a.bind(0);  // ephemeral; the chosen port shows up in local_uri()
+  b.bind(0);
+  ASSERT_TRUE(a.is_open());
+  ASSERT_TRUE(b.is_open());
+  ASSERT_NE(a.local_uri().endpoint.port, 0);
+  ASSERT_NE(a.local_uri().endpoint.port, b.local_uri().endpoint.port);
+
+  std::vector<Bytes> at_b;
+  net::Endpoint b_saw_src;
+  b.set_receiver([&](const net::Endpoint& src, SharedBytes payload) {
+    b_saw_src = src;
+    at_b.push_back(payload.to_bytes());
+  });
+  std::vector<Bytes> at_a;
+  a.set_receiver([&](const net::Endpoint&, SharedBytes payload) {
+    at_a.push_back(payload.to_bytes());
+  });
+
+  net::Endpoint to_b{kLocalhost, b.local_uri().endpoint.port};
+  net::Endpoint to_a{kLocalhost, a.local_uri().endpoint.port};
+  a.send_to(to_b, Bytes{1, 2, 3});
+  b.send_to(to_a, Bytes{9, 8});
+
+  ASSERT_TRUE(drive_until(loop, [&] {
+    return !at_a.empty() && !at_b.empty();
+  }));
+  EXPECT_EQ(at_b[0], (Bytes{1, 2, 3}));
+  EXPECT_EQ(at_a[0], (Bytes{9, 8}));
+  // The receiver sees the sender's real bound endpoint (what NAT
+  // traversal's learn_public_uri depends on).
+  EXPECT_EQ(b_saw_src, to_a);
+  EXPECT_GE(a.stats().datagrams_sent, 1u);
+  EXPECT_GE(b.stats().datagrams_received, 1u);
+}
+
+TEST(UdpEdgeFactory, SendBatchLeavesInOneSyscall) {
+  transport::RealtimeEventLoop loop;
+  transport::UdpEdgeFactory a(loop, kLocalhost);
+  transport::UdpEdgeFactory b(loop, kLocalhost);
+  a.bind(0);
+  b.bind(0);
+  std::size_t got = 0;
+  b.set_receiver([&](const net::Endpoint&, SharedBytes) { ++got; });
+
+  net::Endpoint to_b{kLocalhost, b.local_uri().endpoint.port};
+  // Queue a pile of frames outside the loop, then flush: far fewer
+  // sendmmsg calls than datagrams.
+  for (int i = 0; i < 40; ++i) a.send_to(to_b, Bytes{std::uint8_t(i)});
+  a.flush();
+  EXPECT_EQ(a.stats().datagrams_sent, 40u);
+  EXPECT_LE(a.stats().send_batches, 2u);
+
+  ASSERT_TRUE(drive_until(loop, [&] { return got == 40; }));
+  EXPECT_LE(b.stats().recv_batches, b.stats().datagrams_received);
+}
+
+TEST(UdpEdgeFactory, EdgeReceiverGetsItsRemotesFrames) {
+  transport::RealtimeEventLoop loop;
+  transport::UdpEdgeFactory a(loop, kLocalhost);
+  transport::UdpEdgeFactory b(loop, kLocalhost);
+  a.bind(0);
+  b.bind(0);
+  net::Endpoint to_b{kLocalhost, b.local_uri().endpoint.port};
+  net::Endpoint to_a{kLocalhost, a.local_uri().endpoint.port};
+
+  std::size_t via_edge = 0;
+  std::size_t via_factory = 0;
+  b.set_receiver([&](const net::Endpoint&, SharedBytes) { ++via_factory; });
+  p2p::Edge& edge = b.edge_to(to_a);
+  edge.set_receiver([&](SharedBytes) { ++via_edge; });
+  EXPECT_EQ(edge.remote_uri().endpoint, to_a);
+
+  a.send_to(to_b, Bytes{1});
+  ASSERT_TRUE(drive_until(loop, [&] { return via_edge + via_factory > 0; }));
+  EXPECT_EQ(via_edge, 1u);
+  EXPECT_EQ(via_factory, 0u);
+}
+
+TEST(UdpEdgeFactory, IcmpRefusalReportsAndClosesEdge) {
+  transport::RealtimeEventLoop loop;
+  transport::UdpEdgeFactory a(loop, kLocalhost);
+  a.bind(0);
+
+  // A port guaranteed dead: bind an ephemeral socket, note the port,
+  // close it.
+  net::Endpoint dead;
+  {
+    transport::UdpEdgeFactory probe(loop, kLocalhost);
+    probe.bind(0);
+    dead = net::Endpoint{kLocalhost, probe.local_uri().endpoint.port};
+  }
+
+  std::vector<std::pair<net::Endpoint, p2p::DisconnectCause>> reports;
+  a.set_error_handler([&](const net::Endpoint& remote,
+                          p2p::DisconnectCause cause, int err) {
+    EXPECT_EQ(err, ECONNREFUSED);
+    reports.emplace_back(remote, cause);
+  });
+  p2p::Edge& edge = a.edge_to(dead);
+  (void)edge;
+
+  // Loopback refusals can take one extra round trip to surface; prod
+  // a few times.
+  for (int i = 0; i < 3 && reports.empty(); ++i) {
+    a.send_to(dead, Bytes{42});
+    a.flush();
+    drive_until(loop, [&] { return !reports.empty(); },
+                200 * kMillisecond);
+  }
+  ASSERT_FALSE(reports.empty());
+  EXPECT_EQ(reports[0].first, dead);
+  EXPECT_EQ(reports[0].second, p2p::DisconnectCause::kCloseFrame);
+  EXPECT_GE(a.stats().icmp_errors + a.stats().send_errors, 1u);
+  // The edge handle to the dead remote was reaped: a fresh edge_to()
+  // materializes a new, open edge.
+  EXPECT_FALSE(a.edge_to(dead).closed());
+}
+
+TEST(UdpEdgeFactory, ClassifiesSocketErrors) {
+  using transport::UdpEdgeFactory;
+  EXPECT_EQ(UdpEdgeFactory::classify_socket_error(ECONNREFUSED),
+            p2p::DisconnectCause::kCloseFrame);
+  EXPECT_EQ(UdpEdgeFactory::classify_socket_error(EHOSTUNREACH),
+            p2p::DisconnectCause::kLinkError);
+  EXPECT_EQ(UdpEdgeFactory::classify_socket_error(ENETUNREACH),
+            p2p::DisconnectCause::kLinkError);
+  EXPECT_EQ(UdpEdgeFactory::classify_socket_error(EMSGSIZE),
+            p2p::DisconnectCause::kLinkError);
+}
+
+// The acceptance test for the whole PR: two full p2p nodes — linking
+// engine, keepalives, CTM, the lot — form a ring over real UDP sockets
+// on the real clock.  Identical protocol code to the simulator runs;
+// only the injected NodeDeps differ.
+TEST(RealtimeBackend, NodePairLinksOverRealUdp) {
+  transport::RealtimeEventLoop loop;
+  Rng rng(7);
+  Logger logger;
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  transport::UdpEdgeFactory* factory_a = nullptr;
+  auto deps = [&](transport::UdpEdgeFactory** out) {
+    p2p::NodeDeps d;
+    d.timers = &loop;
+    d.rng = &rng;
+    d.logger = &logger;
+    d.metrics = &metrics;
+    d.tracer = &tracer;
+    auto factory =
+        std::make_unique<transport::UdpEdgeFactory>(loop, kLocalhost);
+    if (out != nullptr) *out = factory.get();
+    d.edges = std::move(factory);
+    return d;
+  };
+
+  // Fast maintenance so the first bootstrap probe lands within
+  // milliseconds of real time, not the default 2 s.
+  p2p::NodeConfig ca;
+  ca.port = 0;
+  ca.maintenance_period = 50 * kMillisecond;
+  p2p::Node a(deps(&factory_a), ca);
+  a.start();
+  std::uint16_t a_port = factory_a->local_uri().endpoint.port;
+  ASSERT_NE(a_port, 0);
+
+  p2p::NodeConfig cb;
+  cb.port = 0;
+  cb.maintenance_period = 50 * kMillisecond;
+  cb.bootstrap = {transport::Uri{transport::TransportKind::kUdp,
+                                 net::Endpoint{kLocalhost, a_port}}};
+  p2p::Node b(deps(nullptr), cb);
+  b.start();
+
+  ASSERT_TRUE(drive_until(loop, [&] {
+    return a.has_direct(b.address()) && b.has_direct(a.address());
+  }, 10 * kSecond));
+
+  std::vector<Bytes> got;
+  a.set_data_handler([&](const p2p::Address&, BytesView payload) {
+    got.emplace_back(payload.begin(), payload.end());
+  });
+  b.send_data(a.address(), Bytes{1, 2, 3});
+  ASSERT_TRUE(drive_until(loop, [&] { return !got.empty(); }));
+  EXPECT_EQ(got[0], (Bytes{1, 2, 3}));
+
+  a.stop();
+  b.stop();
+}
+
+}  // namespace
+}  // namespace wow

@@ -114,7 +114,7 @@ TEST(NatRenumbering, HomeNodeSurvivesTranslationChange) {
   ipop::IpopNode::Config cfg;
   cfg.vip = net::Ipv4Addr(172, 16, 1, 34);
   cfg.p2p.bootstrap = bootstrap;
-  ipop::IpopNode node(sim, network, home_host, cfg);
+  ipop::IpopNode node(p2p::NodeDeps::sim(sim, network, home_host), cfg);
   node.start();
   sim.run_for(2 * kMinute);
   ASSERT_TRUE(node.p2p().routable());
@@ -226,7 +226,8 @@ TEST_P(NatTraversalMatrix, TwoNatedPeersEventuallyLink) {
     cfg.vip = vip;
     cfg.p2p.bootstrap = bootstrap;
     cfg.p2p.shortcut.threshold = 5.0;
-    return std::make_unique<ipop::IpopNode>(sim, network, host, cfg);
+    return std::make_unique<ipop::IpopNode>(
+          p2p::NodeDeps::sim(sim, network, host), cfg);
   };
   auto a = make_node(1, net::Ipv4Addr(172, 16, 1, 2));
   auto b = make_node(2, net::Ipv4Addr(172, 16, 1, 3));
@@ -236,8 +237,8 @@ TEST_P(NatTraversalMatrix, TwoNatedPeersEventuallyLink) {
   ASSERT_TRUE(a->p2p().routable());
   ASSERT_TRUE(b->p2p().routable());
 
-  ipop::IcmpService icmp_a(sim, *a);
-  ipop::IcmpService icmp_b(sim, *b);
+  ipop::IcmpService icmp_a(*a);
+  ipop::IcmpService icmp_b(*b);
   int replies = 0;
   icmp_a.set_reply_handler([&](net::Ipv4Addr, std::uint16_t, std::uint16_t,
                                SimDuration) { ++replies; });

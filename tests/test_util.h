@@ -93,7 +93,8 @@ struct IpopOverlay {
       cfg.p2p.port = 17000;
       cfg.p2p.bootstrap = {bootstrap};
       nodes.push_back(
-          std::make_unique<ipop::IpopNode>(sim, network, host, cfg));
+          std::make_unique<ipop::IpopNode>(
+          p2p::NodeDeps::sim(sim, network, host), cfg));
     }
   }
 
